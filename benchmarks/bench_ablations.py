@@ -1,0 +1,33 @@
+"""Bench: the design-choice ablations DESIGN.md calls out."""
+
+
+def test_ablation_coverage(run_exp):
+    result = run_exp("ablation_coverage")
+    table = result.table("decode step time")
+    over = {r["batch"]: r["overstatement_pct"] for r in table}
+    # the coverage model matters most at batch 1 and vanishes at scale
+    assert over[1] > over[64] > over[256]
+
+
+def test_ablation_efficiency(run_exp):
+    result = run_exp("ablation_efficiency")
+    table = result.table("prefill time")
+    under = {r["batch"]: r["flat_understates_pct"] for r in table}
+    assert under[1] > under[64]
+    assert under[1] > 10
+
+
+def test_ablation_engine(run_exp):
+    result = run_exp("ablation_engine")
+    table = result.table("agreement")
+    # without contention the event-driven engine must match closed form
+    assert all(abs(r["delta_pct"]) < 5 for r in table)
+
+
+def test_ablation_ep_imbalance(run_exp):
+    result = run_exp("ablation_ep_imbalance")
+    table = result.table("imbalance factor")
+    assert all(r["abs_error"] < 0.3 for r in table)
+    # imbalance decays with load in both the MC and the analytic model
+    sub = [r for r in table if r["ep"] == 4]
+    assert sub[0]["analytic"] > sub[-1]["analytic"]

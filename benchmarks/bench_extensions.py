@@ -1,0 +1,71 @@
+"""Bench: the extension studies (beyond the paper's figures)."""
+
+
+def test_ext_a100(run_exp):
+    result = run_exp("ext_a100")
+    table = result.table("cross-hardware")
+    h = table.where(model="OLMoE-1B-7B", hardware="H100", quant="fp16").rows[0]
+    a = table.where(model="OLMoE-1B-7B", hardware="A100", quant="fp16").rows[0]
+    assert h["throughput_tok_s"] > a["throughput_tok_s"]
+    assert h["tokens_per_joule"] > a["tokens_per_joule"]
+
+
+def test_ext_kv_quant(run_exp):
+    result = run_exp("ext_kv_quant")
+    table = result.table("kv quantization")
+    fp8 = table.where(model="OLMoE-1B-7B", config="fp8").rows[0]
+    kv8 = table.where(model="OLMoE-1B-7B", config="fp8+fp8kv").rows[0]
+    assert kv8["max_context_tokens"] > 1.8 * fp8["max_context_tokens"]
+
+
+def test_ext_serving_load(run_exp):
+    result = run_exp("ext_serving_load")
+    table = result.table("load sweep")
+    p99 = [r["p99_ttft_s"] for r in table]
+    assert p99[-1] > p99[0]
+
+
+def test_ext_spec_batch(run_exp):
+    result = run_exp("ext_spec_batch")
+    table = result.table("speculation vs batching")
+    speed = {r["batch"]: r["speedup"] for r in table}
+    assert speed[64] > speed[1]
+
+
+def test_ext_placement(run_exp):
+    result = run_exp("ext_placement")
+    table = result.table("placement comparison")
+    molmo = table.where(model="MolmoE-1B", ep=8).rows[0]
+    assert molmo["optimized_imbalance"] <= molmo["default_imbalance"]
+
+
+def test_ext_multinode(run_exp):
+    result = run_exp("ext_multinode")
+    table = result.table("multinode dispatch")
+    intra = table.where(ep=8).rows[0]
+    inter = table.where(ep=16).rows[0]
+    assert inter["alltoall_ms"] > intra["alltoall_ms"]
+
+
+def test_ext_offload(run_exp):
+    result = run_exp("ext_offload")
+    table = result.table("offload sweep")
+    full = table.where(hot_fraction=1.0, policy="random").rows[0]
+    half = table.where(hot_fraction=0.5, policy="random").rows[0]
+    assert half["decode_tok_s"] < full["decode_tok_s"]
+
+
+def test_ext_capacity(run_exp):
+    result = run_exp("ext_capacity")
+    table = result.table("capacity sweep")
+    bal = table.where(router="balanced", capacity_factor=1.25).rows[0]
+    skw = table.where(router="skewed", capacity_factor=1.25).rows[0]
+    assert skw["drop_rate_pct"] > 5 * max(bal["drop_rate_pct"], 0.1)
+
+
+def test_ext_prefix_cache(run_exp):
+    result = run_exp("ext_prefix_cache")
+    table = result.table("prefix caching")
+    off = table.where(shared_prefix_tokens=4096, caching="off").rows[0]
+    on = table.where(shared_prefix_tokens=4096, caching="on").rows[0]
+    assert on["mean_ttft_ms"] < 0.5 * off["mean_ttft_ms"]

@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 1 (layer-wise parameter breakdown)."""
+
+
+def test_fig01(run_exp):
+    result = run_exp("fig1")
+    frac = result.table("moe dominance")
+    assert len(frac) == 3
+    # the paper's point: MoE dominates both totals and actives
+    for row in frac:
+        assert row["moe_fraction_total"] > 0.85
+        assert row["moe_fraction_active"] > 0.5

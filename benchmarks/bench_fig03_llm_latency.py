@@ -1,0 +1,12 @@
+"""Bench: regenerate Figure 3 (LLM TTFT/ITL/E2E at bs 64, io 2048)."""
+
+
+def test_fig03(run_exp):
+    result = run_exp("fig3")
+    table = result.table("llm latency")
+    ttft = {r["model"]: r["ttft_s"] for r in table}
+    # paper: OLMoE fastest TTFT, well ahead of DeepSeek-V2-Lite
+    assert min(ttft, key=ttft.get) == "OLMoE-1B-7B"
+    assert ttft["DeepSeek-V2-Lite"] / ttft["OLMoE-1B-7B"] > 1.4
+    e2e = [r["e2e_s"] for r in table]
+    assert max(e2e) / min(e2e) > 1.5  # paper: >120% spread

@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 4 (VLM TTFT/ITL/E2E)."""
+
+
+def test_fig04(run_exp):
+    result = run_exp("fig4")
+    table = result.table("vlm latency")
+    rows = {r["model"]: r for r in table}
+    # paper: Tiny fastest TTFT; base slowest E2E among the family
+    assert rows["DeepSeek-VL2-Tiny"]["ttft_s"] < rows["DeepSeek-VL2"]["ttft_s"]
+    assert rows["DeepSeek-VL2-Tiny"]["e2e_s"] < rows["DeepSeek-VL2"]["e2e_s"]
+    assert rows["DeepSeek-VL2-Tiny"]["samples_per_s"] > rows["DeepSeek-VL2"]["samples_per_s"]

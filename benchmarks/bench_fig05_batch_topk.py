@@ -1,0 +1,17 @@
+"""Bench: regenerate Figure 5 (batch size x active experts)."""
+
+
+def test_fig05(run_exp):
+    result = run_exp("fig5")
+    table = result.table("throughput")
+    assert len(table) == 2 * 5 * 6  # models x batches x top-k values
+    for model in ("DeepSeek-V2-Lite", "Qwen1.5-MoE-A2.7B"):
+        # throughput falls monotonically with top-k at every batch size
+        for batch in (1, 16, 32, 64, 128):
+            thr = [r["throughput_tok_s"] for r in table.where(model=model, batch=batch)]
+            assert all(a >= b * 0.999 for a, b in zip(thr, thr[1:]))
+        # batch scaling is strong but sub-linear (paper: "roughly two
+        # orders of magnitude" from 1 to 128, i.e. well above 8x)
+        lo = table.where(model=model, batch=1, top_k=4).rows[0]["throughput_tok_s"]
+        hi = table.where(model=model, batch=128, top_k=4).rows[0]["throughput_tok_s"]
+        assert 8 < hi / lo < 128

@@ -1,0 +1,17 @@
+"""Bench: regenerate Figure 6 (batch size x input/output length)."""
+
+
+def test_fig06(run_exp):
+    result = run_exp("fig6")
+    table = result.table("throughput")
+    assert len(table) == 2 * 5 * 5
+    for model in ("DeepSeek-V2-Lite", "Qwen1.5-MoE-A2.7B"):
+        thr = {r["io_tokens"]: r["throughput_tok_s"]
+               for r in table.where(model=model, batch=64)}
+        # paper: shortest sequences beat longest (paper quotes up to ~30%;
+        # our simulator shows a stronger KV-driven gap — see EXPERIMENTS.md)
+        assert 1.05 < thr[128] / thr[2048] < 2.5
+    # paper: Qwen1.5-MoE outperforms DeepSeek-V2-Lite by 20-30%
+    q = table.where(model="Qwen1.5-MoE-A2.7B", batch=32, io_tokens=512).rows[0]
+    d = table.where(model="DeepSeek-V2-Lite", batch=32, io_tokens=512).rows[0]
+    assert q["throughput_tok_s"] > d["throughput_tok_s"]

@@ -1,0 +1,15 @@
+"""Bench: regenerate Figure 7 (throughput vs FFN dimension)."""
+
+
+def test_fig07(run_exp):
+    result = run_exp("fig7")
+    table = result.table("hyperparameter grid")
+    assert len(table) == 4 * 4 * 4
+    # throughput declines steeply with FFN dim (paper: ~50% average)
+    sub = {r["ffn_dim"]: r["throughput_tok_s"]
+           for r in table if r["num_experts"] == 8 and r["top_k"] == 2}
+    assert sub[14336] < 0.7 * sub[1792]
+    # steepest drop in the first doubling, flattening later (asymptote)
+    d1 = sub[1792] / sub[3584]
+    d3 = sub[7168] / sub[14336]
+    assert d1 > d3 * 0.8

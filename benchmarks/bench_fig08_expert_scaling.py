@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 8 (throughput vs total expert count)."""
+
+
+def test_fig08(run_exp):
+    result = run_exp("fig8")
+    table = result.table("hyperparameter grid")
+    # small-FFN configs tolerate 8->64 experts within a modest band
+    small = {r["num_experts"]: r["throughput_tok_s"]
+             for r in table if r["ffn_dim"] == 1792 and r["top_k"] == 2}
+    assert 0.5 < small[64] / small[8] < 1.3
+    # memory wall: extreme configs OOM, small ones never
+    assert any(r["oom"] for r in table if r["ffn_dim"] == 14336)
+    assert not any(r["oom"] for r in table if r["ffn_dim"] == 1792)

@@ -1,0 +1,18 @@
+"""Bench: regenerate Figure 9 (throughput vs active experts)."""
+
+
+def test_fig09(run_exp):
+    result = run_exp("fig9")
+    table = result.table("hyperparameter grid")
+
+    def thr(f, e, k):
+        rows = table.where(ffn_dim=f, num_experts=e, top_k=k).rows
+        return rows[0]["throughput_tok_s"]
+
+    # consistent degradation 1 -> 8 active experts
+    for f in (1792, 14336):
+        assert thr(f, 8, 1) > thr(f, 8, 8)
+    # the 1-vs-8 gap expands with FFN dimension (paper: 20-30% -> 60-80%)
+    gap_small = thr(1792, 8, 1) / thr(1792, 8, 8)
+    gap_large = thr(14336, 8, 1) / thr(14336, 8, 8)
+    assert gap_large > gap_small

@@ -1,0 +1,17 @@
+"""Bench: regenerate Figure 10 (FP16 vs FP8 on Mixtral-8x7B)."""
+
+
+def test_fig10(run_exp):
+    result = run_exp("fig10")
+    batch = result.table("batch sweep")
+    lengths = result.table("length sweep")
+    # FP8 wins everywhere
+    assert all(r["fp8_gain_pct"] > 0 for r in batch)
+    assert all(r["fp8_gain_pct"] > 0 for r in lengths)
+    # paper: up to 25-30% at the largest batch, widening with batch
+    gains = {r["batch"]: r["fp8_gain_pct"] for r in batch}
+    assert gains[64] > gains[1]
+    assert 15 < gains[64] < 40
+    # paper: a stable 20-25% advantage across lengths
+    lg = [r["fp8_gain_pct"] for r in lengths]
+    assert max(lg) - min(lg) < 15

@@ -1,0 +1,24 @@
+"""Bench: regenerate Figure 11 (intra/inter expert pruning)."""
+
+
+def test_fig11(run_exp):
+    result = run_exp("fig11")
+    table = result.table("pruning sweep")
+    # both models, both kinds, three ratios, top-k up to the baseline
+    assert len(table) == 2 * 3 * (8 + 4)
+    for model, base_k in (("OLMoE-1B-7B", 8), ("Qwen1.5-MoE-A2.7B", 4)):
+        # throughput decreases with top-k under every pruning setting
+        for kind in ("inter", "intra"):
+            for ratio in (12.5, 25.0, 50.0):
+                thr = [r["throughput_tok_s"] for r in
+                       table.where(model=model, kind=kind, ratio_pct=ratio)]
+                assert all(a >= b * 0.995 for a, b in zip(thr, thr[1:]))
+        # paper: 50% pruning significantly improves throughput at the
+        # pretrained top-k; intra cuts per-token compute hardest
+        intra50 = table.where(model=model, kind="intra", ratio_pct=50.0,
+                              top_k=base_k).rows[0]
+        assert intra50["gain_vs_unpruned_pct"] > 5
+        # low ratios have much smaller effects
+        intra125 = table.where(model=model, kind="intra", ratio_pct=12.5,
+                               top_k=base_k).rows[0]
+        assert intra125["gain_vs_unpruned_pct"] < intra50["gain_vs_unpruned_pct"]

@@ -1,0 +1,24 @@
+"""Bench: regenerate Figure 12 (speculative decoding draft comparison)."""
+
+
+def test_fig12(run_exp):
+    result = run_exp("fig12")
+    len_table = result.table("input length sweep (k=4)")
+    k_table = result.table("draft token sweep (input 512)")
+
+    # paper: Qwen3-1.7B wins at every input length
+    for L in (128, 256, 512, 1024, 2048):
+        thr = {r["draft"]: r["decode_tok_s"] for r in len_table.where(input_len=L)}
+        assert max(thr, key=thr.get) == "Qwen3-1.7B"
+
+    # paper: throughput declines with input length for every draft
+    for d in ("Qwen3-0.6B", "Qwen3-1.7B", "Qwen3-4B", "Qwen3-8B"):
+        thr = [r["decode_tok_s"] for r in len_table.where(draft=d)]
+        assert all(a >= b for a, b in zip(thr, thr[1:]))
+        # and monotonically with draft-token count
+        ks = [r["decode_tok_s"] for r in k_table.where(draft=d)]
+        assert all(a > b for a, b in zip(ks, ks[1:]))
+
+    # paper: 1.7B leads 8B by a clear margin at short inputs
+    short = {r["draft"]: r["decode_tok_s"] for r in len_table.where(input_len=128)}
+    assert short["Qwen3-1.7B"] / short["Qwen3-8B"] > 1.1

@@ -1,0 +1,14 @@
+"""Bench: regenerate Figure 13 (TP/PP/EP scaling)."""
+
+
+def test_fig13(run_exp):
+    result = run_exp("fig13")
+    table = result.table("parallelism scaling")
+    for model in ("Mixtral-8x7B", "OLMoE-1B-7B"):
+        scal = {s: table.where(model=model, strategy=s, gpus=4).rows[0]["scaling_vs_1gpu"]
+                for s in ("TP", "TP+EP", "PP", "PP+EP")}
+        # paper: TP >2x from 1 to 4 GPUs; TP+EP lower; PP (±EP) ~flat
+        assert scal["TP"] > 2.0
+        assert scal["TP+EP"] < scal["TP"]
+        assert scal["PP"] < 1.1
+        assert abs(scal["PP+EP"] - scal["PP"]) < 0.1

@@ -1,0 +1,12 @@
+"""Bench: regenerate Figure 14 (fused vs non-fused MoE)."""
+
+
+def test_fig14(run_exp):
+    result = run_exp("fig14")
+    batch = result.table("batch sweep")
+    lengths = result.table("length sweep")
+    # fused wins at every point; paper band roughly 12-20%
+    assert all(5 < r["gain_pct"] < 35 for r in batch)
+    assert all(5 < r["gain_pct"] < 35 for r in lengths)
+    # launch accounting: O(1) fused vs O(E) naive
+    assert any("3 fused" in o for o in result.observations)

@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 15 (expert activation frequency heatmaps)."""
+
+
+def test_fig15(run_exp):
+    result = run_exp("fig15")
+    summary = result.table("activation summary")
+    rows = {r["model"]: r for r in summary}
+    assert set(rows) == {"DeepSeek-VL2-Tiny", "DeepSeek-VL2-Small",
+                         "DeepSeek-VL2", "MolmoE-1B"}
+    molmo = rows["MolmoE-1B"]
+    deepseek_peak = max(r["peak_activation"] for m, r in rows.items()
+                        if m != "MolmoE-1B")
+    # paper: MolmoE peaks near 1M, DeepSeek family near 290K
+    assert 5e5 < molmo["peak_activation"] < 2e6
+    assert 1.5e5 < deepseek_peak < 6e5
+    assert molmo["peak_activation"] > 2 * deepseek_peak
+    # DeepSeek's aux loss flattens utilisation
+    for m, r in rows.items():
+        if m != "MolmoE-1B":
+            assert r["gini"] < molmo["gini"]

@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 16 (H100 vs Cerebras CS-3, Llama-4-Scout)."""
+
+
+def test_fig16(run_exp):
+    result = run_exp("fig16")
+    table = result.table("latency/throughput vs length")
+    h100 = {r["io_tokens"]: r for r in table.where(hardware="H100")}
+    cs3 = {r["io_tokens"]: r for r in table.where(hardware="CS-3")}
+    # CS-3 delivers lower latency at every length
+    for n in h100:
+        assert cs3[n]["e2e_s"] < h100[n]["e2e_s"]
+    # H100's per-step latency rises with context; CS-3 stays nearly flat
+    h_growth = h100[2048]["itl_per_step_ms"] / h100[128]["itl_per_step_ms"]
+    c_growth = cs3[2048]["itl_per_step_ms"] / cs3[128]["itl_per_step_ms"]
+    assert h_growth > 1.1
+    assert c_growth < 1.05

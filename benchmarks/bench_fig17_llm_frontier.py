@@ -1,0 +1,17 @@
+"""Bench: regenerate Figure 17 (LLM throughput/latency vs accuracy)."""
+
+
+def test_fig17(run_exp):
+    result = run_exp("fig17")
+    table = result.table("frontier")
+    rows = {r["model"]: r for r in table}
+    thr = {m: r["throughput_tok_s"] for m, r in rows.items()}
+    acc = {m: r["accuracy_pct"] for m, r in rows.items()}
+    # paper's frontier: OLMoE fastest (>40% margin), Phi slowest,
+    # Qwen3-30B/Mixtral most accurate, OLMoE least accurate
+    ranked = sorted(thr, key=thr.get, reverse=True)
+    assert ranked[0] == "OLMoE-1B-7B"
+    assert thr[ranked[0]] / thr[ranked[1]] > 1.4
+    assert ranked[-1] == "Phi-3.5-MoE"
+    assert max(acc, key=acc.get) in ("Qwen3-30B-A3B", "Mixtral-8x7B")
+    assert min(acc, key=acc.get) == "OLMoE-1B-7B"

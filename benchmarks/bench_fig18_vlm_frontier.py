@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 18 (VLM throughput/latency vs accuracy)."""
+
+
+def test_fig18(run_exp):
+    result = run_exp("fig18")
+    table = result.table("frontier")
+    rows = {r["model"]: r for r in table}
+    # paper: a clean inverse ladder across Tiny / Small / base
+    assert (rows["DeepSeek-VL2-Tiny"]["throughput_tok_s"]
+            > rows["DeepSeek-VL2-Small"]["throughput_tok_s"]
+            > rows["DeepSeek-VL2"]["throughput_tok_s"])
+    assert (rows["DeepSeek-VL2-Tiny"]["accuracy_pct"]
+            < rows["DeepSeek-VL2-Small"]["accuracy_pct"]
+            < rows["DeepSeek-VL2"]["accuracy_pct"])
+    assert (rows["DeepSeek-VL2"]["e2e_latency_s"]
+            > rows["DeepSeek-VL2-Tiny"]["e2e_latency_s"])

@@ -1,0 +1,10 @@
+"""Bench: regenerate Table 1 (architecture comparison)."""
+
+
+def test_table1(run_exp):
+    result = run_exp("table1")
+    table = result.table("architectures")
+    assert len(table) == 9  # 6 LLMs + 3 DeepSeek-VL2 variants
+    mixtral = table.where(model="Mixtral-8x7B").rows[0]
+    assert round(mixtral["total_params_B"]) == 47
+    assert round(mixtral["active_params_B"], 1) == 12.9

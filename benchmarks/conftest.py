@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` file regenerates one of the paper's tables/figures via the
+experiment registry under pytest-benchmark timing, then asserts the shape
+properties the paper reports.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiment import ExperimentResult
+from repro.core.registry import get_experiment
+
+
+@pytest.fixture
+def run_exp(benchmark):
+    """Run one registered experiment under the benchmark timer (a single
+    round — experiments are deterministic; their cost is the figure of
+    merit, not their variance)."""
+
+    def _run(exp_id: str) -> ExperimentResult:
+        return benchmark.pedantic(get_experiment(exp_id), rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Capacity planning: pick a deployment for a traffic target.
+
+The workload the paper's intro motivates: you have a MoE model, an H100
+node, and a latency/throughput target — which parallelism plan and
+precision should you deploy?  This example sweeps every valid TP/PP/EP
+plan at FP16 and FP8 across 1-8 GPUs, filters plans that fit in memory
+and meet the TTFT budget, and prints the efficient frontier.
+
+Run:  python examples/capacity_planning.py [model-name]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.hardware import H100_SXM
+from repro.models import get_model
+from repro.optim import FP8_CONFIG, FP16_CONFIG
+from repro.parallel import enumerate_plans
+from repro.perfmodel import InferencePerfModel
+
+BATCH = 32
+INPUT_TOKENS = 1024
+OUTPUT_TOKENS = 512
+TTFT_BUDGET_S = 2.0
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "Mixtral-8x7B"
+    model = get_model(name)
+    print(f"Capacity planning for {model.name} on H100 nodes")
+    print(f"workload: batch {BATCH}, {INPUT_TOKENS} in / {OUTPUT_TOKENS} out, "
+          f"TTFT budget {TTFT_BUDGET_S:.1f}s\n")
+
+    header = (f"{'gpus':>4} {'plan':<14} {'quant':<6} {'fits':<5} "
+              f"{'weights/GPU':>12} {'TTFT':>9} {'tok/s':>10} {'tok/s/GPU':>10}")
+    print(header)
+    print("-" * len(header))
+
+    candidates = []
+    for num_gpus in (1, 2, 4, 8):
+        for plan in enumerate_plans(model, num_gpus):
+            for quant in (FP16_CONFIG, FP8_CONFIG):
+                pm = InferencePerfModel(model, H100_SXM, plan=plan, quant=quant)
+                fits = pm.fits(BATCH, INPUT_TOKENS + OUTPUT_TOKENS)
+                metrics = pm.generate(BATCH, INPUT_TOKENS, OUTPUT_TOKENS,
+                                      check_memory=False)
+                row = dict(
+                    gpus=num_gpus, plan=plan.label, quant=quant.name,
+                    fits=fits,
+                    weights_gb=pm.memory.weight_bytes_per_device() / 1e9,
+                    ttft=metrics.ttft_s,
+                    tok_s=metrics.throughput_tok_s,
+                    tok_s_gpu=metrics.throughput_tok_s / num_gpus,
+                )
+                candidates.append(row)
+                print(f"{row['gpus']:>4} {row['plan']:<14} {row['quant']:<6} "
+                      f"{'yes' if fits else 'OOM':<5} "
+                      f"{row['weights_gb']:>10.1f}GB {row['ttft']:>8.3f}s "
+                      f"{row['tok_s']:>10,.0f} {row['tok_s_gpu']:>10,.0f}")
+
+    feasible = [c for c in candidates
+                if c["fits"] and c["ttft"] <= TTFT_BUDGET_S]
+    if not feasible:
+        print("\nNo deployment meets the constraints — add GPUs or quantize.")
+        return
+
+    best_thr = max(feasible, key=lambda c: c["tok_s"])
+    best_eff = max(feasible, key=lambda c: c["tok_s_gpu"])
+    print(f"\nhighest throughput : {best_thr['gpus']}x {best_thr['plan']} "
+          f"@{best_thr['quant']} -> {best_thr['tok_s']:,.0f} tok/s")
+    print(f"most cost-efficient: {best_eff['gpus']}x {best_eff['plan']} "
+          f"@{best_eff['quant']} -> {best_eff['tok_s_gpu']:,.0f} tok/s/GPU")
+
+    # the same search, packaged: the deployment advisor
+    from repro.core.advisor import DeploymentTarget, advise
+
+    rec = advise(model, H100_SXM, DeploymentTarget(
+        batch_size=BATCH, input_tokens=INPUT_TOKENS,
+        output_tokens=OUTPUT_TOKENS, ttft_slo_s=TTFT_BUDGET_S,
+    ))
+    print("\nadvisor says:")
+    for line in rec.describe().splitlines():
+        print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Online serving simulation: Poisson traffic through the vLLM-like engine.
+
+Feeds a bursty request stream (log-normal lengths, Poisson arrivals)
+through the continuous-batching engine and reports the serving-level
+metrics a production deployment cares about — TTFT distribution, sustained
+throughput, KV-cache pressure, preemptions — and shows what chunked
+prefill does to tail TTFT.
+
+Run:  python examples/serving_simulation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware import H100_SXM
+from repro.models import get_model
+from repro.perfmodel import InferencePerfModel
+from repro.serving import ServingEngine, SchedulerConfig
+from repro.serving.events import EventType
+from repro.workloads import LengthDistribution, poisson_arrivals
+
+NUM_REQUESTS = 200
+ARRIVAL_RATE = 40.0  # requests/s
+
+
+def run_once(chunked: bool, seed: int = 0) -> None:
+    rng = np.random.default_rng(seed)
+    pm = InferencePerfModel(get_model("OLMoE-1B-7B"), H100_SXM)
+    config = SchedulerConfig(
+        max_num_seqs=128,
+        max_num_batched_tokens=8192,
+        enable_chunked_prefill=chunked,
+        chunk_size=512,
+    )
+    engine = ServingEngine(pm, scheduler_config=config)
+
+    arrivals = poisson_arrivals(ARRIVAL_RATE, NUM_REQUESTS, rng)
+    dist = LengthDistribution(mean_input=512, mean_output=192, sigma=0.5)
+    for req in dist.requests(NUM_REQUESTS, rng, arrival_times=arrivals):
+        engine.submit(req)
+
+    result = engine.run()
+    ttfts = np.array([r.ttft for r in result.requests])
+    decodes = result.log.of_type(EventType.DECODE)
+    mean_batch = np.mean([len(e.request_ids) for e in decodes])
+
+    label = "chunked prefill" if chunked else "whole-prompt prefill"
+    print(f"--- {label} ---")
+    print(f"  makespan            : {result.makespan:8.1f} s")
+    print(f"  total throughput    : {result.throughput_tok_s:8,.0f} tok/s")
+    print(f"  generation rate     : {result.generation_throughput_tok_s:8,.0f} tok/s")
+    print(f"  TTFT mean / p50 / p99: {ttfts.mean():6.3f} / "
+          f"{np.percentile(ttfts, 50):6.3f} / {np.percentile(ttfts, 99):6.3f} s")
+    print(f"  mean decode batch   : {mean_batch:8.1f} seqs")
+    print(f"  peak KV utilization : {100 * result.log.peak_kv_utilization():7.1f} %")
+    print(f"  preemptions         : {result.num_preemptions:8d}")
+    print()
+
+
+def main() -> None:
+    print(f"Serving OLMoE-1B-7B on one H100: {NUM_REQUESTS} requests at "
+          f"{ARRIVAL_RATE:.0f} req/s (log-normal lengths)\n")
+    run_once(chunked=False)
+    run_once(chunked=True)
+    print("With a generous token budget, whole-prompt prefill keeps TTFT "
+          "lowest;\nchunked prefill spreads prompt work across iterations "
+          "(more, smaller\niterations), which matters when single prompts "
+          "are long enough to\nstall decode — try mean_input=4000 to see "
+          "the tail flip.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Shim for environments without the ``wheel`` package, where PEP 517
+editable installs are unavailable (``pip install -e . --no-use-pep517``)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,157 @@
+"""Deployment advisor: from workload + SLO to a recommended deployment.
+
+The paper's abstract promises "insights for the efficient deployment of
+MoEs"; this module turns the suite's models into an answer machine.  Given
+a model, a node, a workload shape and latency SLOs, the advisor searches
+parallel plans × precisions, filters by feasibility (memory) and SLO
+attainment (closed-form TTFT/ITL), and ranks the survivors by
+cost-efficiency (throughput per device, with tokens/joule reported).
+
+Every recommendation carries its *rationale* — which constraint eliminated
+which alternatives — so the output reads like the paper's insights rather
+than a bare argmax.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.spec import HardwareSpec
+from repro.models.config import ModelConfig
+from repro.optim.quantization import FP8_CONFIG, FP16_CONFIG, QuantConfig
+from repro.parallel.hybrid import enumerate_plans
+from repro.parallel.plan import ParallelPlan
+from repro.perfmodel.energy import energy_for_generation
+from repro.perfmodel.inference import InferencePerfModel
+
+__all__ = ["DeploymentTarget", "Recommendation", "Candidate", "advise"]
+
+
+@dataclass(frozen=True)
+class DeploymentTarget:
+    """What the deployment must achieve."""
+
+    batch_size: int
+    input_tokens: int
+    output_tokens: int
+    ttft_slo_s: float = float("inf")
+    itl_slo_s: float = float("inf")
+    max_devices: int = 8
+
+    def __post_init__(self) -> None:
+        if min(self.batch_size, self.input_tokens, self.output_tokens) <= 0:
+            raise ValueError("workload shape values must be positive")
+        if self.ttft_slo_s <= 0 or self.itl_slo_s <= 0:
+            raise ValueError("SLOs must be positive")
+        if self.max_devices < 1:
+            raise ValueError("max_devices must be >= 1")
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One evaluated deployment option."""
+
+    plan: ParallelPlan
+    quant: QuantConfig
+    fits: bool
+    meets_ttft: bool
+    meets_itl: bool
+    throughput_tok_s: float
+    throughput_per_device: float
+    ttft_s: float
+    itl_per_step_s: float
+    tokens_per_joule: float
+
+    @property
+    def feasible(self) -> bool:
+        return self.fits and self.meets_ttft and self.meets_itl
+
+    @property
+    def label(self) -> str:
+        return f"{self.plan.num_devices}x {self.plan.label} @{self.quant.name}"
+
+
+@dataclass
+class Recommendation:
+    """The advisor's answer."""
+
+    best: Candidate | None
+    candidates: list[Candidate]
+    rationale: list[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        lines = list(self.rationale)
+        if self.best is None:
+            lines.append("no feasible deployment — relax the SLOs or add devices")
+        else:
+            b = self.best
+            lines.append(
+                f"recommend {b.label}: {b.throughput_tok_s:,.0f} tok/s "
+                f"({b.throughput_per_device:,.0f}/device), TTFT {b.ttft_s:.3f}s, "
+                f"{b.tokens_per_joule:.2f} tok/J"
+            )
+        return "\n".join(lines)
+
+
+def advise(
+    model: ModelConfig,
+    hardware: HardwareSpec,
+    target: DeploymentTarget,
+    quants: tuple[QuantConfig, ...] = (FP16_CONFIG, FP8_CONFIG),
+) -> Recommendation:
+    """Search plans × precisions for the cheapest SLO-meeting deployment."""
+    candidates: list[Candidate] = []
+    device_counts = [n for n in (1, 2, 4, 8, 16)
+                     if n <= min(target.max_devices, hardware.max_devices)]
+    for n in device_counts:
+        for plan in enumerate_plans(model, n):
+            for quant in quants:
+                pm = InferencePerfModel(model, hardware, plan=plan, quant=quant)
+                fits = pm.fits(target.batch_size,
+                               target.input_tokens + target.output_tokens)
+                m = pm.generate(target.batch_size, target.input_tokens,
+                                target.output_tokens, check_memory=False)
+                energy = energy_for_generation(pm, m)
+                candidates.append(Candidate(
+                    plan=plan,
+                    quant=quant,
+                    fits=fits,
+                    meets_ttft=m.ttft_s <= target.ttft_slo_s,
+                    meets_itl=m.itl_per_step_s <= target.itl_slo_s,
+                    throughput_tok_s=m.throughput_tok_s,
+                    throughput_per_device=m.throughput_tok_s / plan.num_devices,
+                    ttft_s=m.ttft_s,
+                    itl_per_step_s=m.itl_per_step_s,
+                    tokens_per_joule=energy.tokens_per_joule(m.shape.total_tokens),
+                ))
+
+    rationale: list[str] = []
+    n_all = len(candidates)
+    oom = [c for c in candidates if not c.fits]
+    if oom:
+        rationale.append(
+            f"{len(oom)}/{n_all} options eliminated by memory "
+            f"(e.g. {oom[0].label} does not fit)"
+        )
+    slow_ttft = [c for c in candidates if c.fits and not c.meets_ttft]
+    if slow_ttft:
+        worst = max(slow_ttft, key=lambda c: c.ttft_s)
+        rationale.append(
+            f"{len(slow_ttft)} options miss the TTFT SLO "
+            f"(worst: {worst.label} at {worst.ttft_s:.3f}s)"
+        )
+    slow_itl = [c for c in candidates
+                if c.fits and c.meets_ttft and not c.meets_itl]
+    if slow_itl:
+        rationale.append(f"{len(slow_itl)} options miss the ITL SLO")
+
+    feasible = [c for c in candidates if c.feasible]
+    best = max(feasible, key=lambda c: c.throughput_per_device, default=None)
+    if best is not None and len(feasible) > 1:
+        runner = sorted(feasible, key=lambda c: -c.throughput_per_device)[1]
+        rationale.append(
+            f"{best.label} beats {runner.label} by "
+            f"{100 * (best.throughput_per_device / runner.throughput_per_device - 1):.0f}% "
+            "per-device throughput"
+        )
+    return Recommendation(best=best, candidates=candidates, rationale=rationale)

@@ -1,0 +1,144 @@
+"""Terminal chart rendering for experiment results.
+
+The original paper presents its evaluation as figures; in an offline,
+dependency-free environment the closest faithful artifact is a text chart.
+This module renders line charts (multi-series), horizontal bar charts, and
+intensity heatmaps as fixed-width text blocks, which experiments attach to
+their results and the report writer embeds as code blocks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["line_chart", "bar_chart", "heatmap"]
+
+_GLYPHS = " .:-=+*#%@"
+_MARKERS = "ox*+#%@&"
+
+
+def _format_val(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 10_000:
+        return f"{v:,.0f}"
+    if abs(v) >= 100:
+        return f"{v:.0f}"
+    if abs(v) >= 1:
+        return f"{v:.1f}"
+    return f"{v:.3g}"
+
+
+def line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    title: str = "",
+    width: int = 60,
+    height: int = 16,
+    logx: bool = False,
+) -> str:
+    """Render multiple ``(x, y)`` series on one axis grid.
+
+    Each series gets its own marker; a legend line maps markers to names.
+    ``logx`` spaces the x axis logarithmically (batch/length sweeps).
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 10 or height < 4:
+        raise ValueError("chart too small")
+    pts = [(x, y) for s in series.values() for x, y in s]
+    if not pts:
+        raise ValueError("series contain no points")
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    if logx and x_lo <= 0:
+        raise ValueError("logx requires positive x values")
+
+    def x_pos(x: float) -> int:
+        if x_hi == x_lo:
+            return 0
+        if logx:
+            f = (math.log(x) - math.log(x_lo)) / (math.log(x_hi) - math.log(x_lo))
+        else:
+            f = (x - x_lo) / (x_hi - x_lo)
+        return min(width - 1, int(round(f * (width - 1))))
+
+    def y_pos(y: float) -> int:
+        f = (y - y_lo) / (y_hi - y_lo)
+        return min(height - 1, int(round(f * (height - 1))))
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, data) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for x, y in data:
+            grid[height - 1 - y_pos(y)][x_pos(x)] = marker
+
+    label_w = max(len(_format_val(y_hi)), len(_format_val(y_lo)))
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        label = ""
+        if r == 0:
+            label = _format_val(y_hi)
+        elif r == height - 1:
+            label = _format_val(y_lo)
+        lines.append(f"{label:>{label_w}} |" + "".join(row))
+    lines.append(" " * label_w + " +" + "-" * width)
+    x_left, x_right = _format_val(x_lo), _format_val(x_hi)
+    pad = width - len(x_left) - len(x_right)
+    lines.append(" " * (label_w + 2) + x_left + " " * max(1, pad) + x_right)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = 50,
+) -> str:
+    """Horizontal bars, one per labelled value."""
+    if not values:
+        raise ValueError("need at least one value")
+    if any(v < 0 for v in values.values()):
+        raise ValueError("bar_chart requires non-negative values")
+    hi = max(values.values()) or 1.0
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for name, v in values.items():
+        n = int(round(v / hi * width))
+        lines.append(f"{name:<{label_w}} |{'#' * n}{' ' * (width - n)}| {_format_val(v)}")
+    return "\n".join(lines)
+
+
+def heatmap(
+    matrix: np.ndarray,
+    title: str = "",
+    max_width: int = 72,
+    row_label: str = "layer",
+) -> str:
+    """Intensity map of a 2-D array (Fig. 15-style activation heatmaps)."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.size == 0:
+        raise ValueError("heatmap needs a non-empty 2-D array")
+    step = max(1, -(-matrix.shape[1] // max_width))
+    # average adjacent columns when the matrix is wider than the terminal
+    cols = matrix.shape[1] // step * step
+    sub = matrix[:, :cols].reshape(matrix.shape[0], -1, step).mean(axis=2)
+    hi = sub.max() or 1.0
+    lines = [title] if title else []
+    for r, row in enumerate(sub):
+        cells = "".join(_GLYPHS[min(9, int(9 * v / hi))] for v in row)
+        lines.append(f"{row_label}{r:>3} |{cells}|")
+    lines.append(f"scale: ' '=0 … '@'={_format_val(hi)} (per-cell mean of {step} experts)"
+                 if step > 1 else f"scale: ' '=0 … '@'={_format_val(hi)}")
+    return "\n".join(lines)

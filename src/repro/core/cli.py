@@ -1,0 +1,103 @@
+"""Command-line interface: list and regenerate the paper's experiments.
+
+Usage::
+
+    moe-inference-bench list
+    moe-inference-bench run fig05 [--out results/]
+    moe-inference-bench run-all [--out results/]
+    moe-inference-bench summary [--out report.md]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.core.registry import list_experiments, run_experiment
+from repro.core.report import render_markdown, render_summary, write_report
+
+__all__ = ["main"]
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    for exp_id in list_experiments():
+        print(exp_id)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_experiment(args.exp_id)
+    if args.out:
+        path = write_report(result, args.out)
+        print(f"wrote {path}")
+    else:
+        print(render_markdown(result))
+    return 0
+
+
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    failures = []
+    for exp_id in list_experiments():
+        try:
+            result = run_experiment(exp_id)
+        except Exception as exc:  # noqa: BLE001 - report and continue
+            failures.append((exp_id, exc))
+            print(f"[FAIL] {exp_id}: {exc}", file=sys.stderr)
+            continue
+        if args.out:
+            path = write_report(result, args.out)
+            print(f"[ok] {exp_id} -> {path} ({result.runtime_s:.1f}s)")
+        else:
+            print(render_markdown(result))
+    return 1 if failures else 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    results = [run_experiment(exp_id) for exp_id in list_experiments()]
+    text = render_summary(results)
+    if args.out:
+        path = pathlib.Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        print(f"wrote {path}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="moe-inference-bench",
+        description="Regenerate the MoE-Inference-Bench experiments on simulated hardware.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list experiment ids")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run one experiment")
+    p_run.add_argument("exp_id", help="experiment id (see `list`)")
+    p_run.add_argument("--out", help="directory for markdown/CSV output")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_all = sub.add_parser("run-all", help="run every experiment")
+    p_all.add_argument("--out", help="directory for markdown/CSV output")
+    p_all.set_defaults(func=_cmd_run_all)
+
+    p_sum = sub.add_parser(
+        "summary", help="run everything into one markdown report"
+    )
+    p_sum.add_argument("--out", help="output markdown file")
+    p_sum.set_defaults(func=_cmd_summary)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

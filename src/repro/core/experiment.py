@@ -1,0 +1,103 @@
+"""Experiment abstractions: specs, results, and the sweep runner.
+
+An experiment is a deterministic function producing an
+:class:`ExperimentResult` — one or more :class:`ResultTable` objects plus
+the paper's corresponding claim, so reports can juxtapose paper-vs-measured
+for every figure (EXPERIMENTS.md is generated from these).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.core.results import ResultTable
+
+__all__ = ["ExperimentResult", "sweep", "Sweep"]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced."""
+
+    exp_id: str
+    title: str
+    paper_claim: str
+    tables: list[ResultTable] = field(default_factory=list)
+    observations: list[str] = field(default_factory=list)
+    charts: list[str] = field(default_factory=list)
+    """Pre-rendered text charts (see :mod:`repro.core.charts`)."""
+    runtime_s: float = 0.0
+
+    def table(self, name: str) -> ResultTable:
+        for t in self.tables:
+            if t.name == name:
+                return t
+        known = [t.name for t in self.tables]
+        raise KeyError(f"no table {name!r} in {self.exp_id}; have {known}")
+
+    def observe(self, message: str) -> None:
+        """Record a headline observation (rendered into EXPERIMENTS.md)."""
+        self.observations.append(message)
+
+    def add_chart(self, chart: str) -> None:
+        """Attach a rendered text chart (shown as a code block in reports)."""
+        self.charts.append(chart)
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """A named cartesian parameter grid."""
+
+    params: Mapping[str, Sequence[Any]]
+
+    def __post_init__(self) -> None:
+        if not self.params:
+            raise ValueError("a sweep needs at least one parameter")
+        for k, v in self.params.items():
+            if len(v) == 0:
+                raise ValueError(f"sweep parameter {k!r} has no values")
+
+    def __iter__(self) -> Iterable[dict[str, Any]]:
+        keys = list(self.params)
+        for combo in itertools.product(*(self.params[k] for k in keys)):
+            yield dict(zip(keys, combo))
+
+    def __len__(self) -> int:
+        n = 1
+        for v in self.params.values():
+            n *= len(v)
+        return n
+
+
+def sweep(
+    table: ResultTable,
+    grid: Sweep | Mapping[str, Sequence[Any]],
+    fn: Callable[..., Mapping[str, Any] | None],
+) -> ResultTable:
+    """Run ``fn(**point)`` over the grid, appending each returned row.
+
+    ``fn`` returns a mapping of column values (merged with the grid point),
+    or ``None`` to record the point as infeasible (``None`` cells render as
+    OOM).  Exceptions from ``fn`` propagate — infeasibility must be
+    signalled by the return value, not by raising.
+    """
+    if not isinstance(grid, Sweep):
+        grid = Sweep(grid)
+    for point in grid:
+        row = fn(**point)
+        values = dict(point)
+        if row is not None:
+            values.update(row)
+        table.add(**{k: v for k, v in values.items() if k in table.columns})
+    return table
+
+
+def timed(fn: Callable[[], ExperimentResult]) -> ExperimentResult:
+    """Run an experiment function, stamping its wall-clock runtime."""
+    start = time.perf_counter()
+    result = fn()
+    result.runtime_s = time.perf_counter() - start
+    return result

@@ -1,0 +1,103 @@
+"""Performance metrics (paper §3.4).
+
+Implements the paper's exact definitions:
+
+* **TTFT** — time from prompt submission to the first output token
+  (= prefill time + one sampling step).
+* **ITL** (Eq. 1) — ``(E2E latency - TTFT) / (batch * output_tokens - 1)``,
+  the average interval per *generated token across the batch*.  The
+  per-step variant ``(E2E - TTFT)/(output_tokens - 1)`` is also exposed,
+  since both conventions appear in serving literature.
+* **Throughput** (Eq. 2) — ``batch * (input + output tokens) / E2E``.
+* **Samples/s** — the VLM metric: input samples processed per second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GenerationShape", "InferenceMetrics", "throughput_eq2", "itl_eq1"]
+
+
+@dataclass(frozen=True)
+class GenerationShape:
+    """The workload shape of one measurement: batch × input × output."""
+
+    batch_size: int
+    input_tokens: int
+    output_tokens: int
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {self.batch_size}")
+        if self.input_tokens <= 0:
+            raise ValueError(f"input_tokens must be positive, got {self.input_tokens}")
+        if self.output_tokens <= 0:
+            raise ValueError(f"output_tokens must be positive, got {self.output_tokens}")
+
+    @property
+    def total_tokens(self) -> int:
+        """Input + output tokens across the batch."""
+        return self.batch_size * (self.input_tokens + self.output_tokens)
+
+
+def throughput_eq2(shape: GenerationShape, e2e_latency_s: float) -> float:
+    """Paper Eq. (2): total processed tokens per second."""
+    if e2e_latency_s <= 0:
+        raise ValueError(f"e2e_latency_s must be positive, got {e2e_latency_s}")
+    return shape.total_tokens / e2e_latency_s
+
+
+def itl_eq1(shape: GenerationShape, ttft_s: float, e2e_latency_s: float) -> float:
+    """Paper Eq. (1): average inter-token latency per generated token."""
+    if e2e_latency_s < ttft_s:
+        raise ValueError("e2e_latency_s must be >= ttft_s")
+    denom = shape.batch_size * shape.output_tokens - 1
+    if denom <= 0:
+        return 0.0
+    return (e2e_latency_s - ttft_s) / denom
+
+
+@dataclass(frozen=True)
+class InferenceMetrics:
+    """All metrics of one measurement."""
+
+    shape: GenerationShape
+    ttft_s: float
+    e2e_latency_s: float
+
+    def __post_init__(self) -> None:
+        if self.ttft_s < 0:
+            raise ValueError("ttft_s must be non-negative")
+        if self.e2e_latency_s < self.ttft_s:
+            raise ValueError("e2e_latency_s must be >= ttft_s")
+
+    @property
+    def itl_s(self) -> float:
+        """Eq. (1) inter-token latency, seconds."""
+        return itl_eq1(self.shape, self.ttft_s, self.e2e_latency_s)
+
+    @property
+    def itl_per_step_s(self) -> float:
+        """Per-decode-step latency: ``(E2E - TTFT) / (output_tokens - 1)``."""
+        if self.shape.output_tokens <= 1:
+            return 0.0
+        return (self.e2e_latency_s - self.ttft_s) / (self.shape.output_tokens - 1)
+
+    @property
+    def throughput_tok_s(self) -> float:
+        """Eq. (2) tokens per second (input + output)."""
+        return throughput_eq2(self.shape, self.e2e_latency_s)
+
+    @property
+    def decode_throughput_tok_s(self) -> float:
+        """Generated tokens per second of the decode phase only."""
+        decode_t = self.e2e_latency_s - self.ttft_s
+        if decode_t <= 0:
+            return float("inf")
+        return self.shape.batch_size * (self.shape.output_tokens - 1) / decode_t
+
+    @property
+    def samples_per_s(self) -> float:
+        """The paper's VLM metric: input samples per second."""
+        return self.shape.batch_size / self.e2e_latency_s

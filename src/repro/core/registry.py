@@ -1,0 +1,67 @@
+"""Experiment registry: every paper table/figure keyed by its id.
+
+Experiment modules in :mod:`repro.experiments` self-register at import via
+the :func:`experiment` decorator; :func:`get_experiment` /
+:func:`run_experiment` are the lookup/execution entry points shared by the
+CLI and the pytest benchmarks.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable
+
+from repro.core.experiment import ExperimentResult, timed
+
+__all__ = ["experiment", "get_experiment", "list_experiments", "run_experiment"]
+
+_REGISTRY: dict[str, Callable[[], ExperimentResult]] = {}
+_LOADED = False
+
+
+def experiment(exp_id: str) -> Callable[[Callable[[], ExperimentResult]],
+                                        Callable[[], ExperimentResult]]:
+    """Register ``fn`` as the implementation of experiment ``exp_id``."""
+
+    def decorator(fn: Callable[[], ExperimentResult]) -> Callable[[], ExperimentResult]:
+        if exp_id in _REGISTRY:
+            raise ValueError(f"experiment {exp_id!r} registered twice")
+        _REGISTRY[exp_id] = fn
+        return fn
+
+    return decorator
+
+
+def _ensure_loaded() -> None:
+    global _LOADED
+    if not _LOADED:
+        importlib.import_module("repro.experiments")
+        _LOADED = True
+
+
+def list_experiments() -> list[str]:
+    """All registered experiment ids, in paper order."""
+    _ensure_loaded()
+
+    def key(eid: str) -> tuple:
+        if eid.startswith("fig"):
+            return (0, int(eid[3:].split("_")[0]), eid)
+        if eid.startswith("table"):
+            return (0, 0, eid)
+        return (1, 0, eid)  # ablations last
+
+    return sorted(_REGISTRY, key=key)
+
+
+def get_experiment(exp_id: str) -> Callable[[], ExperimentResult]:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[exp_id]
+    except KeyError:
+        known = ", ".join(list_experiments())
+        raise KeyError(f"unknown experiment {exp_id!r}; known: {known}") from None
+
+
+def run_experiment(exp_id: str) -> ExperimentResult:
+    """Execute one experiment, with runtime stamping."""
+    return timed(get_experiment(exp_id))

@@ -1,0 +1,64 @@
+"""Report rendering: experiment results to markdown / CSV files."""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.core.experiment import ExperimentResult
+
+__all__ = ["render_markdown", "write_report", "render_summary"]
+
+
+def render_markdown(result: ExperimentResult) -> str:
+    """One experiment as a self-contained markdown section."""
+    lines = [
+        f"## {result.exp_id}: {result.title}",
+        "",
+        f"**Paper claim.** {result.paper_claim}",
+        "",
+    ]
+    if result.observations:
+        lines.append("**Measured.**")
+        for obs in result.observations:
+            lines.append(f"- {obs}")
+        lines.append("")
+    for chart in result.charts:
+        lines.append("```")
+        lines.append(chart)
+        lines.append("```")
+        lines.append("")
+    for table in result.tables:
+        lines.append(f"### {table.name}")
+        lines.append("")
+        lines.append(table.to_markdown())
+        lines.append("")
+    if result.runtime_s:
+        lines.append(f"_(generated in {result.runtime_s:.2f}s)_")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render_summary(results: list[ExperimentResult]) -> str:
+    """Concatenate experiment sections with a table of contents."""
+    lines = ["# MoE-Inference-Bench — regenerated results", ""]
+    for r in results:
+        lines.append(f"- [{r.exp_id}](#{r.exp_id.replace('_', '-')}): {r.title}")
+    lines.append("")
+    for r in results:
+        lines.append(render_markdown(r))
+    return "\n".join(lines)
+
+
+def write_report(
+    result: ExperimentResult, out_dir: str | pathlib.Path, csv: bool = True
+) -> pathlib.Path:
+    """Write ``<exp_id>.md`` (and per-table CSVs) under ``out_dir``."""
+    out = pathlib.Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    md_path = out / f"{result.exp_id}.md"
+    md_path.write_text(render_markdown(result))
+    if csv:
+        for table in result.tables:
+            safe = table.name.replace(" ", "_").replace("/", "-")
+            (out / f"{result.exp_id}_{safe}.csv").write_text(table.to_csv())
+    return md_path

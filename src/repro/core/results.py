@@ -1,0 +1,118 @@
+"""Tabular result containers for experiments.
+
+A :class:`ResultTable` is a light, dependency-free column/row store with
+markdown and CSV emitters — the common currency between experiment
+implementations, the CLI, and the benchmark harness.  ``None`` cells render
+as ``OOM`` (the paper's convention: missing points indicate out-of-memory).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = ["ResultTable"]
+
+_OOM_MARKER = "OOM"
+
+
+@dataclass
+class ResultTable:
+    """Columnar results with ordered rows."""
+
+    name: str
+    columns: tuple[str, ...]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise ValueError("a ResultTable needs at least one column")
+        if len(set(self.columns)) != len(self.columns):
+            raise ValueError("duplicate column names")
+
+    def add(self, **values: Any) -> None:
+        """Append a row; every value must belong to a declared column."""
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise KeyError(f"unknown columns {sorted(unknown)}; have {self.columns}")
+        self.rows.append({c: values.get(c) for c in self.columns})
+
+    def column(self, name: str) -> list[Any]:
+        if name not in self.columns:
+            raise KeyError(f"no column {name!r}; have {self.columns}")
+        return [r[name] for r in self.rows]
+
+    def where(self, **conditions: Any) -> "ResultTable":
+        """Rows matching all equality conditions, as a new table."""
+        out = ResultTable(self.name, self.columns)
+        out.rows = [
+            dict(r) for r in self.rows
+            if all(r.get(k) == v for k, v in conditions.items())
+        ]
+        return out
+
+    def pivot(self, index: str, column: str, value: str) -> dict[Any, dict[Any, Any]]:
+        """Reshape to ``{index_value: {column_value: cell}}``.
+
+        Raises on duplicate (index, column) pairs — a pivot over an
+        under-constrained table is almost always a bug in the sweep.
+        """
+        for name in (index, column, value):
+            if name not in self.columns:
+                raise KeyError(f"no column {name!r}; have {self.columns}")
+        out: dict[Any, dict[Any, Any]] = {}
+        for r in self.rows:
+            cell = out.setdefault(r[index], {})
+            if r[column] in cell:
+                raise ValueError(
+                    f"duplicate cell ({r[index]!r}, {r[column]!r}) — add more "
+                    "conditions via where() before pivoting"
+                )
+            cell[r[column]] = r[value]
+        return out
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterable[dict[str, Any]]:
+        return iter(self.rows)
+
+    # ------------------------------------------------------------------ #
+    # rendering
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _fmt(value: Any) -> str:
+        if value is None:
+            return _OOM_MARKER
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1000:
+                return f"{value:,.0f}"
+            if abs(value) >= 10:
+                return f"{value:.1f}"
+            if abs(value) >= 0.01:
+                return f"{value:.3f}"
+            return f"{value:.3g}"
+        return str(value)
+
+    def to_markdown(self) -> str:
+        header = "| " + " | ".join(self.columns) + " |"
+        sep = "|" + "|".join("---" for _ in self.columns) + "|"
+        lines = [header, sep]
+        for r in self.rows:
+            lines.append("| " + " | ".join(self._fmt(r[c]) for c in self.columns) + " |")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(self.columns)
+        for r in self.rows:
+            writer.writerow(["" if r[c] is None else r[c] for c in self.columns])
+        return buf.getvalue()

@@ -1,0 +1,33 @@
+"""Accuracy reference tables and functional evaluation harness (paper §8)."""
+
+from repro.evals.accuracy import (
+    LLM_TASK_ACCURACY,
+    LM_EVAL_TASKS,
+    VLM_EVAL_TASKS,
+    VLM_TASK_ACCURACY,
+    average_accuracy,
+    predicted_accuracy,
+    task_accuracy,
+)
+from repro.evals.harness import (
+    FrontierPoint,
+    accuracy_efficiency_frontier,
+    fidelity_sweep,
+)
+from repro.evals.tasks import AgreementResult, AgreementTask, make_task_suite
+
+__all__ = [
+    "LLM_TASK_ACCURACY",
+    "LM_EVAL_TASKS",
+    "VLM_EVAL_TASKS",
+    "VLM_TASK_ACCURACY",
+    "average_accuracy",
+    "predicted_accuracy",
+    "task_accuracy",
+    "FrontierPoint",
+    "accuracy_efficiency_frontier",
+    "fidelity_sweep",
+    "AgreementResult",
+    "AgreementTask",
+    "make_task_suite",
+]

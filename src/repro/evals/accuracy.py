@@ -1,0 +1,141 @@
+"""Reference accuracy tables (paper §8, Figs. 17-18).
+
+The paper plots each model's *published-checkpoint* accuracy (lm-eval for
+LLMs, VLMEvalKit for VLMs) against its measured serving efficiency.
+Accuracy is a property of the checkpoint, not of the serving stack, so the
+reproduction carries the task scores as reference data (compiled from the
+models' public evaluation results; MME's 0-2800 score is normalised to a
+percentage).  A capability regression over (active, total) parameters is
+provided for models without table entries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.config import ModelConfig
+from repro.models.params import model_params
+
+__all__ = [
+    "LM_EVAL_TASKS",
+    "VLM_EVAL_TASKS",
+    "LLM_TASK_ACCURACY",
+    "VLM_TASK_ACCURACY",
+    "task_accuracy",
+    "average_accuracy",
+    "predicted_accuracy",
+]
+
+LM_EVAL_TASKS = (
+    "arc_challenge", "arc_easy", "boolq", "hellaswag", "mmlu",
+    "openbookqa", "rte", "winogrande", "piqa",
+)
+"""Language-understanding tasks (paper §8.1; lm-eval harness names)."""
+
+VLM_EVAL_TASKS = (
+    "mme", "textvqa", "ai2d", "docvqa", "mmmu", "infovqa",
+    "realworldqa", "scienceqa",
+)
+"""Vision-language tasks (paper §8.2; VLMEvalKit names)."""
+
+# Accuracy in percent. Sources: model cards / public lm-eval leaderboards.
+LLM_TASK_ACCURACY: dict[str, dict[str, float]] = {
+    "Mixtral-8x7B": {
+        "arc_challenge": 59.7, "arc_easy": 83.5, "boolq": 85.3,
+        "hellaswag": 84.0, "mmlu": 70.6, "openbookqa": 47.0,
+        "rte": 71.1, "winogrande": 76.5, "piqa": 83.5,
+    },
+    "Qwen3-30B-A3B": {
+        "arc_challenge": 63.5, "arc_easy": 85.0, "boolq": 88.0,
+        "hellaswag": 84.5, "mmlu": 77.5, "openbookqa": 46.0,
+        "rte": 77.0, "winogrande": 73.5, "piqa": 81.5,
+    },
+    "Qwen1.5-MoE-A2.7B": {
+        "arc_challenge": 48.0, "arc_easy": 74.0, "boolq": 79.5,
+        "hellaswag": 77.5, "mmlu": 62.5, "openbookqa": 43.0,
+        "rte": 68.0, "winogrande": 67.0, "piqa": 80.0,
+    },
+    "DeepSeek-V2-Lite": {
+        "arc_challenge": 49.5, "arc_easy": 76.5, "boolq": 80.5,
+        "hellaswag": 78.5, "mmlu": 58.0, "openbookqa": 44.0,
+        "rte": 64.0, "winogrande": 71.5, "piqa": 80.5,
+    },
+    "Phi-3.5-MoE": {
+        "arc_challenge": 65.0, "arc_easy": 85.5, "boolq": 86.0,
+        "hellaswag": 81.5, "mmlu": 76.0, "openbookqa": 46.0,
+        "rte": 72.0, "winogrande": 73.5, "piqa": 80.5,
+    },
+    "OLMoE-1B-7B": {
+        "arc_challenge": 45.0, "arc_easy": 72.5, "boolq": 75.0,
+        "hellaswag": 76.5, "mmlu": 54.0, "openbookqa": 42.0,
+        "rte": 60.5, "winogrande": 68.0, "piqa": 79.5,
+    },
+}
+
+# MME reported on its 0-2800 scale, normalised here to percent.
+VLM_TASK_ACCURACY: dict[str, dict[str, float]] = {
+    "DeepSeek-VL2-Tiny": {
+        "mme": 100 * 1915 / 2800, "textvqa": 80.7, "ai2d": 71.6,
+        "docvqa": 88.9, "mmmu": 40.7, "infovqa": 66.1,
+        "realworldqa": 64.2, "scienceqa": 84.5,
+    },
+    "DeepSeek-VL2-Small": {
+        "mme": 100 * 2123 / 2800, "textvqa": 83.4, "ai2d": 80.0,
+        "docvqa": 92.3, "mmmu": 48.0, "infovqa": 75.8,
+        "realworldqa": 68.4, "scienceqa": 91.0,
+    },
+    "DeepSeek-VL2": {
+        "mme": 100 * 2253 / 2800, "textvqa": 84.2, "ai2d": 81.4,
+        "docvqa": 93.3, "mmmu": 51.1, "infovqa": 78.1,
+        "realworldqa": 70.0, "scienceqa": 92.2,
+    },
+}
+
+_ALL_TABLES = {**LLM_TASK_ACCURACY, **VLM_TASK_ACCURACY}
+
+
+def task_accuracy(model_name: str, task: str) -> float:
+    """Reference accuracy (percent) of one model on one task."""
+    try:
+        table = _ALL_TABLES[model_name]
+    except KeyError:
+        known = ", ".join(sorted(_ALL_TABLES))
+        raise KeyError(f"no accuracy table for {model_name!r}; known: {known}") from None
+    try:
+        return table[task]
+    except KeyError:
+        raise KeyError(f"{model_name} has no entry for task {task!r}") from None
+
+
+def average_accuracy(model_name: str) -> float:
+    """Mean accuracy across the model's task suite (Fig. 17/18 y-axis)."""
+    table = _ALL_TABLES.get(model_name)
+    if table is None:
+        known = ", ".join(sorted(_ALL_TABLES))
+        raise KeyError(f"no accuracy table for {model_name!r}; known: {known}")
+    return float(np.mean(list(table.values())))
+
+
+def predicted_accuracy(model: ModelConfig) -> float:
+    """Capability regression: average accuracy as a log-linear function of
+    active and total parameters, fitted to the LLM reference table.
+
+    Useful for hypothetical models in sweeps; for models with a table entry
+    prefer :func:`average_accuracy`.
+    """
+    names = list(LLM_TASK_ACCURACY)
+    from repro.models.zoo import ALL_MODELS
+
+    xs, ys = [], []
+    for name in names:
+        cfg = ALL_MODELS[name]
+        pb = model_params(cfg)
+        xs.append([1.0, math.log(pb.active), math.log(pb.total)])
+        ys.append(average_accuracy(name))
+    coef, *_ = np.linalg.lstsq(np.array(xs), np.array(ys), rcond=None)
+    pb = model_params(model)
+    pred = coef @ np.array([1.0, math.log(pb.active), math.log(pb.total)])
+    return float(np.clip(pred, 0.0, 100.0))

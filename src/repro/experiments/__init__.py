@@ -1,0 +1,30 @@
+"""Experiment implementations — one module per paper table/figure.
+
+Importing this package registers every experiment with
+:mod:`repro.core.registry`.
+"""
+
+from repro.experiments import (  # noqa: F401  (imports register experiments)
+    ablations,
+    extensions,
+    fig01_param_breakdown,
+    fig03_llm_latency,
+    fig04_vlm_latency,
+    fig05_batch_topk,
+    fig06_batch_seqlen,
+    fig07_ffn_scaling,
+    fig08_expert_scaling,
+    fig09_topk_scaling,
+    fig10_quantization,
+    fig11_pruning,
+    fig12_speculative,
+    fig13_parallelism,
+    fig14_fused_moe,
+    fig15_activation_freq,
+    fig16_h100_vs_cs3,
+    fig17_llm_frontier,
+    fig18_vlm_frontier,
+    table1_architectures,
+)
+
+__all__ = ["common", "hyperparam_grid"]

@@ -1,0 +1,59 @@
+"""Figure 1: layer-wise total and active parameter breakdown."""
+
+from __future__ import annotations
+
+from repro.core.experiment import ExperimentResult
+from repro.core.registry import experiment
+from repro.core.results import ResultTable
+from repro.models.params import model_params
+from repro.models.zoo import get_model
+
+_MODELS = ("Mixtral-8x7B", "OLMoE-1B-7B", "Qwen1.5-MoE-A2.7B")
+
+
+@experiment("fig1")
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig1",
+        title="Layer-wise total and active parameter breakdown",
+        paper_claim=(
+            "MoE layers dominate both total and active parameters across "
+            "Mixtral-8x7B, OLMoE-1B-7B and Qwen1.5-MoE."
+        ),
+    )
+    comp = ResultTable(
+        "component breakdown",
+        ("model", "component", "total_params_B", "active_params_B"),
+    )
+    frac = ResultTable(
+        "moe dominance",
+        ("model", "moe_fraction_total", "moe_fraction_active",
+         "per_layer_total_M", "per_layer_active_M"),
+    )
+    for name in _MODELS:
+        model = get_model(name)
+        pb = model_params(model)
+        totals = pb.component_totals()
+        actives = pb.component_actives()
+        for component in totals:
+            comp.add(
+                model=name,
+                component=component,
+                total_params_B=totals[component] / 1e9,
+                active_params_B=actives[component] / 1e9,
+            )
+        lp = pb.layers[len(pb.layers) // 2]
+        frac.add(
+            model=name,
+            moe_fraction_total=pb.moe_fraction_total,
+            moe_fraction_active=pb.moe_fraction_active,
+            per_layer_total_M=lp.total / 1e6,
+            per_layer_active_M=lp.active / 1e6,
+        )
+    result.tables += [comp, frac]
+    min_frac = min(r["moe_fraction_total"] for r in frac)
+    result.observe(
+        f"MoE blocks hold {100 * min_frac:.0f}%+ of total parameters in every "
+        "model — they dominate memory footprint exactly as Fig. 1 shows."
+    )
+    return result

@@ -1,0 +1,58 @@
+"""Figure 4: TTFT, ITL and end-to-end latency of VLMs."""
+
+from __future__ import annotations
+
+from repro.core.experiment import ExperimentResult
+from repro.core.registry import experiment
+from repro.core.results import ResultTable
+from repro.experiments.common import PAPER_VLMS, metrics_row, perf_model
+from repro.models.zoo import get_model
+
+BATCH = 64
+IO_TOKENS = 2048
+IMAGES_PER_SAMPLE = 1
+
+
+@experiment("fig4")
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig4",
+        title="TTFT, ITL and E2E latency of VLMs (1 image/sample)",
+        paper_claim=(
+            "DeepSeek-VL2-Tiny's TTFT is ~30% faster than DeepSeek-VL2; the "
+            "ITL gap is ~240% and E2E exceeds 260% — much larger spreads "
+            "than among LLMs, due to multimodal overhead."
+        ),
+    )
+    table = ResultTable(
+        "vlm latency",
+        ("model", "plan", "ttft_s", "itl_ms", "e2e_s", "samples_per_s", "fits"),
+    )
+    rows: dict[str, dict] = {}
+    for name in PAPER_VLMS:
+        model = get_model(name)
+        pm = perf_model(model)
+        row = metrics_row(pm, BATCH, IO_TOKENS, IO_TOKENS, images=IMAGES_PER_SAMPLE)
+        rows[name] = row
+        table.add(model=name, plan=pm.setup.plan.label,
+                  **{k: row[k] for k in table.columns if k in row})
+    result.tables.append(table)
+
+    from repro.core.charts import bar_chart
+
+    result.add_chart(bar_chart(
+        {name: r["e2e_s"] for name, r in rows.items()},
+        title="E2E latency (s), batch 64, io 2048, 1 image",
+    ))
+
+    tiny, base = rows["DeepSeek-VL2-Tiny"], rows["DeepSeek-VL2"]
+    result.observe(
+        f"VL2-Tiny TTFT is {100 * (base['ttft_s'] - tiny['ttft_s']) / base['ttft_s']:.0f}% "
+        "faster than VL2 (paper: ~30%)."
+    )
+    result.observe(
+        f"ITL gap tiny-to-base: {100 * (base['itl_ms'] / tiny['itl_ms'] - 1):.0f}% "
+        "(paper: ~240%); E2E gap: "
+        f"{100 * (base['e2e_s'] / tiny['e2e_s'] - 1):.0f}% (paper: >260%)."
+    )
+    return result

@@ -1,0 +1,52 @@
+"""Figure 7: throughput vs FFN dimension (Mixtral skeleton, 4xH100)."""
+
+from __future__ import annotations
+
+from repro.core.experiment import ExperimentResult
+from repro.core.registry import experiment
+from repro.experiments.hyperparam_grid import FFN_DIMS, TOP_KS, grid_table
+
+
+@experiment("fig7")
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig7",
+        title="Throughput vs FFN dimension (batch 16, io 2048, 4xH100)",
+        paper_claim=(
+            "Throughput declines ~50% on average from FFN 1792 to 14336, "
+            "steepest from 1792 to 3584; at FFN 14336 the 1-active vs "
+            "8-active gap reaches ~60%."
+        ),
+    )
+    table = grid_table()
+    result.tables.append(table)
+
+    feasible = [r for r in table if r["throughput_tok_s"] is not None]
+    by_k: dict[int, dict[int, list[float]]] = {}
+    for r in feasible:
+        by_k.setdefault(r["top_k"], {}).setdefault(r["ffn_dim"], []).append(
+            r["throughput_tok_s"]
+        )
+    drops = []
+    for k, by_f in by_k.items():
+        if min(FFN_DIMS) in by_f and max(FFN_DIMS) in by_f:
+            lo = sum(by_f[min(FFN_DIMS)]) / len(by_f[min(FFN_DIMS)])
+            hi = sum(by_f[max(FFN_DIMS)]) / len(by_f[max(FFN_DIMS)])
+            drops.append(100 * (1 - hi / lo))
+    result.observe(
+        f"Average throughput drop FFN 1792->14336: "
+        f"{sum(drops) / len(drops):.0f}% (paper: ~50%)."
+    )
+
+    at_max = {r["top_k"]: r["throughput_tok_s"]
+              for r in table.where(ffn_dim=max(FFN_DIMS), num_experts=8)
+              if r["throughput_tok_s"] is not None}
+    if min(TOP_KS) in at_max and max(TOP_KS) in at_max:
+        gap = 100 * (1 - at_max[max(TOP_KS)] / at_max[min(TOP_KS)])
+        result.observe(
+            f"At FFN 14336 (8 experts), top-k 1 vs 8 gap: {gap:.0f}% "
+            "(paper: ~60%)."
+        )
+    ooms = sum(1 for r in table if r["oom"])
+    result.observe(f"{ooms} of {len(table)} grid points OOM on 4x80GB.")
+    return result

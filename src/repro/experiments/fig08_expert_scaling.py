@@ -1,0 +1,45 @@
+"""Figure 8: throughput vs total expert count (Mixtral skeleton, 4xH100)."""
+
+from __future__ import annotations
+
+from repro.core.experiment import ExperimentResult
+from repro.core.registry import experiment
+from repro.experiments.hyperparam_grid import EXPERT_COUNTS, grid_table
+
+
+@experiment("fig8")
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig8",
+        title="Throughput vs number of experts (batch 16, io 2048, 4xH100)",
+        paper_claim=(
+            "For small FFN dims (1792/3584), raising experts 8->64 "
+            "maintains or slightly changes throughput (5-15% band); at "
+            "large FFN dims extra experts cannot be utilised and OOM "
+            "boundaries appear."
+        ),
+    )
+    table = grid_table()
+    result.tables.append(table)
+
+    for ffn_dim in (1792, 14336):
+        sub = [r for r in table
+               if r["ffn_dim"] == ffn_dim and r["top_k"] == 2
+               and r["throughput_tok_s"] is not None]
+        thr = {r["num_experts"]: r["throughput_tok_s"] for r in sub}
+        if min(EXPERT_COUNTS) in thr:
+            have = sorted(thr)
+            change = 100 * (thr[have[-1]] / thr[have[0]] - 1)
+            result.observe(
+                f"FFN {ffn_dim}, top-k 2: experts {have[0]}->{have[-1]} "
+                f"changes throughput {change:+.0f}%."
+            )
+    oom_large = sum(
+        1 for r in table if r["ffn_dim"] == 14336 and r["oom"]
+    )
+    result.observe(
+        f"OOM points at FFN 14336: {oom_large} of "
+        f"{len([r for r in table if r['ffn_dim'] == 14336])} "
+        "(expert capacity hits the memory wall first at large FFN)."
+    )
+    return result

@@ -1,0 +1,48 @@
+"""Figure 9: throughput vs active expert count (Mixtral skeleton, 4xH100)."""
+
+from __future__ import annotations
+
+from repro.core.experiment import ExperimentResult
+from repro.core.registry import experiment
+from repro.experiments.hyperparam_grid import grid_table
+
+
+@experiment("fig9")
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig9",
+        title="Throughput vs active experts (batch 16, io 2048, 4xH100)",
+        paper_claim=(
+            "Throughput degrades consistently from 1 to 8 active experts; "
+            "single-active configurations deliver 50-80% higher throughput; "
+            "the 1-vs-8 gap is modest at small FFN (20-30%) and expands to "
+            "60-80% at large FFN."
+        ),
+    )
+    table = grid_table()
+    result.tables.append(table)
+
+    for ffn_dim in (1792, 14336):
+        sub = [r for r in table
+               if r["ffn_dim"] == ffn_dim and r["num_experts"] == 8
+               and r["throughput_tok_s"] is not None]
+        thr = {r["top_k"]: r["throughput_tok_s"] for r in sub}
+        if 1 in thr and 8 in thr:
+            gain = 100 * (thr[1] / thr[8] - 1)
+            result.observe(
+                f"FFN {ffn_dim} (8 experts): top-k 1 delivers {gain:.0f}% "
+                "higher throughput than top-k 8."
+            )
+    # monotonicity check across the whole feasible grid
+    violations = 0
+    combos = {(r["ffn_dim"], r["num_experts"]) for r in table}
+    for f, e in combos:
+        thr = [r["throughput_tok_s"] for r in table
+               if r["ffn_dim"] == f and r["num_experts"] == e
+               and r["throughput_tok_s"] is not None]
+        violations += sum(1 for a, b in zip(thr, thr[1:]) if b > a * 1.001)
+    result.observe(
+        f"Throughput decreases monotonically with top-k in the feasible "
+        f"grid ({violations} violations)."
+    )
+    return result

@@ -1,0 +1,87 @@
+"""Figure 11: intra- and inter-expert pruning across top-k values."""
+
+from __future__ import annotations
+
+from repro.core.experiment import ExperimentResult, sweep
+from repro.core.registry import experiment
+from repro.core.results import ResultTable
+from repro.experiments.common import H100
+from repro.models.zoo import get_model
+from repro.moe.pruning import PAPER_PRUNING_RATIOS, PruningSpec, prune_model_config
+from repro.parallel.plan import ParallelPlan
+from repro.perfmodel.inference import InferencePerfModel
+
+MODELS = ("OLMoE-1B-7B", "Qwen1.5-MoE-A2.7B")
+BATCH = 16
+IO_TOKENS = 2048
+_PLAN = ParallelPlan(tp=4)
+
+
+@experiment("fig11")
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig11",
+        title="Intra vs inter expert pruning (batch 16, io 2048, 4xH100)",
+        paper_claim=(
+            "Throughput generally decreases with active experts; 50% "
+            "pruning (especially intra-expert) sustains or improves "
+            "throughput at larger top-k, while low ratios (12.5/25%) give "
+            "small or even inverse effects."
+        ),
+    )
+    table = ResultTable(
+        "pruning sweep",
+        ("model", "kind", "ratio_pct", "top_k", "throughput_tok_s",
+         "gain_vs_unpruned_pct"),
+    )
+
+    def point(model: str, kind: str, ratio: float, top_k: int) -> dict | None:
+        cfg = get_model(model)
+        if top_k > cfg.moe.top_k:
+            return None  # paper evaluates top-k up to the pretrained value
+        base_cfg = cfg.with_moe(cfg.moe.with_top_k(top_k))
+        if kind == "none":
+            pruned = base_cfg
+        else:
+            pruned = prune_model_config(base_cfg, PruningSpec(kind=kind, ratio=ratio))
+        pm = InferencePerfModel(pruned, H100, plan=_PLAN)
+        thr = pm.generate(BATCH, IO_TOKENS, IO_TOKENS, check_memory=False).throughput_tok_s
+        base_pm = InferencePerfModel(base_cfg, H100, plan=_PLAN)
+        base = base_pm.generate(BATCH, IO_TOKENS, IO_TOKENS, check_memory=False).throughput_tok_s
+        return {
+            "throughput_tok_s": thr,
+            "gain_vs_unpruned_pct": 100 * (thr / base - 1),
+        }
+
+    for model in MODELS:
+        max_k = get_model(model).moe.top_k
+        topks = tuple(range(1, max_k + 1))
+        for kind in ("inter", "intra"):
+            for ratio in PAPER_PRUNING_RATIOS:
+                for top_k in topks:
+                    row = point(model, kind, ratio, top_k)
+                    if row is None:
+                        continue
+                    table.add(model=model, kind=kind, ratio_pct=100 * ratio,
+                              top_k=top_k, **row)
+    result.tables.append(table)
+
+    for model in MODELS:
+        hi = table.where(model=model, kind="intra", ratio_pct=50.0)
+        max_k_rows = [r for r in hi if r["top_k"] == max(r2["top_k"] for r2 in hi)]
+        if max_k_rows:
+            result.observe(
+                f"{model}: 50% intra-expert pruning at the pretrained top-k "
+                f"improves throughput {max_k_rows[0]['gain_vs_unpruned_pct']:+.0f}% "
+                "(paper: sustains or improves)."
+            )
+        lo = [r["gain_vs_unpruned_pct"] for r in table.where(model=model)
+              if r["ratio_pct"] == 12.5]
+        result.observe(
+            f"{model}: 12.5% pruning changes throughput only "
+            f"{min(lo):+.0f}%..{max(lo):+.0f}% — small effects at low "
+            "ratios (the paper additionally observed occasional inversions "
+            "from kernel autotuning/load imbalance, which a deterministic "
+            "roofline cannot produce)."
+        )
+    return result

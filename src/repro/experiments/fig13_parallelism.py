@@ -1,0 +1,87 @@
+"""Figure 13: TP / PP / EP parallelism scaling of Mixtral-8x7B and OLMoE."""
+
+from __future__ import annotations
+
+from repro.core.experiment import ExperimentResult
+from repro.core.registry import experiment
+from repro.core.results import ResultTable
+from repro.experiments.common import H100
+from repro.models.zoo import get_model
+from repro.parallel.plan import ParallelPlan
+from repro.perfmodel.inference import InferencePerfModel
+
+MODELS = ("Mixtral-8x7B", "OLMoE-1B-7B")
+GPU_COUNTS = (1, 2, 4)
+BATCH = 16
+IO_TOKENS = 1024
+
+# vLLM's expert-parallel flag acts on the TP group; with TP=1 (pure PP) it
+# is a no-op, which is why the paper's "PP w/ EP" and "PP w/o EP" curves
+# nearly coincide.
+_STRATEGIES: dict[str, dict[int, ParallelPlan]] = {
+    "TP": {n: ParallelPlan(tp=n) for n in GPU_COUNTS},
+    "TP+EP": {n: ParallelPlan(tp=n, ep=n) for n in GPU_COUNTS},
+    "PP": {n: ParallelPlan(pp=n) for n in GPU_COUNTS},
+    "PP+EP": {n: ParallelPlan(pp=n) for n in GPU_COUNTS},
+}
+
+
+@experiment("fig13")
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig13",
+        title="TP / PP / EP scaling on 1-4 H100s",
+        paper_claim=(
+            "TP without EP scales best (>2x from 1 to 4 GPUs); TP with EP "
+            "scales less efficiently; PP (with or without EP) stays almost "
+            "flat."
+        ),
+    )
+    table = ResultTable(
+        "parallelism scaling",
+        ("model", "strategy", "gpus", "throughput_tok_s", "scaling_vs_1gpu"),
+    )
+    for model_name in MODELS:
+        model = get_model(model_name)
+        for strategy, plans in _STRATEGIES.items():
+            base = None
+            for n in GPU_COUNTS:
+                plan = plans[n]
+                if strategy.endswith("EP") and "TP" in strategy and model.moe:
+                    if model.moe.num_experts % n != 0:
+                        table.add(model=model_name, strategy=strategy, gpus=n,
+                                  throughput_tok_s=None, scaling_vs_1gpu=None)
+                        continue
+                pm = InferencePerfModel(model, H100, plan=plan)
+                thr = pm.generate(BATCH, IO_TOKENS, IO_TOKENS,
+                                  check_memory=False).throughput_tok_s
+                if base is None:
+                    base = thr
+                table.add(model=model_name, strategy=strategy, gpus=n,
+                          throughput_tok_s=thr, scaling_vs_1gpu=thr / base)
+    result.tables.append(table)
+
+    from repro.core.charts import line_chart
+
+    for model_name in MODELS:
+        series = {
+            s: [(r["gpus"], r["throughput_tok_s"])
+                for r in table.where(model=model_name, strategy=s)
+                if r["throughput_tok_s"] is not None]
+            for s in _STRATEGIES
+        }
+        result.add_chart(line_chart(
+            series, title=f"{model_name}: throughput (tok/s) vs GPUs",
+        ))
+
+    for model_name in MODELS:
+        scal = {
+            s: table.where(model=model_name, strategy=s, gpus=4).rows[0]["scaling_vs_1gpu"]
+            for s in _STRATEGIES
+        }
+        result.observe(
+            f"{model_name}: 1->4 GPU scaling — TP {scal['TP']:.2f}x, "
+            f"TP+EP {scal['TP+EP']:.2f}x, PP {scal['PP']:.2f}x "
+            "(paper: TP >2x, TP+EP lower, PP flat)."
+        )
+    return result

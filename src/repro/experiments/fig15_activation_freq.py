@@ -1,0 +1,79 @@
+"""Figure 15: expert activation frequency heatmaps on an MME-like stream."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.experiment import ExperimentResult
+from repro.core.registry import experiment
+from repro.core.results import ResultTable
+from repro.models.zoo import get_model
+from repro.workloads.multimodal import MMEStream, run_activation_study
+
+MODELS = ("DeepSeek-VL2-Tiny", "DeepSeek-VL2-Small", "DeepSeek-VL2", "MolmoE-1B")
+_MAX_ROUTED = 60_000
+
+
+@experiment("fig15")
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig15",
+        title="Expert activation frequency on the MME task stream",
+        paper_claim=(
+            "DeepSeek-VL2 family shows relatively uniform activation "
+            "(aux-loss-balanced training), peaking around 290K; MolmoE-1B "
+            "is sparse/concentrated, with specific experts reaching ~1M "
+            "activations."
+        ),
+    )
+    summary = ResultTable(
+        "activation summary",
+        ("model", "layers", "experts", "peak_activation", "mean_activation",
+         "imbalance_max_over_mean", "gini", "normalized_entropy"),
+    )
+    heat = ResultTable(
+        "layer0 heatmap sample",
+        ("model", "expert", "count"),
+    )
+    for name in MODELS:
+        model = get_model(name)
+        tracker = run_activation_study(
+            model, stream=MMEStream(), rng=np.random.default_rng(7),
+            max_routed_tokens=_MAX_ROUTED,
+        )
+        overall = tracker.overall_metrics()
+        hm = tracker.heatmap()
+        summary.add(
+            model=name,
+            layers=hm.shape[0],
+            experts=hm.shape[1],
+            peak_activation=tracker.peak_activation(),
+            mean_activation=float(hm.mean()),
+            imbalance_max_over_mean=tracker.layer_metrics(0).imbalance,
+            gini=overall.gini,
+            normalized_entropy=overall.normalized_entropy,
+        )
+        for e in range(0, hm.shape[1], max(1, hm.shape[1] // 16)):
+            heat.add(model=name, expert=e, count=int(hm[0, e]))
+
+        from repro.core.charts import heatmap as render_heatmap
+
+        result.add_chart(render_heatmap(
+            hm[: min(8, hm.shape[0])],
+            title=f"{name}: activation frequency (first layers x experts)",
+        ))
+    result.tables += [summary, heat]
+
+    rows = {r["model"]: r for r in summary}
+    molmo = rows["MolmoE-1B"]
+    deepseek_peaks = [rows[m]["peak_activation"] for m in MODELS if m != "MolmoE-1B"]
+    result.observe(
+        f"MolmoE-1B peak activation {molmo['peak_activation']:,} vs DeepSeek "
+        f"family max {max(deepseek_peaks):,} (paper: ~1M vs ~290K)."
+    )
+    result.observe(
+        f"Gini coefficient: MolmoE {molmo['gini']:.3f} vs DeepSeek family "
+        f"{max(rows[m]['gini'] for m in MODELS if m != 'MolmoE-1B'):.3f} — "
+        "the balanced aux loss flattens utilisation."
+    )
+    return result

@@ -1,0 +1,81 @@
+"""Figure 16: Llama-4-Scout-17B-16E on H100 vs Cerebras CS-3."""
+
+from __future__ import annotations
+
+from repro.core.experiment import ExperimentResult, sweep
+from repro.core.registry import experiment
+from repro.core.results import ResultTable
+from repro.experiments.common import H100
+from repro.hardware.gpus import CS3
+from repro.models.zoo import LLAMA4_SCOUT_17B_16E
+from repro.optim.quantization import FP8_CONFIG
+from repro.parallel.plan import ParallelPlan
+from repro.perfmodel.inference import InferencePerfModel
+from repro.workloads.generator import PAPER_SEQUENCE_LENGTHS
+
+# batch 64 keeps the H100 KV-cache term visible (the mechanism behind its
+# steep context growth); CS-3's SRAM bandwidth makes the same term free
+BATCH = 64
+# the paper's CS-3 replica stores weights at FP8; we deploy H100 at FP8 too
+# (Scout FP16 would need >2 nodes), keeping precision matched
+_H100_PLAN = ParallelPlan(tp=4)
+_CS3_PLAN = ParallelPlan(pp=4)  # cross-wafer weight pipelining
+
+
+@experiment("fig16")
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig16",
+        title="Llama-4-Scout: H100 (TP4, FP8) vs Cerebras CS-3",
+        paper_claim=(
+            "H100 latency rises steeply with context (sharp beyond 1024 "
+            "tokens); CS-3 stays much lower with gradual growth thanks to "
+            "orders-of-magnitude higher memory bandwidth."
+        ),
+    )
+    table = ResultTable(
+        "latency/throughput vs length",
+        ("hardware", "io_tokens", "e2e_s", "itl_per_step_ms", "decode_tok_s",
+         "throughput_tok_s"),
+    )
+
+    def point(hardware: str, io_tokens: int) -> dict:
+        hw, plan = ((H100, _H100_PLAN) if hardware == "H100"
+                    else (CS3, _CS3_PLAN))
+        pm = InferencePerfModel(LLAMA4_SCOUT_17B_16E, hw, plan=plan,
+                                quant=FP8_CONFIG)
+        m = pm.generate(BATCH, io_tokens, io_tokens, check_memory=False)
+        return {
+            "e2e_s": m.e2e_latency_s,
+            "itl_per_step_ms": m.itl_per_step_s * 1e3,
+            "decode_tok_s": m.decode_throughput_tok_s,
+            "throughput_tok_s": m.throughput_tok_s,
+        }
+
+    sweep(table, {"hardware": ("H100", "CS-3"),
+                  "io_tokens": PAPER_SEQUENCE_LENGTHS}, point)
+    result.tables.append(table)
+
+    from repro.core.charts import line_chart
+
+    result.add_chart(line_chart(
+        {hwn: [(r["io_tokens"], r["e2e_s"]) for r in table.where(hardware=hwn)]
+         for hwn in ("H100", "CS-3")},
+        title="Llama-4-Scout E2E latency (s) vs io length", logx=True,
+    ))
+
+    h100 = {r["io_tokens"]: r["itl_per_step_ms"] for r in table.where(hardware="H100")}
+    cs3 = {r["io_tokens"]: r["itl_per_step_ms"] for r in table.where(hardware="CS-3")}
+    result.observe(
+        f"H100 per-step decode latency grows {100 * (h100[2048] / h100[128] - 1):.0f}% "
+        f"from context 128 to 2048 (growing KV reads); CS-3 grows "
+        f"{100 * (cs3[2048] / cs3[128] - 1):.0f}% — nearly flat, as the paper "
+        "reports for the wafer's SRAM bandwidth."
+    )
+    result.observe(
+        f"Per-sequence decode rate at length 2048: CS-3 "
+        f"{table.where(hardware='CS-3', io_tokens=2048).rows[0]['decode_tok_s'] / BATCH:.0f} tok/s/seq vs "
+        f"H100 {table.where(hardware='H100', io_tokens=2048).rows[0]['decode_tok_s'] / BATCH:.0f} tok/s/seq "
+        "(Cerebras quotes ~2,600 tok/s for Scout)."
+    )
+    return result

@@ -1,0 +1,56 @@
+"""Figure 18: throughput/latency vs accuracy for the DeepSeek-VL2 family."""
+
+from __future__ import annotations
+
+from repro.core.experiment import ExperimentResult
+from repro.core.registry import experiment
+from repro.core.results import ResultTable
+from repro.evals.harness import accuracy_efficiency_frontier
+from repro.experiments.common import H100, PAPER_VLMS
+from repro.models.zoo import get_model
+from repro.parallel.plan import SINGLE_DEVICE
+
+BATCH = 16
+IO_TOKENS = 1024
+
+
+@experiment("fig18")
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig18",
+        title="Throughput/latency vs average VLMEvalKit accuracy (VLMs)",
+        paper_claim=(
+            "DeepSeek-VL2-Tiny: highest throughput, lowest accuracy; "
+            "DeepSeek-VL2: highest accuracy, lowest throughput/highest "
+            "latency; Small sits between — a clean speed/accuracy ladder."
+        ),
+    )
+    # the whole family fits one H100 at FP16, so a single-GPU deployment
+    # (the paper's setup) gives the cleanest speed/accuracy ladder
+    models = [get_model(n) for n in PAPER_VLMS]
+    plans = {m.name: SINGLE_DEVICE for m in models}
+    points = accuracy_efficiency_frontier(
+        models, H100, BATCH, IO_TOKENS, IO_TOKENS, plans=plans
+    )
+    table = ResultTable(
+        "frontier",
+        ("model", "accuracy_pct", "throughput_tok_s", "e2e_latency_s"),
+    )
+    for p in points:
+        table.add(model=p.model_name, accuracy_pct=p.accuracy,
+                  throughput_tok_s=p.throughput_tok_s,
+                  e2e_latency_s=p.e2e_latency_s)
+    result.tables.append(table)
+
+    by_thr = sorted(points, key=lambda p: -p.throughput_tok_s)
+    by_acc = sorted(points, key=lambda p: -p.accuracy)
+    result.observe(
+        f"Fastest: {by_thr[0].model_name}; most accurate: "
+        f"{by_acc[0].model_name} (paper: Tiny fastest, base most accurate)."
+    )
+    monotone = [p.model_name for p in by_thr] == [p.model_name for p in reversed(by_acc)]
+    result.observe(
+        f"Throughput and accuracy are inversely ordered across the family: "
+        f"{monotone} (paper: a clean trade-off ladder)."
+    )
+    return result

@@ -1,0 +1,77 @@
+"""Shared Mixtral-skeleton hyperparameter grid for Figures 7-9.
+
+The paper sweeps one MoE layer's hyperparameters on a Mixtral-8x7B
+skeleton: FFN dimension {1792, 3584, 7168, 14336} x total experts
+{8, 16, 32, 64} x active experts {1, 2, 4, 8}, at batch 16 and
+input/output 2048 on 4 H100s.  Missing points indicate OOM.  The grid is
+computed once and shared by the three figures (they pivot the same data).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+
+from repro.core.results import ResultTable
+from repro.models.config import MoEConfig
+from repro.models.zoo import MIXTRAL_8X7B
+from repro.parallel.plan import ParallelPlan
+from repro.perfmodel.inference import InferencePerfModel
+from repro.experiments.common import H100
+
+__all__ = [
+    "FFN_DIMS",
+    "EXPERT_COUNTS",
+    "TOP_KS",
+    "BATCH",
+    "IO_TOKENS",
+    "grid_table",
+]
+
+FFN_DIMS = (1792, 3584, 7168, 14336)
+EXPERT_COUNTS = (8, 16, 32, 64)
+TOP_KS = (1, 2, 4, 8)
+BATCH = 16
+IO_TOKENS = 2048
+_PLAN = ParallelPlan(tp=4)
+
+
+def _variant(ffn_dim: int, num_experts: int, top_k: int):
+    moe = MoEConfig(num_experts=num_experts, top_k=top_k, expert_ffn_dim=ffn_dim)
+    return dataclasses.replace(
+        MIXTRAL_8X7B,
+        moe=moe,
+        name=f"Mixtral-skeleton[f{ffn_dim}-e{num_experts}-k{top_k}]",
+        published_total_params=0.0,
+        published_active_params=0.0,
+    )
+
+
+@functools.lru_cache(maxsize=1)
+def grid_table() -> ResultTable:
+    """The full 4x4x4 grid; OOM points carry ``throughput_tok_s=None``."""
+    table = ResultTable(
+        "hyperparameter grid",
+        ("ffn_dim", "num_experts", "top_k", "throughput_tok_s",
+         "weights_gb_per_gpu", "oom"),
+    )
+    for ffn_dim in FFN_DIMS:
+        for num_experts in EXPERT_COUNTS:
+            for top_k in TOP_KS:
+                model = _variant(ffn_dim, num_experts, top_k)
+                pm = InferencePerfModel(model, H100, plan=_PLAN)
+                oom = not pm.fits(BATCH, 2 * IO_TOKENS)
+                thr = None
+                if not oom:
+                    thr = pm.generate(
+                        BATCH, IO_TOKENS, IO_TOKENS, check_memory=False
+                    ).throughput_tok_s
+                table.add(
+                    ffn_dim=ffn_dim,
+                    num_experts=num_experts,
+                    top_k=top_k,
+                    throughput_tok_s=thr,
+                    weights_gb_per_gpu=pm.memory.weight_bytes_per_device() / 1e9,
+                    oom=oom,
+                )
+    return table

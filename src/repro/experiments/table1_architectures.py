@@ -1,0 +1,56 @@
+"""Table 1: architecture comparison of the MoE model zoo."""
+
+from __future__ import annotations
+
+from repro.core.experiment import ExperimentResult
+from repro.core.registry import experiment
+from repro.core.results import ResultTable
+from repro.models.params import model_params
+from repro.models.zoo import LLM_MODELS, VLM_MODELS
+
+
+@experiment("table1")
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="table1",
+        title="Comparison of Mixture of Expert model architectures",
+        paper_claim=(
+            "Models span 3B-47B total parameters with 1.0B-12.9B active; "
+            "e.g. Mixtral-8x7B: 32 layers, 8 experts (2 active), 47B/12.9B."
+        ),
+    )
+    table = ResultTable(
+        "architectures",
+        (
+            "model", "modality", "layers", "hidden", "ffn_dim", "experts",
+            "active_experts", "total_params_B", "active_params_B",
+            "published_total_B", "published_active_B",
+        ),
+    )
+    models = {**LLM_MODELS, **{k: v for k, v in VLM_MODELS.items() if k != "MolmoE-1B"}}
+    for model in models.values():
+        pb = model_params(model)
+        moe = model.moe
+        table.add(
+            model=model.name,
+            modality=model.modality,
+            layers=model.num_layers,
+            hidden=model.hidden_size,
+            ffn_dim=moe.expert_ffn_dim if moe else model.dense_ffn_dim,
+            experts=moe.num_experts if moe else 0,
+            active_experts=moe.top_k if moe else 0,
+            total_params_B=pb.total / 1e9,
+            active_params_B=pb.active / 1e9,
+            published_total_B=model.published_total_params / 1e9,
+            published_active_B=model.published_active_params / 1e9,
+        )
+    result.tables.append(table)
+    worst = max(
+        abs(r["total_params_B"] / r["published_total_B"] - 1.0)
+        for r in table if r["published_total_B"]
+    )
+    result.observe(
+        f"Computed totals match published parameter counts within "
+        f"{100 * worst:.1f}% across all {len(table)} models."
+    )
+    return result

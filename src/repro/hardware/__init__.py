@@ -1,0 +1,41 @@
+"""Hardware specs (H100 / A100 / CS-3), roofline kernel model, interconnects."""
+
+from repro.hardware.cluster import INFINIBAND_NDR, ClusterSpec
+from repro.hardware.gpus import A100_SXM, CS3, H100_SXM, HARDWARE, get_hardware
+from repro.hardware.interconnect import (
+    all_to_all_time,
+    allgather_time,
+    allreduce_time,
+    p2p_time,
+    reduce_scatter_time,
+)
+from repro.hardware.roofline import (
+    KernelCost,
+    gemm_cost,
+    gemm_efficiency,
+    gemm_time,
+    kernel_time,
+)
+from repro.hardware.spec import HardwareSpec, InterconnectSpec
+
+__all__ = [
+    "INFINIBAND_NDR",
+    "ClusterSpec",
+    "A100_SXM",
+    "CS3",
+    "H100_SXM",
+    "HARDWARE",
+    "get_hardware",
+    "all_to_all_time",
+    "allgather_time",
+    "allreduce_time",
+    "p2p_time",
+    "reduce_scatter_time",
+    "KernelCost",
+    "gemm_cost",
+    "gemm_efficiency",
+    "gemm_time",
+    "kernel_time",
+    "HardwareSpec",
+    "InterconnectSpec",
+]

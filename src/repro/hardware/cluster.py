@@ -1,0 +1,113 @@
+"""Multi-node cluster modeling (hierarchical collectives).
+
+The paper's §5.3 insight — "extreme scale configurations likely needing
+distributed placement across multi-node architectures" — needs a model of
+what crossing the node boundary costs.  A :class:`ClusterSpec` is N
+identical nodes joined by an inter-node fabric (InfiniBand-class), with
+hierarchical collective algorithms: reduce-scatter inside the node, the
+collective across node leaders, then all-gather inside the node.  The
+inter-node leg is typically ~10x slower per byte than NVLink, which is
+exactly why EP across nodes is painful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.interconnect import (
+    all_to_all_time,
+    allgather_time,
+    allreduce_time,
+    reduce_scatter_time,
+)
+from repro.hardware.spec import HardwareSpec, InterconnectSpec
+
+__all__ = ["INFINIBAND_NDR", "ClusterSpec"]
+
+INFINIBAND_NDR = InterconnectSpec(
+    name="InfiniBand-NDR400",
+    link_bandwidth_gbps=50.0,  # 400 Gb/s per GPU-attached HCA
+    latency_us=5.0,
+)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """``num_nodes`` identical nodes of ``node`` devices each."""
+
+    node: HardwareSpec
+    num_nodes: int
+    inter_node: InterconnectSpec = INFINIBAND_NDR
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        if self.node.interconnect is None and self.num_nodes > 1 and \
+                self.node.max_devices > 1:
+            raise ValueError("multi-device nodes need an intra-node interconnect")
+
+    @property
+    def total_devices(self) -> int:
+        return self.num_nodes * self.node.max_devices
+
+    def _inter_hw(self) -> HardwareSpec:
+        """A pseudo-device whose interconnect is the inter-node fabric (the
+        collective helpers only read ``interconnect``)."""
+        import dataclasses
+
+        return dataclasses.replace(self.node, interconnect=self.inter_node)
+
+    # ------------------------------------------------------------------ #
+    # hierarchical collectives
+    # ------------------------------------------------------------------ #
+
+    def allreduce_time(self, message_bytes: float, num_devices: int) -> float:
+        """Hierarchical ring all-reduce across ``num_devices``.
+
+        Devices fill nodes first.  Within one node it is a plain NVLink
+        ring; across nodes: intra reduce-scatter, inter all-reduce of the
+        per-leader shard, intra all-gather.
+        """
+        self._check(num_devices)
+        per_node = min(num_devices, self.node.max_devices)
+        nodes = -(-num_devices // self.node.max_devices)
+        if nodes == 1:
+            return allreduce_time(message_bytes, per_node, self.node)
+        shard = message_bytes / per_node
+        return (
+            reduce_scatter_time(message_bytes, per_node, self.node)
+            + allreduce_time(shard, nodes, self._inter_hw())
+            + allgather_time(message_bytes, per_node, self.node)
+        )
+
+    def all_to_all_time(self, message_bytes: float, num_devices: int) -> float:
+        """Hierarchical all-to-all: the fraction of traffic that crosses
+        the node boundary rides the slow fabric."""
+        self._check(num_devices)
+        per_node = min(num_devices, self.node.max_devices)
+        nodes = -(-num_devices // self.node.max_devices)
+        if nodes == 1:
+            return all_to_all_time(message_bytes, per_node, self.node)
+        # destination uniformly random: (nodes-1)/nodes of bytes cross over
+        cross = message_bytes * (nodes - 1) / nodes
+        local = message_bytes - cross
+        t_local = all_to_all_time(local, per_node, self.node)
+        t_cross = all_to_all_time(cross, nodes, self._inter_hw())
+        return max(t_local, t_cross) + self.inter_node.latency_us * 1e-6
+
+    def ep_dispatch_time(
+        self, num_tokens: int, hidden_size: int, top_k: int, ep: int,
+        bytes_per_el: float = 2.0,
+    ) -> float:
+        """Two hierarchical all-to-alls of the routed hidden states."""
+        if num_tokens <= 0 or ep < 1:
+            raise ValueError("num_tokens must be positive and ep >= 1")
+        vol = num_tokens * top_k * hidden_size * bytes_per_el
+        return 2.0 * self.all_to_all_time(vol, ep)
+
+    def _check(self, num_devices: int) -> None:
+        if not (1 <= num_devices <= self.total_devices):
+            raise ValueError(
+                f"num_devices must be in [1, {self.total_devices}], "
+                f"got {num_devices}"
+            )

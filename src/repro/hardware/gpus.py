@@ -1,0 +1,122 @@
+"""Concrete hardware specs: NVIDIA H100 SXM5, A100 SXM4, Cerebras CS-3.
+
+Numbers are public datasheet values; efficiency factors are the standard
+rules of thumb for well-tuned inference kernels (≈70% of tensor-core peak
+for large GEMMs, ≈80% of HBM peak for streaming reads).  These constants
+are calibrated ONCE here and shared by every experiment — no per-experiment
+tuning (DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from repro.hardware.spec import HardwareSpec, InterconnectSpec
+
+__all__ = ["H100_SXM", "A100_SXM", "CS3", "HARDWARE", "get_hardware"]
+
+_NVLINK4 = InterconnectSpec(
+    name="NVLink-4",
+    link_bandwidth_gbps=450.0,  # per direction, per GPU aggregate
+    latency_us=3.0,
+)
+
+_NVLINK3 = InterconnectSpec(
+    name="NVLink-3",
+    link_bandwidth_gbps=300.0,
+    latency_us=3.5,
+)
+
+H100_SXM = HardwareSpec(
+    name="H100-SXM5-80GB",
+    peak_tflops={
+        "fp32": 67.0,       # non-tensor FP32
+        "tf32": 494.7,
+        "fp16": 989.4,      # dense tensor core
+        "bf16": 989.4,
+        "fp8_e4m3": 1978.9,
+        "int8": 1978.9,
+        "int4": 1978.9,     # executed via the int8 pipe after unpack
+    },
+    memory_gb=80.0,
+    mem_bandwidth_gbps=3350.0,  # HBM3
+    mem_efficiency=0.80,
+    max_gemm_efficiency=0.70,
+    kernel_launch_us=4.0,
+    step_overhead_us=250.0,     # vLLM per-iteration scheduling overhead
+    per_seq_overhead_us=10.0,   # sampling/detokenise per sequence
+    l2_cache_mb=50.0,
+    tdp_w=700.0,
+    interconnect=_NVLINK4,
+    max_devices=8,
+)
+
+A100_SXM = HardwareSpec(
+    name="A100-SXM4-80GB",
+    peak_tflops={
+        "fp32": 19.5,
+        "fp16": 312.0,
+        "bf16": 312.0,
+        "int8": 624.0,
+        # A100 has no FP8 tensor cores; fp8 falls back to fp16 peak
+        "fp8_e4m3": 312.0,
+        "int4": 624.0,
+    },
+    memory_gb=80.0,
+    mem_bandwidth_gbps=2039.0,  # HBM2e
+    mem_efficiency=0.80,
+    max_gemm_efficiency=0.65,
+    kernel_launch_us=4.5,
+    step_overhead_us=250.0,
+    per_seq_overhead_us=10.0,
+    l2_cache_mb=40.0,
+    tdp_w=400.0,
+    # no FP8 tensor cores: "fp8" deployments run weight-only kernels whose
+    # dequant is well-fused, so the compute penalty is mild
+    quant_gemm_derate=0.90,
+    interconnect=_NVLINK3,
+    max_devices=8,
+)
+
+CS3 = HardwareSpec(
+    name="Cerebras-CS-3",
+    # WSE-3: 125 PFLOP/s FP16 peak across the wafer; inference replicas run
+    # a conservative fraction of it.
+    peak_tflops={
+        "fp16": 125_000.0,
+        "bf16": 125_000.0,
+        "fp8_e4m3": 250_000.0,
+        "int8": 250_000.0,
+        "fp32": 62_500.0,
+        "int4": 250_000.0,
+    },
+    memory_gb=44.0,             # on-wafer SRAM per wafer
+    mem_bandwidth_gbps=21_000_000.0,  # 21 PB/s aggregate SRAM bandwidth
+    mem_efficiency=0.30,        # fabric routing limits achievable fraction
+    max_gemm_efficiency=0.35,
+    kernel_launch_us=0.0,       # dataflow execution: no per-kernel launches
+    step_overhead_us=330.0,     # host I/O + cross-wafer pipelining per token
+    l2_cache_mb=0.0,
+    tdp_w=23_000.0,             # one CS-3 system
+    interconnect=InterconnectSpec(
+        name="SwarmX", link_bandwidth_gbps=1200.0, latency_us=2.0
+    ),
+    max_devices=16,
+)
+
+HARDWARE: dict[str, HardwareSpec] = {
+    h.name: h for h in (H100_SXM, A100_SXM, CS3)
+}
+# convenient aliases
+HARDWARE["h100"] = H100_SXM
+HARDWARE["a100"] = A100_SXM
+HARDWARE["cs3"] = CS3
+
+
+def get_hardware(name: str | HardwareSpec) -> HardwareSpec:
+    """Look up a hardware spec by name or pass a spec through."""
+    if isinstance(name, HardwareSpec):
+        return name
+    try:
+        return HARDWARE[name.lower() if name.lower() in HARDWARE else name]
+    except KeyError:
+        known = ", ".join(sorted(HARDWARE))
+        raise KeyError(f"unknown hardware {name!r}; known: {known}") from None

@@ -1,0 +1,127 @@
+"""Hardware specification dataclasses.
+
+A :class:`HardwareSpec` captures the handful of first-order quantities that
+determine LLM inference performance on an accelerator: peak math throughput
+per datatype, memory capacity and bandwidth, kernel-launch / step overheads,
+and the node-level interconnect.  The roofline model in
+:mod:`repro.hardware.roofline` turns these into kernel execution times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["InterconnectSpec", "HardwareSpec"]
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Per-device interconnect characteristics.
+
+    ``link_bandwidth_gbps`` is the achievable per-direction bandwidth of one
+    device's aggregate links (e.g. H100 SXM NVLink-4: 450 GB/s per
+    direction); ``latency_us`` is the per-hop software+wire latency.
+    """
+
+    name: str
+    link_bandwidth_gbps: float
+    latency_us: float
+
+    def __post_init__(self) -> None:
+        if self.link_bandwidth_gbps <= 0:
+            raise ValueError("link_bandwidth_gbps must be positive")
+        if self.latency_us < 0:
+            raise ValueError("latency_us must be non-negative")
+
+
+@dataclass(frozen=True)
+class HardwareSpec:
+    """One accelerator device (or wafer).
+
+    Parameters
+    ----------
+    peak_tflops:
+        Dense tensor-core peak in TFLOP/s keyed by dtype name
+        (``fp16``, ``bf16``, ``fp8_e4m3``, ``fp32`` ...).
+    memory_gb:
+        Device memory capacity (HBM for GPUs; on-wafer SRAM for CS-3).
+    mem_bandwidth_gbps:
+        Peak memory bandwidth in GB/s.
+    mem_efficiency:
+        Fraction of peak bandwidth achievable by well-formed kernels.
+    max_gemm_efficiency:
+        Tensor-core utilization ceiling for large, well-shaped GEMMs.
+    kernel_launch_us:
+        Per-kernel launch + scheduling overhead.
+    step_overhead_us:
+        Fixed per-forward-step software overhead (framework scheduling,
+        sampling, python driver) — the dominant term for wafer-scale
+        inference where the math itself is nearly free.
+    interconnect:
+        Node-level fabric connecting ``max_devices`` of these devices.
+    """
+
+    name: str
+    peak_tflops: dict[str, float]
+    memory_gb: float
+    mem_bandwidth_gbps: float
+    mem_efficiency: float = 0.80
+    max_gemm_efficiency: float = 0.70
+    kernel_launch_us: float = 4.0
+    step_overhead_us: float = 50.0
+    per_seq_overhead_us: float = 0.0
+    """Per-sequence per-step software cost (sampling, detokenise, scheduler
+    bookkeeping) — the term that makes batch scaling sub-linear."""
+    quant_gemm_derate: float = 0.65
+    """Fraction of the nominal 2x quantized-math peak that real FP8/INT8
+    GEMMs achieve (scale handling + dequant epilogues eat into it)."""
+    quant_mem_derate: float = 0.72
+    """Fraction of the nominal bandwidth saving that quantized *weight
+    streaming* realises (dequantisation + scale lookups stall the loads)."""
+    l2_cache_mb: float = 50.0
+    tdp_w: float = 700.0
+    """Board power at full load (energy model: the paper motivates
+    'low latency and energy-efficient execution')."""
+    idle_power_fraction: float = 0.3
+    """Fraction of TDP drawn by a device that is stalled on memory or
+    communication (used to scale energy with achieved utilization)."""
+    interconnect: InterconnectSpec | None = None
+    max_devices: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.peak_tflops:
+            raise ValueError("peak_tflops must contain at least one dtype")
+        if any(v <= 0 for v in self.peak_tflops.values()):
+            raise ValueError("peak_tflops values must be positive")
+        if self.memory_gb <= 0 or self.mem_bandwidth_gbps <= 0:
+            raise ValueError("memory_gb and mem_bandwidth_gbps must be positive")
+        if not (0 < self.mem_efficiency <= 1):
+            raise ValueError("mem_efficiency must be in (0, 1]")
+        if not (0 < self.max_gemm_efficiency <= 1):
+            raise ValueError("max_gemm_efficiency must be in (0, 1]")
+        if self.max_devices <= 0:
+            raise ValueError("max_devices must be positive")
+
+    def peak_flops(self, dtype_name: str) -> float:
+        """Peak FLOP/s (not TFLOP/s) for the given dtype.
+
+        Unknown dtypes fall back to fp16 peak scaled by the dtype's
+        ``compute_scale`` convention (quantized types run through the
+        fp8/int8 pipes at 2x on supporting hardware).
+        """
+        if dtype_name in self.peak_tflops:
+            return self.peak_tflops[dtype_name] * 1e12
+        if "fp16" in self.peak_tflops:
+            scale = {"fp8_e4m3": 2.0, "int8": 2.0, "int4": 2.0, "fp32": 0.5,
+                     "bf16": 1.0}.get(dtype_name, 1.0)
+            return self.peak_tflops["fp16"] * scale * 1e12
+        raise KeyError(f"no peak FLOP/s known for dtype {dtype_name!r} on {self.name}")
+
+    @property
+    def memory_bytes(self) -> float:
+        return self.memory_gb * 1e9
+
+    @property
+    def mem_bytes_per_s(self) -> float:
+        """Achievable memory bandwidth in bytes/s."""
+        return self.mem_bandwidth_gbps * 1e9 * self.mem_efficiency

@@ -1,0 +1,45 @@
+"""Model architecture configs, the paper's model zoo, and parameter accounting."""
+
+from repro.models.config import (
+    AttentionConfig,
+    AttentionKind,
+    ModelConfig,
+    MoEConfig,
+    VisionConfig,
+)
+from repro.models.params import (
+    LayerParams,
+    ParamBreakdown,
+    attention_params,
+    layer_params,
+    model_params,
+    vision_tower_params,
+)
+from repro.models.zoo import (
+    ALL_MODELS,
+    DRAFT_MODELS,
+    LLM_MODELS,
+    VLM_MODELS,
+    get_model,
+    list_models,
+)
+
+__all__ = [
+    "AttentionConfig",
+    "AttentionKind",
+    "ModelConfig",
+    "MoEConfig",
+    "VisionConfig",
+    "LayerParams",
+    "ParamBreakdown",
+    "attention_params",
+    "layer_params",
+    "model_params",
+    "vision_tower_params",
+    "ALL_MODELS",
+    "DRAFT_MODELS",
+    "LLM_MODELS",
+    "VLM_MODELS",
+    "get_model",
+    "list_models",
+]

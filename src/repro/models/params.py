@@ -1,0 +1,236 @@
+"""Parameter accounting for MoE models (paper Table 1 and Figure 1).
+
+Computes exact per-layer parameter counts from a :class:`ModelConfig`,
+split into the components the paper's Figure 1 plots (attention, MoE
+routed experts, shared experts, router, dense FFN, norms, embeddings,
+vision tower), both *total* (resident in memory) and *active* (touched
+per token, i.e. top-k routed experts only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.models.config import AttentionConfig, AttentionKind, ModelConfig, VisionConfig
+
+__all__ = [
+    "LayerParams",
+    "ParamBreakdown",
+    "attention_params",
+    "vision_tower_params",
+    "layer_params",
+    "model_params",
+]
+
+
+@dataclass(frozen=True)
+class LayerParams:
+    """Parameter counts of a single decoder layer, by component."""
+
+    layer_idx: int
+    is_moe: bool
+    attention: int
+    router: int
+    routed_experts_total: int
+    routed_experts_active: int
+    shared_experts: int
+    dense_ffn: int
+    norms: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.attention
+            + self.router
+            + self.routed_experts_total
+            + self.shared_experts
+            + self.dense_ffn
+            + self.norms
+        )
+
+    @property
+    def active(self) -> int:
+        """Parameters touched when processing one token through this layer."""
+        return (
+            self.attention
+            + self.router
+            + self.routed_experts_active
+            + self.shared_experts
+            + self.dense_ffn
+            + self.norms
+        )
+
+    @property
+    def moe_total(self) -> int:
+        """All MoE-block parameters (router + routed + shared)."""
+        return self.router + self.routed_experts_total + self.shared_experts
+
+    @property
+    def moe_active(self) -> int:
+        return self.router + self.routed_experts_active + self.shared_experts
+
+
+@dataclass(frozen=True)
+class ParamBreakdown:
+    """Whole-model parameter accounting."""
+
+    model_name: str
+    layers: tuple[LayerParams, ...]
+    embedding: int
+    lm_head: int
+    final_norm: int
+    vision_tower: int
+
+    @property
+    def total(self) -> int:
+        return (
+            sum(lp.total for lp in self.layers)
+            + self.embedding
+            + self.lm_head
+            + self.final_norm
+            + self.vision_tower
+        )
+
+    @property
+    def active(self) -> int:
+        return (
+            sum(lp.active for lp in self.layers)
+            + self.embedding
+            + self.lm_head
+            + self.final_norm
+            + self.vision_tower
+        )
+
+    @property
+    def attention_total(self) -> int:
+        return sum(lp.attention for lp in self.layers)
+
+    @property
+    def moe_total(self) -> int:
+        return sum(lp.moe_total for lp in self.layers)
+
+    @property
+    def moe_active(self) -> int:
+        return sum(lp.moe_active for lp in self.layers)
+
+    @property
+    def dense_ffn_total(self) -> int:
+        return sum(lp.dense_ffn for lp in self.layers)
+
+    @property
+    def moe_fraction_total(self) -> float:
+        """Fraction of all parameters living in MoE blocks (Fig. 1's point)."""
+        return self.moe_total / self.total if self.total else 0.0
+
+    @property
+    def moe_fraction_active(self) -> float:
+        return self.moe_active / self.active if self.active else 0.0
+
+    def component_totals(self) -> dict[str, int]:
+        """Totals by component name, for Fig. 1-style stacked breakdowns."""
+        return {
+            "attention": self.attention_total,
+            "routed_experts": sum(lp.routed_experts_total for lp in self.layers),
+            "shared_experts": sum(lp.shared_experts for lp in self.layers),
+            "router": sum(lp.router for lp in self.layers),
+            "dense_ffn": self.dense_ffn_total,
+            "norms": sum(lp.norms for lp in self.layers) + self.final_norm,
+            "embedding": self.embedding + self.lm_head,
+            "vision_tower": self.vision_tower,
+        }
+
+    def component_actives(self) -> dict[str, int]:
+        out = self.component_totals()
+        out["routed_experts"] = sum(lp.routed_experts_active for lp in self.layers)
+        return out
+
+
+def attention_params(cfg: AttentionConfig, hidden_size: int) -> int:
+    """Weight parameters of one attention block (no biases).
+
+    For MHA/GQA: Q/K/V/O projections.  For MLA (DeepSeek-V2): the low-rank
+    query path (optional), compressed-KV down/up projections, and the output
+    projection.
+    """
+    if cfg.kind is AttentionKind.MLA:
+        qk_head = cfg.qk_nope_head_dim + cfg.qk_rope_head_dim
+        if cfg.q_lora_rank > 0:
+            q = hidden_size * cfg.q_lora_rank + cfg.q_lora_rank * cfg.num_heads * qk_head
+        else:
+            q = hidden_size * cfg.num_heads * qk_head
+        kv_down = hidden_size * (cfg.kv_lora_rank + cfg.qk_rope_head_dim)
+        kv_up = cfg.kv_lora_rank * cfg.num_heads * (cfg.qk_nope_head_dim + cfg.v_head_dim)
+        out = cfg.num_heads * cfg.v_head_dim * hidden_size
+        return q + kv_down + kv_up + out
+    q = hidden_size * cfg.num_heads * cfg.head_dim
+    k = hidden_size * cfg.num_kv_heads * cfg.head_dim
+    v = hidden_size * cfg.num_kv_heads * cfg.head_dim
+    o = cfg.num_heads * cfg.head_dim * hidden_size
+    return q + k + v + o
+
+
+def _ffn_params(hidden_size: int, ffn_dim: int, gated: bool) -> int:
+    """SwiGLU (3 matrices) or plain MLP (2 matrices) parameter count."""
+    n_mats = 3 if gated else 2
+    return n_mats * hidden_size * ffn_dim
+
+
+def vision_tower_params(cfg: VisionConfig) -> int:
+    """Approximate ViT tower parameters: per-layer attention + (non-gated) MLP
+    + patch embedding + position embedding."""
+    per_layer = 4 * cfg.hidden_size * cfg.hidden_size + 2 * cfg.hidden_size * cfg.ffn_dim
+    per_layer += 4 * cfg.hidden_size  # 2 LayerNorms (weight+bias)
+    patches = (cfg.image_size // cfg.patch_size) ** 2
+    patch_embed = 3 * cfg.patch_size * cfg.patch_size * cfg.hidden_size
+    pos_embed = patches * cfg.hidden_size
+    return cfg.num_layers * per_layer + patch_embed + pos_embed
+
+
+def layer_params(model: ModelConfig, layer_idx: int) -> LayerParams:
+    """Per-component parameter counts of decoder layer ``layer_idx``."""
+    is_moe = model.is_moe_layer(layer_idx)
+    attn = attention_params(model.attention, model.hidden_size)
+    norms = 2 * model.hidden_size  # RMSNorm pre-attn + pre-FFN
+
+    if is_moe:
+        assert model.moe is not None
+        moe = model.moe
+        per_expert = _ffn_params(model.hidden_size, moe.expert_ffn_dim, moe.gated)
+        routed_total = moe.num_experts * per_expert
+        routed_active = moe.top_k * per_expert
+        shared = moe.num_shared_experts * _ffn_params(
+            model.hidden_size, moe.shared_expert_ffn_dim, moe.gated
+        )
+        router = model.hidden_size * moe.num_experts
+        dense = 0
+    else:
+        routed_total = routed_active = shared = router = 0
+        dense = _ffn_params(model.hidden_size, model.dense_ffn_dim, gated=True)
+
+    return LayerParams(
+        layer_idx=layer_idx,
+        is_moe=is_moe,
+        attention=attn,
+        router=router,
+        routed_experts_total=routed_total,
+        routed_experts_active=routed_active,
+        shared_experts=shared,
+        dense_ffn=dense,
+        norms=norms,
+    )
+
+
+def model_params(model: ModelConfig) -> ParamBreakdown:
+    """Full parameter breakdown for ``model`` (Table 1 / Fig. 1 source)."""
+    layers = tuple(layer_params(model, i) for i in range(model.num_layers))
+    embedding = model.vocab_size * model.hidden_size
+    lm_head = 0 if model.tie_embeddings else model.vocab_size * model.hidden_size
+    vision = vision_tower_params(model.vision) if model.vision is not None else 0
+    return ParamBreakdown(
+        model_name=model.name,
+        layers=layers,
+        embedding=embedding,
+        lm_head=lm_head,
+        final_norm=model.hidden_size,
+        vision_tower=vision,
+    )

@@ -1,0 +1,366 @@
+"""Model zoo: architecture configs for every model in the paper.
+
+Configs are transcribed from the models' published HuggingFace
+``config.json`` files (not from the paper's Table 1, which contains a few
+transcription inconsistencies — e.g. it lists Qwen3-30B-A3B with hidden
+size 5120 and OLMoE with FFN dim 8192, neither of which is consistent with
+the models' published parameter counts).  The ``table1`` benchmark
+cross-checks our computed totals against the paper's published
+total/active parameter columns.
+
+Models
+------
+LLMs (paper §3.1): Mixtral-8x7B, Qwen1.5-MoE-A2.7B, Qwen3-30B-A3B,
+DeepSeek-V2-Lite, Phi-3.5-MoE, OLMoE-1B-7B.
+
+VLMs: DeepSeek-VL2-Tiny / -Small / (base), MolmoE-1B (Fig. 15).
+
+Auxiliary: Qwen3 dense draft models 0.6B/1.7B/4B/8B (Fig. 12),
+Llama-4-Scout-17B-16E (Fig. 16).
+"""
+
+from __future__ import annotations
+
+from repro.models.config import (
+    AttentionConfig,
+    AttentionKind,
+    ModelConfig,
+    MoEConfig,
+    VisionConfig,
+)
+
+__all__ = [
+    "MIXTRAL_8X7B",
+    "QWEN15_MOE_A27B",
+    "QWEN3_30B_A3B",
+    "DEEPSEEK_V2_LITE",
+    "PHI_35_MOE",
+    "OLMOE_1B_7B",
+    "DEEPSEEK_VL2_TINY",
+    "DEEPSEEK_VL2_SMALL",
+    "DEEPSEEK_VL2",
+    "MOLMOE_1B",
+    "QWEN3_0_6B",
+    "QWEN3_1_7B",
+    "QWEN3_4B",
+    "QWEN3_8B",
+    "LLAMA4_SCOUT_17B_16E",
+    "LLM_MODELS",
+    "VLM_MODELS",
+    "DRAFT_MODELS",
+    "ALL_MODELS",
+    "get_model",
+    "list_models",
+]
+
+_SIGLIP_SO400M = VisionConfig(
+    num_layers=27,
+    hidden_size=1152,
+    ffn_dim=4304,
+    num_heads=16,
+    image_tokens=576,
+    patch_size=14,
+    image_size=384,
+)
+
+_VIT_L = VisionConfig(
+    num_layers=23,
+    hidden_size=1024,
+    ffn_dim=4096,
+    num_heads=16,
+    image_tokens=576,
+    patch_size=14,
+    image_size=336,
+)
+
+MIXTRAL_8X7B = ModelConfig(
+    name="Mixtral-8x7B",
+    num_layers=32,
+    hidden_size=4096,
+    vocab_size=32000,
+    attention=AttentionConfig(num_heads=32, num_kv_heads=8, head_dim=128),
+    dense_ffn_dim=0,
+    moe=MoEConfig(num_experts=8, top_k=2, expert_ffn_dim=14336, balanced_routing=True),
+    published_total_params=46.7e9,
+    published_active_params=12.9e9,
+)
+
+QWEN15_MOE_A27B = ModelConfig(
+    name="Qwen1.5-MoE-A2.7B",
+    num_layers=24,
+    hidden_size=2048,
+    vocab_size=151936,
+    attention=AttentionConfig(num_heads=16, num_kv_heads=16, head_dim=128,
+                              kind=AttentionKind.MHA),
+    dense_ffn_dim=0,
+    moe=MoEConfig(
+        num_experts=60,
+        top_k=4,
+        expert_ffn_dim=1408,
+        num_shared_experts=1,
+        shared_expert_ffn_dim=5632,
+        balanced_routing=True,
+    ),
+    published_total_params=14.3e9,
+    published_active_params=2.7e9,
+)
+
+QWEN3_30B_A3B = ModelConfig(
+    name="Qwen3-30B-A3B",
+    num_layers=48,
+    hidden_size=2048,
+    vocab_size=151936,
+    attention=AttentionConfig(num_heads=32, num_kv_heads=4, head_dim=128),
+    dense_ffn_dim=0,
+    moe=MoEConfig(num_experts=128, top_k=8, expert_ffn_dim=768, balanced_routing=True),
+    published_total_params=30.5e9,
+    published_active_params=3.3e9,
+)
+
+DEEPSEEK_V2_LITE = ModelConfig(
+    name="DeepSeek-V2-Lite",
+    num_layers=27,
+    hidden_size=2048,
+    vocab_size=102400,
+    attention=AttentionConfig(
+        num_heads=16,
+        num_kv_heads=16,
+        head_dim=192,
+        kind=AttentionKind.MLA,
+        q_lora_rank=0,
+        kv_lora_rank=512,
+        qk_rope_head_dim=64,
+        qk_nope_head_dim=128,
+        v_head_dim=128,
+    ),
+    dense_ffn_dim=10944,
+    first_k_dense=1,
+    moe=MoEConfig(
+        num_experts=64,
+        top_k=6,
+        expert_ffn_dim=1408,
+        num_shared_experts=2,
+        shared_expert_ffn_dim=1408,
+        balanced_routing=True,
+    ),
+    published_total_params=15.7e9,
+    published_active_params=2.4e9,
+)
+
+PHI_35_MOE = ModelConfig(
+    name="Phi-3.5-MoE",
+    num_layers=32,
+    hidden_size=4096,
+    vocab_size=32064,
+    attention=AttentionConfig(num_heads=32, num_kv_heads=8, head_dim=128),
+    dense_ffn_dim=0,
+    moe=MoEConfig(num_experts=16, top_k=2, expert_ffn_dim=6400, balanced_routing=True),
+    published_total_params=41.9e9,
+    published_active_params=6.6e9,
+)
+
+OLMOE_1B_7B = ModelConfig(
+    name="OLMoE-1B-7B",
+    num_layers=16,
+    hidden_size=2048,
+    vocab_size=50304,
+    attention=AttentionConfig(num_heads=16, num_kv_heads=16, head_dim=128,
+                              kind=AttentionKind.MHA),
+    dense_ffn_dim=0,
+    moe=MoEConfig(num_experts=64, top_k=8, expert_ffn_dim=1024, balanced_routing=True),
+    published_total_params=6.9e9,
+    published_active_params=1.3e9,
+)
+
+DEEPSEEK_VL2_TINY = ModelConfig(
+    name="DeepSeek-VL2-Tiny",
+    num_layers=12,
+    hidden_size=1280,
+    vocab_size=102400,
+    attention=AttentionConfig(num_heads=10, num_kv_heads=10, head_dim=128,
+                              kind=AttentionKind.MHA),
+    dense_ffn_dim=6848,
+    first_k_dense=1,
+    moe=MoEConfig(
+        num_experts=64,
+        top_k=6,
+        expert_ffn_dim=896,
+        num_shared_experts=2,
+        shared_expert_ffn_dim=896,
+        balanced_routing=True,
+    ),
+    vision=_SIGLIP_SO400M,
+    modality="text+image",
+    published_total_params=3.4e9,
+    published_active_params=1.0e9,
+)
+
+DEEPSEEK_VL2_SMALL = ModelConfig(
+    name="DeepSeek-VL2-Small",
+    num_layers=27,
+    hidden_size=2048,
+    vocab_size=102400,
+    attention=DEEPSEEK_V2_LITE.attention,
+    dense_ffn_dim=10944,
+    first_k_dense=1,
+    moe=DEEPSEEK_V2_LITE.moe,
+    vision=_SIGLIP_SO400M,
+    modality="text+image",
+    published_total_params=16.1e9,
+    published_active_params=2.8e9,
+)
+
+DEEPSEEK_VL2 = ModelConfig(
+    name="DeepSeek-VL2",
+    num_layers=30,
+    hidden_size=2560,
+    vocab_size=102400,
+    attention=AttentionConfig(
+        num_heads=20,
+        num_kv_heads=20,
+        head_dim=192,
+        kind=AttentionKind.MLA,
+        q_lora_rank=1536,
+        kv_lora_rank=512,
+        qk_rope_head_dim=64,
+        qk_nope_head_dim=128,
+        v_head_dim=128,
+    ),
+    dense_ffn_dim=12288,
+    first_k_dense=1,
+    moe=MoEConfig(
+        num_experts=72,
+        top_k=6,
+        expert_ffn_dim=1536,
+        num_shared_experts=2,
+        shared_expert_ffn_dim=1536,
+        balanced_routing=True,
+    ),
+    vision=_SIGLIP_SO400M,
+    modality="text+image",
+    published_total_params=27.5e9,
+    published_active_params=4.5e9,
+)
+
+MOLMOE_1B = ModelConfig(
+    name="MolmoE-1B",
+    num_layers=16,
+    hidden_size=2048,
+    vocab_size=50304,
+    attention=OLMOE_1B_7B.attention,
+    dense_ffn_dim=0,
+    # MolmoE reuses the OLMoE mixture but, unlike the DeepSeek family, was
+    # not trained with a strong load-balancing auxiliary loss — the origin
+    # of the skewed activation heatmap in the paper's Fig. 15.
+    moe=MoEConfig(num_experts=64, top_k=8, expert_ffn_dim=1024, balanced_routing=False),
+    vision=_VIT_L,
+    modality="text+image",
+    published_total_params=7.2e9,
+    published_active_params=1.7e9,
+)
+
+QWEN3_0_6B = ModelConfig(
+    name="Qwen3-0.6B",
+    num_layers=28,
+    hidden_size=1024,
+    vocab_size=151936,
+    attention=AttentionConfig(num_heads=16, num_kv_heads=8, head_dim=128),
+    dense_ffn_dim=3072,
+    tie_embeddings=True,
+    published_total_params=0.6e9,
+)
+
+QWEN3_1_7B = ModelConfig(
+    name="Qwen3-1.7B",
+    num_layers=28,
+    hidden_size=2048,
+    vocab_size=151936,
+    attention=AttentionConfig(num_heads=16, num_kv_heads=8, head_dim=128),
+    dense_ffn_dim=6144,
+    tie_embeddings=True,
+    published_total_params=1.7e9,
+)
+
+QWEN3_4B = ModelConfig(
+    name="Qwen3-4B",
+    num_layers=36,
+    hidden_size=2560,
+    vocab_size=151936,
+    attention=AttentionConfig(num_heads=32, num_kv_heads=8, head_dim=128),
+    dense_ffn_dim=9728,
+    tie_embeddings=True,
+    published_total_params=4.0e9,
+)
+
+QWEN3_8B = ModelConfig(
+    name="Qwen3-8B",
+    num_layers=36,
+    hidden_size=4096,
+    vocab_size=151936,
+    attention=AttentionConfig(num_heads=32, num_kv_heads=8, head_dim=128),
+    dense_ffn_dim=12288,
+    published_total_params=8.2e9,
+)
+
+LLAMA4_SCOUT_17B_16E = ModelConfig(
+    name="Llama-4-Scout-17B-16E",
+    num_layers=48,
+    hidden_size=5120,
+    vocab_size=202048,
+    attention=AttentionConfig(num_heads=40, num_kv_heads=8, head_dim=128),
+    dense_ffn_dim=0,
+    moe=MoEConfig(
+        num_experts=16,
+        top_k=1,
+        expert_ffn_dim=8192,
+        num_shared_experts=1,
+        shared_expert_ffn_dim=8192,
+        balanced_routing=True,
+    ),
+    published_total_params=109e9,
+    published_active_params=17e9,
+)
+
+LLM_MODELS: dict[str, ModelConfig] = {
+    m.name: m
+    for m in (
+        MIXTRAL_8X7B,
+        QWEN15_MOE_A27B,
+        QWEN3_30B_A3B,
+        DEEPSEEK_V2_LITE,
+        PHI_35_MOE,
+        OLMOE_1B_7B,
+    )
+}
+
+VLM_MODELS: dict[str, ModelConfig] = {
+    m.name: m for m in (DEEPSEEK_VL2_TINY, DEEPSEEK_VL2_SMALL, DEEPSEEK_VL2, MOLMOE_1B)
+}
+
+DRAFT_MODELS: dict[str, ModelConfig] = {
+    m.name: m for m in (QWEN3_0_6B, QWEN3_1_7B, QWEN3_4B, QWEN3_8B)
+}
+
+ALL_MODELS: dict[str, ModelConfig] = {
+    **LLM_MODELS,
+    **VLM_MODELS,
+    **DRAFT_MODELS,
+    LLAMA4_SCOUT_17B_16E.name: LLAMA4_SCOUT_17B_16E,
+}
+
+
+def get_model(name: str) -> ModelConfig:
+    """Look up a model config by its exact name.
+
+    Raises ``KeyError`` with the list of known names on a miss.
+    """
+    try:
+        return ALL_MODELS[name]
+    except KeyError:
+        known = ", ".join(sorted(ALL_MODELS))
+        raise KeyError(f"unknown model {name!r}; known models: {known}") from None
+
+
+def list_models() -> list[str]:
+    """All model names in the zoo, sorted."""
+    return sorted(ALL_MODELS)

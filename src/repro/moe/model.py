@@ -1,0 +1,239 @@
+"""A complete functional MoE transformer (NumPy execution).
+
+Builds a runnable decoder-only model from any :class:`ModelConfig` —
+embedding, per-layer attention + (MoE or dense) FFN with pre-RMSNorm and
+residuals, final norm and LM head.  Used with reduced-width configs
+(:meth:`ModelConfig.scaled`) for functional studies: routing statistics,
+pruning semantics, quantization agreement, and greedy generation through a
+real KV cache.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.config import ModelConfig
+from repro.moe.experts import ExpertFFN
+from repro.moe.layer import MoELayer
+from repro.moe.stats import ExpertActivationTracker
+from repro.tensor.attention import Attention, KVCache
+from repro.tensor.dtypes import DType, FP32
+from repro.tensor.functional import rms_norm
+from repro.tensor.linear import Linear
+
+__all__ = ["MoETransformer"]
+
+
+class _DecoderLayer:
+    """One decoder layer: pre-norm attention + pre-norm FFN (MoE or dense)."""
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        layer_idx: int,
+        rng: np.random.Generator,
+        max_positions: int,
+        expert_bias_std: float,
+        weight_dtype: DType | str,
+    ) -> None:
+        h = model.hidden_size
+        self.layer_idx = layer_idx
+        self.is_moe = model.is_moe_layer(layer_idx)
+        self.attn = Attention(model.attention, h, rng, max_positions=max_positions)
+        self.norm1 = np.ones(h, dtype=np.float32)
+        self.norm2 = np.ones(h, dtype=np.float32)
+        if self.is_moe:
+            assert model.moe is not None
+            self.ffn: MoELayer | ExpertFFN = MoELayer(
+                h, model.moe, rng=rng, expert_bias_std=expert_bias_std,
+                weight_dtype=weight_dtype,
+            )
+        else:
+            self.ffn = ExpertFFN(h, model.dense_ffn_dim, rng, gated=True,
+                                 weight_dtype=weight_dtype)
+
+    def __call__(
+        self,
+        x: np.ndarray,
+        cache: KVCache | None,
+        mode: str,
+        tracker: ExpertActivationTracker | None,
+        moe_slot: int,
+    ) -> np.ndarray:
+        b, s, h = x.shape
+        x = x + self.attn(rms_norm(x, self.norm1), cache)
+        normed = rms_norm(x, self.norm2)
+        if self.is_moe:
+            assert isinstance(self.ffn, MoELayer)
+            out = self.ffn(normed.reshape(b * s, h), mode=mode)
+            if tracker is not None:
+                tracker.record(moe_slot, out.routing)
+            return x + out.hidden.reshape(b, s, h)
+        assert isinstance(self.ffn, ExpertFFN)
+        return x + self.ffn(normed.reshape(b * s, h)).reshape(b, s, h)
+
+
+class MoETransformer:
+    """Runnable decoder-only MoE model.
+
+    Parameters
+    ----------
+    config:
+        Architecture; use :meth:`ModelConfig.scaled` for affordable widths.
+    seed:
+        Weight-init seed (models with equal seeds are weight-identical).
+    expert_bias_std:
+        Router concentration (see :class:`repro.moe.TopKRouter`).
+    weight_dtype:
+        Storage dtype for all projection weights (fake-quantized once).
+    """
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        seed: int = 0,
+        max_positions: int = 512,
+        expert_bias_std: float = 0.0,
+        weight_dtype: DType | str = FP32,
+        track_activations: bool = False,
+    ) -> None:
+        self.config = config
+        rng = np.random.default_rng(seed)
+        h, v = config.hidden_size, config.vocab_size
+        self.embedding = (rng.normal(0, 1.0, size=(v, h)) / np.sqrt(h)).astype(np.float32)
+        self.layers = [
+            _DecoderLayer(config, i, rng, max_positions, expert_bias_std, weight_dtype)
+            for i in range(config.num_layers)
+        ]
+        self.final_norm = np.ones(h, dtype=np.float32)
+        if config.tie_embeddings:
+            self.lm_head = Linear(self.embedding.T.copy())
+        else:
+            self.lm_head = Linear.random(rng, h, v, weight_dtype)
+        self.max_positions = max_positions
+        self._moe_slots = {
+            idx: slot for slot, idx in enumerate(config.moe_layer_indices())
+        }
+        self.tracker = (
+            ExpertActivationTracker(len(self._moe_slots), config.moe.num_experts)
+            if track_activations and config.moe is not None and self._moe_slots
+            else None
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def new_caches(self, batch: int, max_seq: int | None = None) -> list[KVCache]:
+        """One KV cache per layer for incremental decoding."""
+        max_seq = max_seq or self.max_positions
+        return [layer.attn.new_cache(batch, max_seq) for layer in self.layers]
+
+    def forward(
+        self,
+        token_ids: np.ndarray,
+        caches: list[KVCache] | None = None,
+        mode: str = "fused",
+    ) -> np.ndarray:
+        """Logits of shape ``(batch, seq, vocab)`` for ``(batch, seq)`` ids."""
+        token_ids = np.asarray(token_ids)
+        if token_ids.ndim != 2:
+            raise ValueError(f"token_ids must be (batch, seq), got {token_ids.shape}")
+        if token_ids.min() < 0 or token_ids.max() >= self.config.vocab_size:
+            raise ValueError("token ids out of vocabulary range")
+        if caches is not None and len(caches) != len(self.layers):
+            raise ValueError("need one cache per layer")
+        x = self.embedding[token_ids]
+        for i, layer in enumerate(self.layers):
+            cache = caches[i] if caches is not None else None
+            slot = self._moe_slots.get(i, -1)
+            x = layer(x, cache, mode, self.tracker, slot)
+        x = rms_norm(x, self.final_norm)
+        return self.lm_head(x)
+
+    __call__ = forward
+
+    def generate(
+        self,
+        prompt_ids: np.ndarray,
+        max_new_tokens: int,
+        temperature: float = 0.0,
+        top_p: float = 1.0,
+        rng: np.random.Generator | None = None,
+        mode: str = "fused",
+    ) -> np.ndarray:
+        """Sampled decoding with a real KV cache.
+
+        ``temperature == 0`` is greedy; otherwise logits are divided by the
+        temperature and sampled after nucleus (top-p) truncation.
+        """
+        if temperature < 0:
+            raise ValueError("temperature must be non-negative")
+        if not (0.0 < top_p <= 1.0):
+            raise ValueError("top_p must be in (0, 1]")
+        if temperature == 0.0:
+            return self.generate_greedy(prompt_ids, max_new_tokens, mode)
+        rng = rng or np.random.default_rng(0)
+        prompt_ids = np.asarray(prompt_ids)
+        if prompt_ids.ndim != 2:
+            raise ValueError("prompt_ids must be (batch, seq)")
+        b, s = prompt_ids.shape
+        if s + max_new_tokens > self.max_positions:
+            raise ValueError("prompt + new tokens exceeds max_positions")
+        caches = self.new_caches(b, s + max_new_tokens)
+        logits = self.forward(prompt_ids, caches, mode)
+        out = np.empty((b, max_new_tokens), dtype=np.int64)
+        next_ids = self._sample(logits[:, -1, :], temperature, top_p, rng)
+        for t in range(max_new_tokens):
+            out[:, t] = next_ids
+            if t == max_new_tokens - 1:
+                break
+            logits = self.forward(next_ids[:, None], caches, mode)
+            next_ids = self._sample(logits[:, -1, :], temperature, top_p, rng)
+        return out
+
+    @staticmethod
+    def _sample(logits: np.ndarray, temperature: float, top_p: float,
+                rng: np.random.Generator) -> np.ndarray:
+        """Nucleus sampling of one token per row."""
+        from repro.tensor.functional import softmax
+
+        probs = softmax(logits / temperature, axis=-1)
+        out = np.empty(probs.shape[0], dtype=np.int64)
+        for i, p in enumerate(probs):
+            if top_p < 1.0:
+                order = np.argsort(-p)
+                csum = np.cumsum(p[order])
+                cutoff = int(np.searchsorted(csum, top_p)) + 1
+                keep = order[:cutoff]
+                p_kept = p[keep] / p[keep].sum()
+                out[i] = rng.choice(keep, p=p_kept)
+            else:
+                out[i] = rng.choice(len(p), p=p / p.sum())
+        return out
+
+    def generate_greedy(
+        self, prompt_ids: np.ndarray, max_new_tokens: int, mode: str = "fused"
+    ) -> np.ndarray:
+        """Greedy decoding with a real KV cache; returns generated ids of
+        shape ``(batch, max_new_tokens)``."""
+        prompt_ids = np.asarray(prompt_ids)
+        if prompt_ids.ndim != 2:
+            raise ValueError("prompt_ids must be (batch, seq)")
+        if max_new_tokens <= 0:
+            raise ValueError("max_new_tokens must be positive")
+        b, s = prompt_ids.shape
+        if s + max_new_tokens > self.max_positions:
+            raise ValueError(
+                f"prompt ({s}) + new tokens ({max_new_tokens}) exceeds "
+                f"max_positions ({self.max_positions})"
+            )
+        caches = self.new_caches(b, s + max_new_tokens)
+        logits = self.forward(prompt_ids, caches, mode)
+        out = np.empty((b, max_new_tokens), dtype=np.int64)
+        next_ids = np.argmax(logits[:, -1, :], axis=-1)
+        for t in range(max_new_tokens):
+            out[:, t] = next_ids
+            if t == max_new_tokens - 1:
+                break
+            logits = self.forward(next_ids[:, None], caches, mode)
+            next_ids = np.argmax(logits[:, -1, :], axis=-1)
+        return out

@@ -1,0 +1,67 @@
+"""Closed-form routing statistics under uniform top-k routing.
+
+Leaf module (NumPy-free) shared by the performance model and the
+expert-parallel analysis:
+
+* :func:`expected_expert_coverage` — distinct experts a token batch touches,
+  which sets the expert weight bytes a decode step streams from HBM and
+  drives the batch-size × top-k interaction (paper Fig. 5);
+* :func:`expected_group_imbalance` — expected max/mean load across EP
+  groups (multinomial maximum), the stall factor of expert parallelism
+  (paper Fig. 13).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["expected_expert_coverage", "expected_group_imbalance"]
+
+
+def expected_expert_coverage(num_experts: int, top_k: int, num_tokens: float) -> float:
+    """Expected number of distinct experts activated by ``num_tokens`` tokens.
+
+    Under uniform routing each token selects ``top_k`` distinct experts, so
+    the probability a given expert is untouched by one token is
+    ``1 - k/E`` and by ``m`` independent tokens ``(1 - k/E)^m``::
+
+        E[coverage] = E * (1 - (1 - k/E)^m)
+
+    Small batches touch few experts (decode streams only those experts'
+    weights); large batches touch all of them, which is why larger batches
+    are *more* sensitive to extra active experts (compute term) while small
+    batches are dominated by fixed costs.
+    """
+    if num_experts <= 0:
+        raise ValueError("num_experts must be positive")
+    if not (1 <= top_k <= num_experts):
+        raise ValueError(f"top_k must be in [1, {num_experts}], got {top_k}")
+    if num_tokens < 0:
+        raise ValueError("num_tokens must be non-negative")
+    if num_tokens == 0:
+        return 0.0
+    p_untouched = (1.0 - top_k / num_experts) ** num_tokens
+    return num_experts * (1.0 - p_untouched)
+
+
+def expected_group_imbalance(num_groups: int, total_assignments: float) -> float:
+    """Expected max/mean load over ``num_groups`` under uniform multinomial
+    routing of ``total_assignments`` token-expert assignments.
+
+    Poisson/Gaussian approximation of the multinomial maximum::
+
+        max/mean ≈ 1 + sqrt(2 ln(g) / lambda),  lambda = assignments/group
+
+    Exact enough for the EP stall model: imbalance → 1 as load grows, and
+    explodes for tiny per-group loads (the paper's "EP's load-balancing and
+    dispatch costs offset potential gains, especially for smaller expert
+    activations").
+    """
+    if num_groups < 1:
+        raise ValueError("num_groups must be >= 1")
+    if total_assignments < 0:
+        raise ValueError("total_assignments must be non-negative")
+    if num_groups == 1 or total_assignments == 0:
+        return 1.0
+    lam = total_assignments / num_groups
+    return 1.0 + math.sqrt(2.0 * math.log(num_groups) / lam)

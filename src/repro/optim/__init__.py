@@ -1,0 +1,58 @@
+"""Inference-time optimizations: quantization, speculative decoding, fused MoE.
+
+The quantization configs are leaf definitions imported eagerly; the
+speculative-decoding and fused-MoE models depend on the performance model
+and are loaded lazily (PEP 562) to keep the package import-cycle free
+(``perfmodel`` itself imports ``repro.optim.quantization``).
+"""
+
+from repro.optim.quantization import (
+    FP8_CONFIG,
+    FP16_CONFIG,
+    PRESETS,
+    QuantConfig,
+    W4A16_CONFIG,
+    W8A16_CONFIG,
+    get_preset,
+    quantization_error,
+)
+
+__all__ = [
+    "FP8_CONFIG",
+    "FP16_CONFIG",
+    "PRESETS",
+    "QuantConfig",
+    "W4A16_CONFIG",
+    "W8A16_CONFIG",
+    "get_preset",
+    "quantization_error",
+    # lazy (heavy) exports
+    "FusedMoEComparison",
+    "compare_fused_unfused",
+    "moe_kernel_launches_per_layer",
+    "SpeculativeDecodingModel",
+    "default_acceptance_rate",
+    "expected_tokens_per_cycle",
+    "simulate_accepted_tokens",
+]
+
+_LAZY = {
+    "FusedMoEComparison": "repro.optim.fused_moe",
+    "compare_fused_unfused": "repro.optim.fused_moe",
+    "moe_kernel_launches_per_layer": "repro.optim.fused_moe",
+    "SpeculativeDecodingModel": "repro.optim.speculative",
+    "default_acceptance_rate": "repro.optim.speculative",
+    "expected_tokens_per_cycle": "repro.optim.speculative",
+    "simulate_accepted_tokens": "repro.optim.speculative",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        module = importlib.import_module(_LAZY[name])
+        value = getattr(module, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,72 @@
+"""Fused-MoE analysis helpers (paper §7.2, Fig. 14).
+
+The execution-path difference itself lives in two places:
+
+* functional: :class:`repro.moe.MoELayer` ``mode="fused" | "unfused"``
+  (identical outputs, different kernel-launch counts / intermediates);
+* performance: ``fused_moe`` flag of :class:`repro.perfmodel.InferencePerfModel`
+  (launch count O(1) vs O(E) per layer, extra activation re-materialisation
+  and weight-stream decoalescing for the naive path).
+
+This module packages the comparison and the per-step launch accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.spec import HardwareSpec
+from repro.models.config import ModelConfig
+from repro.optim.quantization import FP16_CONFIG, QuantConfig
+from repro.parallel.plan import SINGLE_DEVICE, ParallelPlan
+from repro.perfmodel.flops import routed_experts_cost
+from repro.perfmodel.inference import InferencePerfModel
+
+__all__ = ["FusedMoEComparison", "compare_fused_unfused", "moe_kernel_launches_per_layer"]
+
+
+@dataclass(frozen=True)
+class FusedMoEComparison:
+    """Throughput of the fused vs naive MoE path on one workload."""
+
+    fused_throughput_tok_s: float
+    unfused_throughput_tok_s: float
+
+    @property
+    def speedup(self) -> float:
+        return self.fused_throughput_tok_s / self.unfused_throughput_tok_s
+
+    @property
+    def gain_percent(self) -> float:
+        return 100.0 * (self.speedup - 1.0)
+
+
+def moe_kernel_launches_per_layer(model: ModelConfig, fused: bool,
+                                  num_tokens: int = 1) -> int:
+    """Kernel launches one MoE layer issues per step under each path."""
+    if model.moe is None:
+        raise ValueError(f"{model.name} has no MoE layers")
+    cost = routed_experts_cost(model, float(num_tokens), FP16_CONFIG, fused=fused)
+    return cost.launches
+
+
+def compare_fused_unfused(
+    model: ModelConfig,
+    hw: HardwareSpec,
+    batch: int,
+    input_tokens: int,
+    output_tokens: int,
+    plan: ParallelPlan = SINGLE_DEVICE,
+    quant: QuantConfig = FP16_CONFIG,
+) -> FusedMoEComparison:
+    """Run the perf model with and without Fused MoE on one shape."""
+    results = []
+    for fused in (True, False):
+        pm = InferencePerfModel(model, hw, plan=plan, quant=quant, fused_moe=fused)
+        results.append(
+            pm.generate(batch, input_tokens, output_tokens, check_memory=False)
+            .throughput_tok_s
+        )
+    return FusedMoEComparison(
+        fused_throughput_tok_s=results[0], unfused_throughput_tok_s=results[1]
+    )

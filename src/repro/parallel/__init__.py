@@ -1,0 +1,76 @@
+"""Tensor / pipeline / expert / hybrid parallelism models (paper §7.1).
+
+The hybrid plan-search helpers depend on the full performance model and
+are loaded lazily (PEP 562) so that ``perfmodel`` can import
+``repro.parallel.plan`` without a cycle.
+"""
+
+from repro.parallel.expert_parallel import (
+    ExpertPlacement,
+    ep_dispatch_time,
+    ep_dispatch_volume,
+    round_robin_placement,
+    simulate_ep_imbalance,
+)
+from repro.parallel.placement_opt import (
+    balanced_placement,
+    compare_placements,
+    placement_imbalance,
+)
+from repro.parallel.pipeline import (
+    StagePartition,
+    partition_layers,
+    pipeline_bubble_fraction,
+    pipeline_efficiency,
+)
+from repro.parallel.plan import SINGLE_DEVICE, ParallelPlan
+from repro.parallel.tensor_parallel import (
+    TPShard,
+    tp_comm_time_per_layer,
+    tp_comm_volume_per_step,
+    tp_shard,
+)
+
+__all__ = [
+    "ExpertPlacement",
+    "ep_dispatch_time",
+    "ep_dispatch_volume",
+    "round_robin_placement",
+    "simulate_ep_imbalance",
+    "balanced_placement",
+    "compare_placements",
+    "placement_imbalance",
+    "StagePartition",
+    "partition_layers",
+    "pipeline_bubble_fraction",
+    "pipeline_efficiency",
+    "SINGLE_DEVICE",
+    "ParallelPlan",
+    "TPShard",
+    "tp_comm_time_per_layer",
+    "tp_comm_volume_per_step",
+    "tp_shard",
+    # lazy (heavy) exports
+    "PlanEvaluation",
+    "best_plan",
+    "enumerate_plans",
+    "evaluate_plan",
+]
+
+_LAZY = {
+    "PlanEvaluation": "repro.parallel.hybrid",
+    "best_plan": "repro.parallel.hybrid",
+    "enumerate_plans": "repro.parallel.hybrid",
+    "evaluate_plan": "repro.parallel.hybrid",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        module = importlib.import_module(_LAZY[name])
+        value = getattr(module, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

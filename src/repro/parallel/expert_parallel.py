@@ -1,0 +1,116 @@
+"""Expert-parallelism analysis: placement, dispatch volume, load imbalance.
+
+EP places whole experts on devices (DeepSpeed-MoE style).  Its two taxes —
+quantified here and consumed by the phase model — are:
+
+* **dispatch**: two all-to-alls per MoE layer moving every routed token's
+  hidden state to its experts' devices and back;
+* **imbalance**: the all-to-all barrier makes each step as slow as the
+  most-loaded device; under stochastic routing the max/mean load across
+  ``ep`` groups exceeds 1 by ``~sqrt(2 ln(ep) / tokens_per_group)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.interconnect import all_to_all_time
+from repro.hardware.spec import HardwareSpec
+from repro.models.config import MoEConfig
+from repro.optim.quantization import FP16_CONFIG, QuantConfig
+from repro.moe.routing_math import expected_group_imbalance
+
+__all__ = [
+    "ExpertPlacement",
+    "round_robin_placement",
+    "ep_dispatch_volume",
+    "ep_dispatch_time",
+    "simulate_ep_imbalance",
+]
+
+
+@dataclass(frozen=True)
+class ExpertPlacement:
+    """Mapping expert id → device for one MoE layer."""
+
+    device_of_expert: tuple[int, ...]
+    num_devices: int
+
+    def __post_init__(self) -> None:
+        if any(not (0 <= d < self.num_devices) for d in self.device_of_expert):
+            raise ValueError("placement references an out-of-range device")
+
+    @property
+    def num_experts(self) -> int:
+        return len(self.device_of_expert)
+
+    def experts_on_device(self, device: int) -> list[int]:
+        return [e for e, d in enumerate(self.device_of_expert) if d == device]
+
+    def experts_per_device(self) -> np.ndarray:
+        counts = np.zeros(self.num_devices, dtype=np.int64)
+        for d in self.device_of_expert:
+            counts[d] += 1
+        return counts
+
+
+def round_robin_placement(num_experts: int, num_devices: int) -> ExpertPlacement:
+    """Contiguous block placement (vLLM/DeepSpeed default): device ``d``
+    owns experts ``[d*E/n, (d+1)*E/n)``."""
+    if num_experts % num_devices != 0:
+        raise ValueError(
+            f"num_experts {num_experts} not divisible by num_devices {num_devices}"
+        )
+    per = num_experts // num_devices
+    return ExpertPlacement(
+        device_of_expert=tuple(e // per for e in range(num_experts)),
+        num_devices=num_devices,
+    )
+
+
+def ep_dispatch_volume(
+    num_tokens: int, hidden_size: int, top_k: int, ep: int,
+    quant: QuantConfig = FP16_CONFIG,
+) -> float:
+    """Bytes one all-to-all moves: every token's hidden state is sent to
+    each of its ``top_k`` experts' devices (expected ``(ep-1)/ep`` of the
+    payload crosses the fabric; the collective model accounts for that)."""
+    if num_tokens <= 0 or ep < 1:
+        raise ValueError("num_tokens must be positive and ep >= 1")
+    return num_tokens * top_k * hidden_size * quant.activation_bytes
+
+
+def ep_dispatch_time(
+    num_tokens: int, hidden_size: int, top_k: int, ep: int, hw: HardwareSpec,
+    quant: QuantConfig = FP16_CONFIG,
+) -> float:
+    """Seconds of the two per-layer all-to-alls (dispatch + combine)."""
+    vol = ep_dispatch_volume(num_tokens, hidden_size, top_k, ep, quant)
+    return 2.0 * all_to_all_time(vol, ep, hw)
+
+
+def simulate_ep_imbalance(
+    moe: MoEConfig, ep: int, num_tokens: int, num_trials: int = 256,
+    rng: np.random.Generator | None = None,
+) -> tuple[float, float]:
+    """Monte-Carlo estimate of the EP max/mean load factor under uniform
+    routing; returns ``(simulated_mean, analytic)`` so callers can compare
+    against :func:`expected_group_imbalance` (ablation bench)."""
+    if ep < 1:
+        raise ValueError("ep must be >= 1")
+    placement = round_robin_placement(moe.num_experts, ep)
+    dev = np.asarray(placement.device_of_expert)
+    rng = rng or np.random.default_rng(0)
+    ratios = np.empty(num_trials)
+    for t in range(num_trials):
+        # each token picks top_k distinct experts uniformly
+        picks = np.array(
+            [rng.choice(moe.num_experts, size=moe.top_k, replace=False)
+             for _ in range(num_tokens)]
+        ).ravel()
+        loads = np.bincount(dev[picks], minlength=ep)
+        ratios[t] = loads.max() / loads.mean()
+    analytic = expected_group_imbalance(ep, num_tokens * moe.top_k)
+    return float(ratios.mean()), analytic

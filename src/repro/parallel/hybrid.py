@@ -1,0 +1,105 @@
+"""Hybrid parallelism: plan enumeration and selection.
+
+Combines TP × PP × EP into valid plans for a model on a node, and ranks
+them with the full performance model — the tooling behind the paper's §7.1
+comparison and the "effective MoE deployment should optimise the total
+parameter budget" guidance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.spec import HardwareSpec
+from repro.models.config import ModelConfig
+from repro.optim.quantization import FP16_CONFIG, QuantConfig
+from repro.parallel.plan import ParallelPlan
+from repro.perfmodel.inference import InferencePerfModel
+
+__all__ = ["PlanEvaluation", "enumerate_plans", "evaluate_plan", "best_plan"]
+
+
+@dataclass(frozen=True)
+class PlanEvaluation:
+    """Outcome of evaluating one plan on one workload shape."""
+
+    plan: ParallelPlan
+    fits: bool
+    throughput_tok_s: float
+    ttft_s: float
+    weight_gb_per_device: float
+
+
+def enumerate_plans(
+    model: ModelConfig, num_devices: int, include_ep: bool = True
+) -> list[ParallelPlan]:
+    """All valid (tp, pp, ep) triples using exactly ``num_devices``."""
+    if num_devices < 1:
+        raise ValueError("num_devices must be >= 1")
+    plans: list[ParallelPlan] = []
+    for tp in range(1, num_devices + 1):
+        if num_devices % tp != 0:
+            continue
+        pp = num_devices // tp
+        eps = [1]
+        if include_ep and model.moe is not None:
+            eps += [e for e in range(2, tp + 1)
+                    if tp % e == 0 and model.moe.num_experts % e == 0]
+        for ep in eps:
+            plan = ParallelPlan(tp=tp, pp=pp, ep=ep)
+            try:
+                plan.validate_for_model(model)
+            except ValueError:
+                continue
+            plans.append(plan)
+    return plans
+
+
+def evaluate_plan(
+    model: ModelConfig,
+    hw: HardwareSpec,
+    plan: ParallelPlan,
+    batch: int,
+    input_tokens: int,
+    output_tokens: int,
+    quant: QuantConfig = FP16_CONFIG,
+) -> PlanEvaluation:
+    """Throughput/TTFT/feasibility of one plan on one workload."""
+    pm = InferencePerfModel(model, hw, plan=plan, quant=quant)
+    fits = pm.fits(batch, input_tokens + output_tokens)
+    metrics = pm.generate(batch, input_tokens, output_tokens, check_memory=False)
+    return PlanEvaluation(
+        plan=plan,
+        fits=fits,
+        throughput_tok_s=metrics.throughput_tok_s,
+        ttft_s=metrics.ttft_s,
+        weight_gb_per_device=pm.memory.weight_bytes_per_device() / 1e9,
+    )
+
+
+def best_plan(
+    model: ModelConfig,
+    hw: HardwareSpec,
+    num_devices: int,
+    batch: int,
+    input_tokens: int,
+    output_tokens: int,
+    quant: QuantConfig = FP16_CONFIG,
+    require_fit: bool = True,
+) -> PlanEvaluation:
+    """Highest-throughput valid plan for the workload.
+
+    Raises ``ValueError`` when no plan fits and ``require_fit`` is set.
+    """
+    evals = [
+        evaluate_plan(model, hw, p, batch, input_tokens, output_tokens, quant)
+        for p in enumerate_plans(model, num_devices)
+    ]
+    if require_fit:
+        evals = [e for e in evals if e.fits]
+        if not evals:
+            raise ValueError(
+                f"no parallel plan fits {model.name} on {num_devices}x {hw.name} "
+                f"at batch={batch}, seq={input_tokens + output_tokens}"
+            )
+    return max(evals, key=lambda e: e.throughput_tok_s)

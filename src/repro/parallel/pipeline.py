@@ -1,0 +1,87 @@
+"""Pipeline-parallelism analysis: stage partitioning and bubble model.
+
+The paper's Fig. 13 finding — PP throughput stays almost flat — follows
+from serving semantics: a single continuous batch traverses the stages
+serially, so splitting layers across devices relieves memory but not
+latency.  The classic GPipe bubble model is provided for the throughput
+view under micro-batching (training-style or multi-batch serving).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.config import ModelConfig
+from repro.models.params import layer_params
+
+__all__ = ["StagePartition", "partition_layers", "pipeline_bubble_fraction",
+           "pipeline_efficiency"]
+
+
+@dataclass(frozen=True)
+class StagePartition:
+    """Assignment of decoder layers to pipeline stages."""
+
+    boundaries: tuple[int, ...]
+    """``boundaries[s]`` is the first layer of stage ``s``; a final entry
+    equals ``num_layers``."""
+    stage_params: tuple[int, ...]
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.boundaries) - 1
+
+    def stage_of_layer(self, layer_idx: int) -> int:
+        for s in range(self.num_stages):
+            if self.boundaries[s] <= layer_idx < self.boundaries[s + 1]:
+                return s
+        raise IndexError(f"layer {layer_idx} outside partition")
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean parameter load across stages (1.0 == balanced)."""
+        mean = sum(self.stage_params) / len(self.stage_params)
+        return max(self.stage_params) / mean if mean else 1.0
+
+
+def partition_layers(model: ModelConfig, pp: int) -> StagePartition:
+    """Split layers into ``pp`` stages balancing parameter counts greedily
+    (contiguous split minimising the heaviest stage)."""
+    if not (1 <= pp <= model.num_layers):
+        raise ValueError(f"pp must be in [1, {model.num_layers}], got {pp}")
+    weights = [layer_params(model, i).total for i in range(model.num_layers)]
+    total = sum(weights)
+    target = total / pp
+    boundaries = [0]
+    acc = 0.0
+    for i, w in enumerate(weights):
+        remaining_stages = pp - len(boundaries)
+        remaining_layers = model.num_layers - i
+        if acc + w / 2.0 >= target and remaining_stages >= 1 and remaining_layers >= remaining_stages:
+            boundaries.append(i)
+            acc = 0.0
+            if len(boundaries) == pp:
+                break
+        acc += w
+    while len(boundaries) < pp:
+        boundaries.append(model.num_layers - (pp - len(boundaries)))
+    boundaries.append(model.num_layers)
+    stage_params = tuple(
+        sum(weights[boundaries[s] : boundaries[s + 1]]) for s in range(pp)
+    )
+    return StagePartition(boundaries=tuple(boundaries), stage_params=stage_params)
+
+
+def pipeline_bubble_fraction(pp: int, num_microbatches: int) -> float:
+    """GPipe bubble fraction ``(p-1) / (m + p - 1)``."""
+    if pp < 1 or num_microbatches < 1:
+        raise ValueError("pp and num_microbatches must be >= 1")
+    return (pp - 1) / (num_microbatches + pp - 1)
+
+
+def pipeline_efficiency(pp: int, num_microbatches: int, stage_imbalance: float = 1.0) -> float:
+    """Fraction of ideal ``pp``-way speedup realised: bubbles and the
+    slowest stage both gate it."""
+    if stage_imbalance < 1.0:
+        raise ValueError("stage_imbalance must be >= 1.0")
+    return (1.0 - pipeline_bubble_fraction(pp, num_microbatches)) / stage_imbalance

@@ -1,0 +1,95 @@
+"""Parallelism plans (paper §7.1).
+
+A :class:`ParallelPlan` is the cross product of tensor- (TP), pipeline-
+(PP) and expert- (EP) parallel degrees.  ``num_devices`` is ``tp * pp``:
+EP partitions the *experts* across the same devices used by TP within a
+stage (vLLM's ``enable_expert_parallel`` semantics — EP replaces TP's
+within-expert sharding by whole-expert placement, it does not add devices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.config import ModelConfig
+
+__all__ = ["ParallelPlan", "SINGLE_DEVICE"]
+
+
+@dataclass(frozen=True)
+class ParallelPlan:
+    """Degrees of each parallelism dimension.
+
+    Parameters
+    ----------
+    tp:
+        Tensor-parallel degree: every weight matrix is sharded ``tp``-ways
+        within a pipeline stage; activations are all-reduced twice per layer.
+    pp:
+        Pipeline-parallel degree: the layer stack is split into ``pp``
+        stages executed on disjoint device groups.
+    ep:
+        Expert-parallel degree: routed experts are partitioned into ``ep``
+        groups placed on disjoint devices of the stage; tokens are exchanged
+        with two all-to-alls per MoE layer.  Must divide ``tp`` (experts are
+        placed on the stage's device group).  ``ep == 1`` means experts are
+        TP-sharded like dense weights.
+    """
+
+    tp: int = 1
+    pp: int = 1
+    ep: int = 1
+
+    def __post_init__(self) -> None:
+        if self.tp < 1 or self.pp < 1 or self.ep < 1:
+            raise ValueError("tp, pp and ep must all be >= 1")
+        if self.ep > 1 and self.tp % self.ep != 0:
+            raise ValueError(
+                f"ep ({self.ep}) must divide tp ({self.tp}): experts are "
+                "placed across the stage's tensor-parallel group"
+            )
+
+    @property
+    def num_devices(self) -> int:
+        return self.tp * self.pp
+
+    @property
+    def expert_shard_tp(self) -> int:
+        """TP degree applied *inside* each expert once EP placement is
+        taken out: with ep groups over tp devices, each expert is sharded
+        over ``tp // ep`` devices."""
+        return self.tp // self.ep if self.ep >= 1 else self.tp
+
+    @property
+    def label(self) -> str:
+        parts = [f"TP{self.tp}"]
+        if self.pp > 1:
+            parts.append(f"PP{self.pp}")
+        if self.ep > 1:
+            parts.append(f"EP{self.ep}")
+        return "+".join(parts)
+
+    def validate_for_model(self, model: ModelConfig) -> None:
+        """Check the plan is realisable for ``model``.
+
+        Raises ``ValueError`` when head counts / expert counts / layer
+        counts are not divisible by the respective degrees.
+        """
+        att = model.attention
+        if att.num_heads % self.tp != 0:
+            raise ValueError(
+                f"{model.name}: num_heads {att.num_heads} not divisible by tp {self.tp}"
+            )
+        if self.pp > model.num_layers:
+            raise ValueError(
+                f"{model.name}: pp {self.pp} exceeds num_layers {model.num_layers}"
+            )
+        if model.moe is not None and self.ep > 1:
+            if model.moe.num_experts % self.ep != 0:
+                raise ValueError(
+                    f"{model.name}: num_experts {model.moe.num_experts} not "
+                    f"divisible by ep {self.ep}"
+                )
+
+
+SINGLE_DEVICE = ParallelPlan()

@@ -1,0 +1,71 @@
+"""Tensor-parallelism analysis (Megatron-style sharding).
+
+Helpers that expose *why* TP behaves the way it does in the paper's
+Fig. 13: per-device weight shards, per-layer collective volume, and the
+communication-to-compute ratio as a function of batch size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.interconnect import allreduce_time
+from repro.hardware.spec import HardwareSpec
+from repro.models.config import ModelConfig
+from repro.models.params import model_params
+from repro.optim.quantization import FP16_CONFIG, QuantConfig
+
+__all__ = ["TPShard", "tp_shard", "tp_comm_time_per_layer", "tp_comm_volume_per_step"]
+
+
+@dataclass(frozen=True)
+class TPShard:
+    """Per-device view of a TP deployment."""
+
+    degree: int
+    weight_bytes_per_device: float
+    heads_per_device: int
+    kv_heads_per_device: int
+
+    @property
+    def weight_gb_per_device(self) -> float:
+        return self.weight_bytes_per_device / 1e9
+
+
+def tp_shard(model: ModelConfig, tp: int, quant: QuantConfig = FP16_CONFIG) -> TPShard:
+    """Shard ``model`` ``tp``-ways and report the per-device footprint."""
+    if tp < 1:
+        raise ValueError("tp must be >= 1")
+    att = model.attention
+    if att.num_heads % tp != 0:
+        raise ValueError(f"num_heads {att.num_heads} not divisible by tp {tp}")
+    total = model_params(model).total
+    return TPShard(
+        degree=tp,
+        weight_bytes_per_device=total / tp * quant.weight_bytes,
+        heads_per_device=att.num_heads // tp,
+        kv_heads_per_device=max(1, att.num_kv_heads // tp),
+    )
+
+
+def tp_comm_volume_per_step(
+    model: ModelConfig, num_tokens: int, quant: QuantConfig = FP16_CONFIG
+) -> float:
+    """Bytes all-reduced per forward step: two ring all-reduces per layer of
+    the ``num_tokens × hidden`` activation."""
+    if num_tokens <= 0:
+        raise ValueError("num_tokens must be positive")
+    payload = num_tokens * model.hidden_size * quant.activation_bytes
+    return 2.0 * model.num_layers * payload
+
+
+def tp_comm_time_per_layer(
+    model: ModelConfig,
+    num_tokens: int,
+    tp: int,
+    hw: HardwareSpec,
+    quant: QuantConfig = FP16_CONFIG,
+) -> float:
+    """Seconds of all-reduce time per decoder layer (2 collectives)."""
+    payload = num_tokens * model.hidden_size * quant.activation_bytes
+    return 2.0 * allreduce_time(payload, tp, hw)

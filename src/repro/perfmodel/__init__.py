@@ -1,0 +1,63 @@
+"""Analytical inference performance model: FLOPs/bytes, memory, phases, E2E."""
+
+from repro.perfmodel.flops import (
+    ComponentCost,
+    attention_core_cost,
+    dense_ffn_cost,
+    embedding_cost,
+    expected_expert_coverage,
+    expected_group_imbalance,
+    lm_head_cost,
+    qkvo_cost,
+    router_cost,
+    routed_experts_cost,
+    shared_expert_cost,
+)
+from repro.perfmodel.energy import (
+    EnergyEstimate,
+    device_power_w,
+    energy_for_generation,
+)
+from repro.perfmodel.inference import InferencePerfModel, OOMError
+from repro.perfmodel.memory import (
+    GPU_MEMORY_UTILIZATION,
+    MemoryBreakdown,
+    MemoryModel,
+)
+from repro.perfmodel.offload import (
+    PCIE_GEN5_GBPS,
+    OffloadPlan,
+    offload_throughput_estimate,
+    offloaded_expert_step_time,
+    traffic_hit_fraction,
+)
+from repro.perfmodel.phases import PhaseBreakdown, StepModel
+
+__all__ = [
+    "ComponentCost",
+    "attention_core_cost",
+    "dense_ffn_cost",
+    "embedding_cost",
+    "expected_expert_coverage",
+    "expected_group_imbalance",
+    "lm_head_cost",
+    "qkvo_cost",
+    "router_cost",
+    "routed_experts_cost",
+    "shared_expert_cost",
+    "EnergyEstimate",
+    "device_power_w",
+    "energy_for_generation",
+    "InferencePerfModel",
+    "OOMError",
+    "GPU_MEMORY_UTILIZATION",
+    "MemoryBreakdown",
+    "MemoryModel",
+    "PCIE_GEN5_GBPS",
+    "OffloadPlan",
+    "offload_throughput_estimate",
+    "offloaded_expert_step_time",
+    "traffic_hit_fraction",
+    "PhaseBreakdown",
+    "StepModel",
+]

@@ -1,0 +1,90 @@
+"""Energy model: joules and tokens-per-joule for a generation.
+
+The paper motivates MoE optimization with "low latency and
+energy-efficient execution on modern accelerators"; this module closes
+that loop.  Power draw is modelled as a utilization-weighted interpolation
+between idle and TDP: compute-bound phases run near TDP, memory/
+communication-stalled phases near the idle floor.  Utilization comes from
+the step model's compute-vs-roofline ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics import InferenceMetrics
+from repro.hardware.spec import HardwareSpec
+from repro.perfmodel.inference import InferencePerfModel
+
+__all__ = ["EnergyEstimate", "device_power_w", "energy_for_generation"]
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Energy accounting of one generation."""
+
+    energy_j: float
+    mean_power_w: float
+    num_devices: int
+
+    def tokens_per_joule(self, total_tokens: int) -> float:
+        if total_tokens <= 0:
+            raise ValueError("total_tokens must be positive")
+        if self.energy_j <= 0:
+            return float("inf")
+        return total_tokens / self.energy_j
+
+    @property
+    def energy_wh(self) -> float:
+        return self.energy_j / 3600.0
+
+
+def device_power_w(hw: HardwareSpec, utilization: float) -> float:
+    """Power draw at a given compute utilization (0..1)."""
+    if not (0.0 <= utilization <= 1.0):
+        raise ValueError(f"utilization must be in [0, 1], got {utilization}")
+    idle = hw.idle_power_fraction * hw.tdp_w
+    return idle + (hw.tdp_w - idle) * utilization
+
+
+def _phase_utilization(pm: InferencePerfModel, num_tokens: int, batch: int,
+                       kv_len: int, phase: str) -> float:
+    """Achieved compute utilization of one step: model FLOPs over the
+    device-seconds the step occupies at peak."""
+    bd = pm.steps.step_breakdown(num_tokens, batch, kv_len, phase)
+    if bd.total <= 0:
+        return 0.0
+    # FLOPs of the step (all components), single-device share
+    from repro.models.params import model_params
+
+    active = model_params(pm.model).active
+    flops = 2.0 * num_tokens * active / pm.setup.plan.num_devices
+    peak = pm.setup.hardware.peak_flops(pm.setup.quant.compute_dtype_name)
+    return float(min(1.0, flops / (peak * bd.total)))
+
+
+def energy_for_generation(
+    pm: InferencePerfModel, metrics: InferenceMetrics
+) -> EnergyEstimate:
+    """Joules consumed producing ``metrics`` on ``pm``'s deployment."""
+    shape = metrics.shape
+    hw = pm.setup.hardware
+    n_dev = pm.setup.plan.num_devices
+
+    u_prefill = _phase_utilization(
+        pm, shape.batch_size * shape.input_tokens, shape.batch_size,
+        shape.input_tokens, "prefill",
+    )
+    mid_ctx = shape.input_tokens + shape.output_tokens // 2
+    u_decode = _phase_utilization(pm, shape.batch_size, shape.batch_size,
+                                  max(1, mid_ctx), "decode")
+
+    t_prefill = metrics.ttft_s
+    t_decode = metrics.e2e_latency_s - metrics.ttft_s
+    energy = n_dev * (
+        device_power_w(hw, u_prefill) * t_prefill
+        + device_power_w(hw, u_decode) * t_decode
+    )
+    mean_power = energy / metrics.e2e_latency_s / n_dev if metrics.e2e_latency_s else 0.0
+    return EnergyEstimate(energy_j=energy, mean_power_w=mean_power,
+                          num_devices=n_dev)

@@ -1,0 +1,150 @@
+"""Device memory footprint model and OOM detection.
+
+Computes per-device weight, KV-cache and activation memory for a model
+under a parallel plan and quantization config, mirroring how vLLM budgets
+an H100: ``gpu_memory_utilization`` of the 80 GB is usable; weights are
+resident; the KV cache takes what the batch needs; the rest is workspace.
+
+The sweeps use :meth:`MemoryModel.fits` to mark configurations as OOM —
+the paper notes "any missing data points in the results indicate OOM
+conditions" (§5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.spec import HardwareSpec
+from repro.models.config import AttentionKind, ModelConfig
+from repro.models.params import model_params
+from repro.optim.quantization import FP16_CONFIG, QuantConfig
+from repro.parallel.plan import SINGLE_DEVICE, ParallelPlan
+
+__all__ = ["MemoryBreakdown", "MemoryModel", "GPU_MEMORY_UTILIZATION", "RUNTIME_OVERHEAD_GB"]
+
+GPU_MEMORY_UTILIZATION = 0.90
+"""Fraction of device memory the engine may use (vLLM default)."""
+
+RUNTIME_OVERHEAD_GB = 1.5
+"""CUDA context + framework allocations outside the managed pool."""
+
+
+@dataclass(frozen=True)
+class MemoryBreakdown:
+    """Per-device memory footprint, in bytes."""
+
+    weights: float
+    kv_cache: float
+    activations: float
+    overhead: float
+
+    @property
+    def total(self) -> float:
+        return self.weights + self.kv_cache + self.activations + self.overhead
+
+    def total_gb(self) -> float:
+        return self.total / 1e9
+
+
+class MemoryModel:
+    """Memory accounting for one (model, hardware, plan, quant) deployment."""
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        hardware: HardwareSpec,
+        plan: ParallelPlan = SINGLE_DEVICE,
+        quant: QuantConfig = FP16_CONFIG,
+        mla_native: bool = False,
+    ) -> None:
+        plan.validate_for_model(model)
+        self.model = model
+        self.hardware = hardware
+        self.plan = plan
+        self.quant = quant
+        self.mla_native = mla_native
+        self._params = model_params(model)
+
+    # ------------------------------------------------------------------ #
+
+    def weight_bytes_per_device(self) -> float:
+        """Resident weight bytes on the most-loaded device.
+
+        Layer weights are sharded ``tp``-ways within a stage and the layer
+        stack is split ``pp``-ways; embeddings/LM head are vocab-parallel
+        over ``tp``.  EP placement redistributes experts but keeps the same
+        per-device total (E/ep experts each sharded tp/ep-ways).
+        """
+        p = self._params
+        layer_total = sum(lp.total for lp in p.layers)
+        per_stage_layers = layer_total / self.plan.pp / self.plan.tp
+        embed = (p.embedding + p.lm_head + p.final_norm) / self.plan.tp
+        vision = p.vision_tower  # vision tower is replicated on rank 0's stage
+        return (per_stage_layers + embed + vision) * self.quant.weight_bytes
+
+    def kv_bytes_per_token_per_device(self) -> float:
+        """KV-cache bytes one context token costs on one device (all of the
+        device's layers).  GQA (and materialised-MLA) KV heads shard across
+        TP; a native-MLA compressed latent is replicated across TP ranks."""
+        att = self.model.attention
+        entries = att.kv_entries_per_token(self.mla_native)
+        if att.kind is AttentionKind.MLA and self.mla_native:
+            shard = 1
+        else:
+            shard = min(self.plan.tp, att.num_kv_heads)
+        layers_per_stage = self.model.num_layers / self.plan.pp
+        return layers_per_stage * entries / shard * self.quant.kv_bytes
+
+    def kv_cache_bytes(self, batch: int, seq_len: int) -> float:
+        """KV bytes for ``batch`` sequences of ``seq_len`` context tokens
+        (sliding-window models keep only the rolling window resident)."""
+        if batch < 0 or seq_len < 0:
+            raise ValueError("batch and seq_len must be non-negative")
+        held = self.model.attention.effective_kv_len(seq_len)
+        return batch * held * self.kv_bytes_per_token_per_device()
+
+    def activation_bytes(self, num_tokens: int) -> float:
+        """Peak transient workspace for a step over ``num_tokens`` tokens."""
+        m = max(1, num_tokens)
+        h = self.model.hidden_size / self.plan.tp
+        widths = [self.model.dense_ffn_dim]
+        if self.model.moe is not None:
+            widths.append(self.model.moe.expert_ffn_dim * self.model.moe.top_k)
+            widths.append(
+                self.model.moe.num_shared_experts * self.model.moe.shared_expert_ffn_dim
+            )
+        f = max(widths) / self.plan.tp
+        act = 2.0 * m * (h + f) * self.quant.activation_bytes
+        # logits buffer is fp32 in most engines
+        logits = min(m, 1024) * self.model.vocab_size / self.plan.tp * 4.0
+        return act + logits
+
+    def breakdown(self, batch: int, seq_len: int, step_tokens: int | None = None) -> MemoryBreakdown:
+        """Footprint of serving ``batch`` sequences at ``seq_len`` context."""
+        m = step_tokens if step_tokens is not None else batch * seq_len
+        return MemoryBreakdown(
+            weights=self.weight_bytes_per_device(),
+            kv_cache=self.kv_cache_bytes(batch, seq_len),
+            activations=self.activation_bytes(m),
+            overhead=RUNTIME_OVERHEAD_GB * 1e9,
+        )
+
+    def budget_bytes(self) -> float:
+        """Usable bytes per device."""
+        return self.hardware.memory_bytes * GPU_MEMORY_UTILIZATION
+
+    def fits(self, batch: int, seq_len: int) -> bool:
+        """Whether the deployment fits in device memory (False == OOM)."""
+        return self.breakdown(batch, seq_len).total <= self.budget_bytes()
+
+    def max_context_tokens(self) -> int:
+        """KV-cache capacity in tokens after weights and overhead (the
+        quantity vLLM logs as '# GPU blocks * block_size')."""
+        free = (
+            self.budget_bytes()
+            - self.weight_bytes_per_device()
+            - RUNTIME_OVERHEAD_GB * 1e9
+            - self.activation_bytes(4096)
+        )
+        per_token = self.kv_bytes_per_token_per_device()
+        return max(0, int(free / per_token))

@@ -1,0 +1,119 @@
+"""Expert offloading to host memory (CPU RAM tier).
+
+When a MoE's resident weights exceed device memory, systems park cold
+experts in host RAM and fetch them over PCIe on demand (DeepSpeed-MoE /
+Mixtral-offloading style).  The decode-step cost then splits by where the
+activated experts live:
+
+* hits — experts resident in HBM stream at HBM bandwidth;
+* misses — experts fetched over PCIe (~50x slower per byte than HBM3),
+  which is the throughput cliff this model quantifies.
+
+The hit rate is determined by which experts are kept hot.  With
+frequency-aware caching and a skewed router, keeping fraction ``f`` of
+experts captures more than ``f`` of the traffic; the mapping is supplied
+by a traffic CDF (uniform by default, or measured activation counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.spec import HardwareSpec
+from repro.models.config import ModelConfig
+from repro.moe.routing_math import expected_expert_coverage
+from repro.optim.quantization import FP16_CONFIG, QuantConfig
+
+__all__ = ["PCIE_GEN5_GBPS", "OffloadPlan", "traffic_hit_fraction",
+           "offloaded_expert_step_time", "offload_throughput_estimate"]
+
+PCIE_GEN5_GBPS = 55.0
+"""Achievable host-to-device bandwidth of a PCIe gen5 x16 link."""
+
+
+def traffic_hit_fraction(activation_counts: np.ndarray, hot_fraction: float) -> float:
+    """Fraction of routed traffic captured by keeping the most-activated
+    ``hot_fraction`` of experts resident."""
+    counts = np.asarray(activation_counts, dtype=np.float64)
+    if counts.ndim != 1 or counts.size == 0:
+        raise ValueError("activation_counts must be a non-empty 1-D array")
+    if not (0.0 <= hot_fraction <= 1.0):
+        raise ValueError("hot_fraction must be in [0, 1]")
+    total = counts.sum()
+    if total == 0:
+        return hot_fraction
+    n_hot = int(round(counts.size * hot_fraction))
+    if n_hot == 0:
+        return 0.0
+    hot = np.sort(counts)[::-1][:n_hot]
+    return float(hot.sum() / total)
+
+
+@dataclass(frozen=True)
+class OffloadPlan:
+    """How a model's experts are split across HBM and host RAM."""
+
+    hot_fraction: float
+    """Fraction of each layer's experts kept in device memory."""
+    hit_fraction: float
+    """Fraction of routed traffic that lands on hot experts."""
+    pcie_gbps: float = PCIE_GEN5_GBPS
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.hot_fraction <= 1.0):
+            raise ValueError("hot_fraction must be in [0, 1]")
+        if not (0.0 <= self.hit_fraction <= 1.0):
+            raise ValueError("hit_fraction must be in [0, 1]")
+        if self.hit_fraction < self.hot_fraction - 1e-9:
+            raise ValueError(
+                "hit_fraction below hot_fraction implies worse-than-random "
+                "caching; pick the hot experts by frequency"
+            )
+        if self.pcie_gbps <= 0:
+            raise ValueError("pcie_gbps must be positive")
+
+
+def offloaded_expert_step_time(
+    model: ModelConfig,
+    num_tokens: int,
+    plan: OffloadPlan,
+    hw: HardwareSpec,
+    quant: QuantConfig = FP16_CONFIG,
+) -> float:
+    """Seconds per decode step spent on routed experts, all layers, when
+    cold experts live in host RAM."""
+    if model.moe is None:
+        raise ValueError(f"{model.name} has no MoE layers")
+    if num_tokens <= 0:
+        raise ValueError("num_tokens must be positive")
+    moe = model.moe
+    per_expert_bytes = (3 if moe.gated else 2) * model.hidden_size * \
+        moe.expert_ffn_dim * quant.weight_bytes
+    coverage = expected_expert_coverage(moe.num_experts, moe.top_k, num_tokens)
+    hot_cov = coverage * plan.hit_fraction
+    cold_cov = coverage - hot_cov
+    t_hbm = hot_cov * per_expert_bytes / hw.mem_bytes_per_s
+    t_pcie = cold_cov * per_expert_bytes / (plan.pcie_gbps * 1e9)
+    return model.num_moe_layers * (t_hbm + t_pcie)
+
+
+def offload_throughput_estimate(
+    model: ModelConfig,
+    batch: int,
+    context_len: int,
+    plan: OffloadPlan,
+    hw: HardwareSpec,
+    quant: QuantConfig = FP16_CONFIG,
+) -> float:
+    """Decode tokens/s with offloading: the fully-resident step cost with
+    its expert term replaced by the tiered version."""
+    from repro.perfmodel.phases import StepModel
+
+    steps = StepModel(model, hw, quant=quant)
+    bd = steps.step_breakdown(batch, batch, context_len, "decode")
+    resident_expert_s = bd.components.get("moe_ffn", 0.0)
+    tiered_expert_s = offloaded_expert_step_time(model, batch, plan, hw, quant)
+    step_s = bd.total - resident_expert_s + max(resident_expert_s, tiered_expert_s)
+    return batch / step_s

@@ -1,0 +1,29 @@
+"""vLLM-substitute serving substrate: paged KV cache, continuous batching,
+discrete-event engine."""
+
+from repro.serving.engine import ServingEngine, ServingResult, serve_static_batch
+from repro.serving.events import Event, EventLog, EventType
+from repro.serving.kv_cache import DEFAULT_BLOCK_SIZE, BlockTable, PagedKVCache
+from repro.serving.prefix_cache import PrefixCachingKVCache, PrefixStats
+from repro.serving.request import Request, RequestState, SamplingParams
+from repro.serving.scheduler import ScheduledBatch, Scheduler, SchedulerConfig
+
+__all__ = [
+    "ServingEngine",
+    "ServingResult",
+    "serve_static_batch",
+    "Event",
+    "EventLog",
+    "EventType",
+    "DEFAULT_BLOCK_SIZE",
+    "BlockTable",
+    "PagedKVCache",
+    "PrefixCachingKVCache",
+    "PrefixStats",
+    "Request",
+    "RequestState",
+    "SamplingParams",
+    "ScheduledBatch",
+    "Scheduler",
+    "SchedulerConfig",
+]

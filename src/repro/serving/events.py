@@ -1,0 +1,61 @@
+"""Event log for the discrete-event serving engine.
+
+Every iteration, admission, preemption and completion is recorded with its
+simulated timestamp so tests and analyses can replay exactly what the
+engine did (per-step batch composition, KV utilization over time, ...).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["EventType", "Event", "EventLog"]
+
+
+class EventType(enum.Enum):
+    ARRIVAL = "arrival"
+    PREFILL = "prefill"
+    DECODE = "decode"
+    PREEMPTION = "preemption"
+    FINISH = "finish"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timestamped engine event."""
+
+    time: float
+    type: EventType
+    request_ids: tuple[int, ...] = ()
+    num_tokens: int = 0
+    duration: float = 0.0
+    kv_utilization: float = 0.0
+
+
+@dataclass
+class EventLog:
+    """Append-only, time-ordered event record."""
+
+    events: list[Event] = field(default_factory=list)
+
+    def record(self, event: Event) -> None:
+        if self.events and event.time < self.events[-1].time - 1e-12:
+            raise ValueError(
+                f"events must be recorded in time order: {event.time} < "
+                f"{self.events[-1].time}"
+            )
+        self.events.append(event)
+
+    def of_type(self, event_type: EventType) -> list[Event]:
+        return [e for e in self.events if e.type is event_type]
+
+    @property
+    def num_iterations(self) -> int:
+        return sum(1 for e in self.events if e.type in (EventType.PREFILL, EventType.DECODE))
+
+    def total_busy_time(self) -> float:
+        return sum(e.duration for e in self.events)
+
+    def peak_kv_utilization(self) -> float:
+        return max((e.kv_utilization for e in self.events), default=0.0)

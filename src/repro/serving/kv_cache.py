@@ -1,0 +1,139 @@
+"""Paged KV-cache block manager (the PagedAttention substrate).
+
+Device KV memory is divided into fixed-size blocks of ``block_size`` token
+slots.  Each sequence owns a block table; blocks are allocated on demand as
+the sequence grows and returned on free.  This is the allocator behind
+vLLM's continuous batching: the scheduler asks ``can_allocate`` /
+``can_append_slot`` before admitting or stepping sequences and preempts
+when the pool runs dry.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["BlockTable", "PagedKVCache", "DEFAULT_BLOCK_SIZE"]
+
+DEFAULT_BLOCK_SIZE = 16
+
+
+@dataclass
+class BlockTable:
+    """Blocks owned by one sequence plus its filled-slot count."""
+
+    blocks: list[int]
+    num_tokens: int = 0
+
+    def slots(self, block_size: int) -> int:
+        return len(self.blocks) * block_size
+
+
+class PagedKVCache:
+    """Fixed-pool block allocator with per-sequence block tables."""
+
+    def __init__(self, num_blocks: int, block_size: int = DEFAULT_BLOCK_SIZE) -> None:
+        if num_blocks <= 0:
+            raise ValueError(f"num_blocks must be positive, got {num_blocks}")
+        if block_size <= 0:
+            raise ValueError(f"block_size must be positive, got {block_size}")
+        self.num_blocks = num_blocks
+        self.block_size = block_size
+        self._free: list[int] = list(range(num_blocks - 1, -1, -1))
+        self._tables: dict[int, BlockTable] = {}
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def free_blocks(self) -> int:
+        return len(self._free)
+
+    @property
+    def used_blocks(self) -> int:
+        return self.num_blocks - self.free_blocks
+
+    @property
+    def utilization(self) -> float:
+        return self.used_blocks / self.num_blocks
+
+    def blocks_needed(self, num_tokens: int) -> int:
+        return math.ceil(num_tokens / self.block_size)
+
+    def can_allocate(self, num_tokens: int, watermark_blocks: int = 0) -> bool:
+        """Whether a new sequence of ``num_tokens`` fits, keeping a reserve
+        of ``watermark_blocks`` free (vLLM's anti-thrash watermark)."""
+        return self.blocks_needed(num_tokens) + watermark_blocks <= self.free_blocks
+
+    def has_sequence(self, seq_id: int) -> bool:
+        return seq_id in self._tables
+
+    def num_tokens(self, seq_id: int) -> int:
+        return self._table(seq_id).num_tokens
+
+    def block_table(self, seq_id: int) -> tuple[int, ...]:
+        return tuple(self._table(seq_id).blocks)
+
+    def _table(self, seq_id: int) -> BlockTable:
+        try:
+            return self._tables[seq_id]
+        except KeyError:
+            raise KeyError(f"sequence {seq_id} has no allocation") from None
+
+    def _take_free_block(self) -> int:
+        """Pop one free block (subclasses may evict cached content here)."""
+        return self._free.pop()
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+
+    def allocate(self, seq_id: int, num_tokens: int) -> None:
+        """Allocate blocks for a new sequence holding ``num_tokens``."""
+        if seq_id in self._tables:
+            raise ValueError(f"sequence {seq_id} already allocated")
+        if num_tokens <= 0:
+            raise ValueError("num_tokens must be positive")
+        need = self.blocks_needed(num_tokens)
+        if need > self.free_blocks:
+            raise MemoryError(
+                f"KV pool exhausted: need {need} blocks, {self.free_blocks} free"
+            )
+        blocks = [self._take_free_block() for _ in range(need)]
+        self._tables[seq_id] = BlockTable(blocks=blocks, num_tokens=num_tokens)
+
+    def can_append_slots(self, seq_id: int, num_new_tokens: int = 1) -> bool:
+        table = self._table(seq_id)
+        free_slots = table.slots(self.block_size) - table.num_tokens
+        extra = max(0, num_new_tokens - free_slots)
+        return self.blocks_needed(extra) <= self.free_blocks if extra else True
+
+    def append_slots(self, seq_id: int, num_new_tokens: int = 1) -> None:
+        """Grow a sequence by ``num_new_tokens`` slots (decode step or
+        chunked-prefill continuation)."""
+        if num_new_tokens <= 0:
+            raise ValueError("num_new_tokens must be positive")
+        table = self._table(seq_id)
+        free_slots = table.slots(self.block_size) - table.num_tokens
+        extra_tokens = max(0, num_new_tokens - free_slots)
+        need = self.blocks_needed(extra_tokens)
+        if need > self.free_blocks:
+            raise MemoryError(
+                f"KV pool exhausted appending to seq {seq_id}: need {need} "
+                f"blocks, {self.free_blocks} free"
+            )
+        for _ in range(need):
+            table.blocks.append(self._take_free_block())
+        table.num_tokens += num_new_tokens
+
+    def free(self, seq_id: int) -> None:
+        """Return a sequence's blocks to the pool."""
+        table = self._tables.pop(seq_id, None)
+        if table is None:
+            raise KeyError(f"sequence {seq_id} has no allocation")
+        self._free.extend(reversed(table.blocks))
+
+    def reset(self) -> None:
+        self._free = list(range(self.num_blocks - 1, -1, -1))
+        self._tables.clear()

@@ -1,0 +1,189 @@
+"""Prefix-caching paged KV cache (vLLM automatic prefix caching).
+
+Extends the paged allocator with content-addressed block sharing: a
+sequence's prompt is described by a list of per-block *hashes* (one per
+``block_size`` tokens); full blocks whose hash is already resident are
+shared by bumping a reference count instead of re-prefilled.  Freed blocks
+whose content may be reused are parked in an LRU pool and only truly
+evicted when the allocator runs dry — so a popular system prompt's KV
+survives across requests.
+
+The scheduler consumes ``cached_prefix_tokens`` to skip the prefill work
+for shared blocks, which is exactly where the production win (TTFT for
+templated prompts) comes from.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.serving.kv_cache import DEFAULT_BLOCK_SIZE, PagedKVCache
+
+__all__ = ["PrefixCachingKVCache", "PrefixStats"]
+
+
+@dataclass
+class PrefixStats:
+    """Hit/miss counters for the prefix cache."""
+
+    lookups: int = 0
+    hits: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class _SharedBlock:
+    block_id: int
+    refcount: int
+
+
+class PrefixCachingKVCache(PagedKVCache):
+    """Paged KV cache with content-hash block sharing.
+
+    Sequences allocated through :meth:`allocate_with_prefix` share full
+    prompt blocks by hash; everything else behaves like the base
+    allocator (decode growth, free, watermarks).
+    """
+
+    def __init__(self, num_blocks: int, block_size: int = DEFAULT_BLOCK_SIZE) -> None:
+        super().__init__(num_blocks, block_size)
+        self._by_hash: dict[int, _SharedBlock] = {}
+        self._hash_of_block: dict[int, int] = {}
+        # blocks with refcount 0 whose contents are still valid, LRU order
+        self._reusable: OrderedDict[int, int] = OrderedDict()  # hash -> block
+        self._seq_shared: dict[int, list[int]] = {}
+        self.stats = PrefixStats()
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    @property
+    def free_blocks(self) -> int:  # type: ignore[override]
+        """Truly free plus evictable (refcount-0 cached) blocks."""
+        return len(self._free) + len(self._reusable)
+
+    def _take_free_block(self) -> int:
+        if self._free:
+            return self._free.pop()
+        if self._reusable:
+            # evict the least-recently-used cached block (reusable blocks
+            # are keyed only by _reusable/_hash_of_block, not _by_hash)
+            h, block = self._reusable.popitem(last=False)
+            del self._hash_of_block[block]
+            self.stats.evictions += 1
+            return block
+        raise MemoryError("KV pool exhausted")
+
+    # ------------------------------------------------------------------ #
+    # prefix-aware allocation
+    # ------------------------------------------------------------------ #
+
+    def cached_prefix_tokens(self, block_hashes: tuple[int, ...]) -> int:
+        """Tokens of the prompt prefix already resident (full blocks whose
+        hash hits, counted from the front until the first miss)."""
+        cached = 0
+        for h in block_hashes:
+            if h in self._by_hash or h in self._reusable:
+                cached += self.block_size
+            else:
+                break
+        return cached
+
+    def allocate_with_prefix(
+        self, seq_id: int, num_tokens: int, block_hashes: tuple[int, ...]
+    ) -> int:
+        """Allocate ``num_tokens`` for ``seq_id``, sharing hash-matching
+        prompt blocks.  Returns the number of prefix tokens served from
+        cache (multiple of ``block_size``).
+
+        ``block_hashes`` describes the leading *full* blocks of the prompt;
+        trailing partial blocks and generated tokens always get private
+        blocks.
+        """
+        if seq_id in self._tables:
+            raise ValueError(f"sequence {seq_id} already allocated")
+        if num_tokens <= 0:
+            raise ValueError("num_tokens must be positive")
+        max_hashed = num_tokens // self.block_size
+        if len(block_hashes) > max_hashed:
+            raise ValueError(
+                f"{len(block_hashes)} block hashes exceed the {max_hashed} "
+                f"full blocks of a {num_tokens}-token prompt"
+            )
+        if len(set(block_hashes)) != len(block_hashes):
+            raise ValueError(
+                "duplicate block hashes — prefix hashes must incorporate "
+                "the preceding context and therefore be unique per request"
+            )
+        need_total = self.blocks_needed(num_tokens)
+
+        blocks: list[int] = []
+        shared: list[int] = []
+        cached_tokens = 0
+        hit_streak = True
+        for h in block_hashes:
+            self.stats.lookups += 1
+            entry = self._by_hash.get(h)
+            if entry is None and h in self._reusable:
+                block = self._reusable.pop(h)
+                entry = _SharedBlock(block_id=block, refcount=0)
+                self._by_hash[h] = entry
+            if entry is not None and hit_streak:
+                self.stats.hits += 1
+                entry.refcount += 1
+                blocks.append(entry.block_id)
+                shared.append(entry.block_id)
+                cached_tokens += self.block_size
+                continue
+            hit_streak = False
+            block = self._take_free_block()
+            blocks.append(block)
+            if h not in self._by_hash:
+                # register this request's content for future sharers
+                self._by_hash[h] = _SharedBlock(block_id=block, refcount=1)
+                self._hash_of_block[block] = h
+                shared.append(block)
+            # else: identical content is resident under another sequence's
+            # block; keep this copy private to avoid refcount aliasing
+        # private blocks for the unhashed remainder
+        while len(blocks) < need_total:
+            blocks.append(self._take_free_block())
+
+        from repro.serving.kv_cache import BlockTable
+
+        self._tables[seq_id] = BlockTable(blocks=blocks, num_tokens=num_tokens)
+        self._seq_shared[seq_id] = shared
+        return cached_tokens
+
+    def free(self, seq_id: int) -> None:  # type: ignore[override]
+        """Release a sequence; shared blocks decrement refcounts and park
+        in the reusable pool when they reach zero."""
+        table = self._tables.pop(seq_id, None)
+        if table is None:
+            raise KeyError(f"sequence {seq_id} has no allocation")
+        shared = set(self._seq_shared.pop(seq_id, []))
+        for block in reversed(table.blocks):
+            if block in shared:
+                h = self._hash_of_block[block]
+                entry = self._by_hash[h]
+                entry.refcount -= 1
+                if entry.refcount == 0:
+                    del self._by_hash[h]
+                    self._reusable[h] = block
+                    self._reusable.move_to_end(h)
+            else:
+                self._free.append(block)
+
+    def reset(self) -> None:  # type: ignore[override]
+        super().reset()
+        self._by_hash.clear()
+        self._hash_of_block.clear()
+        self._reusable.clear()
+        self._seq_shared.clear()
+        self.stats = PrefixStats()

@@ -1,0 +1,220 @@
+"""Continuous-batching scheduler (vLLM-style iteration-level scheduling).
+
+Each engine iteration the scheduler emits one :class:`ScheduledBatch`:
+
+* **prefill batch** — waiting/preempted requests are admitted FCFS while
+  the KV pool can hold their prompts and the token budget
+  (``max_num_batched_tokens``) is not exceeded;
+* otherwise a **decode batch** — every running sequence advances one token.
+
+When a decode step cannot grow some sequence (KV pool dry), the most
+recently admitted sequence is preempted by recomputation and requeued —
+exactly vLLM's default policy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.serving.kv_cache import PagedKVCache
+from repro.serving.request import Request, RequestState
+
+__all__ = ["SchedulerConfig", "ScheduledBatch", "Scheduler"]
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Scheduler limits (vLLM knob names).
+
+    ``policy`` selects which phase an iteration prefers when both are
+    possible: ``"prefill_first"`` (vLLM v0 — new requests jump the queue,
+    best TTFT) or ``"decode_first"`` (running sequences advance before new
+    admissions, best ITL/tail-token latency).
+    """
+
+    max_num_seqs: int = 256
+    max_num_batched_tokens: int = 8192
+    watermark_blocks: int = 1
+    enable_chunked_prefill: bool = False
+    chunk_size: int = 2048
+    policy: str = "prefill_first"
+
+    def __post_init__(self) -> None:
+        if self.max_num_seqs <= 0:
+            raise ValueError("max_num_seqs must be positive")
+        if self.max_num_batched_tokens <= 0:
+            raise ValueError("max_num_batched_tokens must be positive")
+        if self.watermark_blocks < 0:
+            raise ValueError("watermark_blocks must be non-negative")
+        if self.chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        if self.policy not in ("prefill_first", "decode_first"):
+            raise ValueError(
+                f"policy must be 'prefill_first' or 'decode_first', "
+                f"got {self.policy!r}"
+            )
+
+
+@dataclass
+class ScheduledBatch:
+    """One engine iteration's work."""
+
+    phase: str  # "prefill" | "decode"
+    requests: list[Request]
+    num_tokens: int
+    """New tokens processed this iteration (prompt tokens or one per seq)."""
+    preempted: list[Request] = field(default_factory=list)
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.requests)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.requests
+
+
+class Scheduler:
+    """FCFS continuous-batching scheduler over a paged KV pool."""
+
+    def __init__(self, config: SchedulerConfig, kv_cache: PagedKVCache) -> None:
+        self.config = config
+        self.kv = kv_cache
+        self.waiting: deque[Request] = deque()
+        self.running: list[Request] = []
+
+    # ------------------------------------------------------------------ #
+
+    def add_request(self, request: Request) -> None:
+        if request.state not in (RequestState.WAITING, RequestState.PREEMPTED):
+            raise ValueError(
+                f"request {request.request_id} in state {request.state} cannot be queued"
+            )
+        self.waiting.append(request)
+
+    @property
+    def has_unfinished(self) -> bool:
+        return bool(self.waiting or self.running)
+
+    @property
+    def num_running(self) -> int:
+        return len(self.running)
+
+    # ------------------------------------------------------------------ #
+
+    def schedule(self) -> ScheduledBatch:
+        """Produce the next iteration's batch (may be empty if starved)."""
+        if self.config.policy == "decode_first" and self.running:
+            decode = self._schedule_decode()
+            if not decode.is_empty:
+                return decode
+        prefill = self._schedule_prefill()
+        if not prefill.is_empty:
+            return prefill
+        return self._schedule_decode()
+
+    def _prefill_tokens_for(self, req: Request) -> int:
+        """Tokens of ``req`` to prefill this iteration (whole prompt, or one
+        chunk under chunked prefill)."""
+        remaining = req.remaining_prefill
+        if self.config.enable_chunked_prefill:
+            return min(remaining, self.config.chunk_size)
+        return remaining
+
+    def _schedule_prefill(self) -> ScheduledBatch:
+        batch: list[Request] = []
+        tokens = 0
+        while self.waiting:
+            req = self.waiting[0]
+            take = self._prefill_tokens_for(req)
+            if batch and tokens + take > self.config.max_num_batched_tokens:
+                break
+            if len(self.running) + len(batch) + 1 > self.config.max_num_seqs:
+                break
+            if not self.kv.has_sequence(req.request_id):
+                # admit: the whole prompt's KV must fit (vLLM allocates the
+                # full prompt at admission even under chunked prefill)
+                if not self.kv.can_allocate(
+                    req.prefill_target, self.config.watermark_blocks
+                ):
+                    break
+                if req.prompt_block_hashes and hasattr(self.kv, "allocate_with_prefix"):
+                    cached = self.kv.allocate_with_prefix(
+                        req.request_id, req.prefill_target,
+                        req.prompt_block_hashes,
+                    )
+                    # at least the final position must be recomputed so the
+                    # engine has logits to sample the first token from
+                    req.kv_tokens = min(cached, req.prefill_target - 1)
+                    take = self._prefill_tokens_for(req)
+                else:
+                    self.kv.allocate(req.request_id, req.prefill_target)
+            self.waiting.popleft()
+            req.state = RequestState.RUNNING
+            batch.append(req)
+            tokens += take
+            if not self.config.enable_chunked_prefill and tokens >= self.config.max_num_batched_tokens:
+                break
+        return ScheduledBatch(phase="prefill", requests=batch, num_tokens=tokens)
+
+    def _schedule_decode(self) -> ScheduledBatch:
+        preempted: list[Request] = []
+        # grow each running sequence by one slot, preempting LIFO on pressure
+        runnable: list[Request] = []
+        for req in self.running:
+            runnable.append(req)
+        victims: list[Request] = []
+        for req in list(runnable):
+            if req in victims:
+                continue
+            appended = False
+            while not appended:
+                if self.kv.can_append_slots(req.request_id, 1):
+                    self.kv.append_slots(req.request_id, 1)
+                    appended = True
+                    break
+                # free the most recently admitted other sequence; if none is
+                # left, this sequence itself yields (recompute later)
+                candidates = [r for r in runnable if r is not req and r not in victims]
+                victim = candidates[-1] if candidates else req
+                victims.append(victim)
+                self._preempt(victim)
+                if victim is req:
+                    break
+        for v in victims:
+            runnable.remove(v)
+            preempted.append(v)
+        self.running = [r for r in self.running if r not in victims]
+        return ScheduledBatch(
+            phase="decode",
+            requests=list(self.running),
+            num_tokens=len(self.running),
+            preempted=preempted,
+        )
+
+    def _preempt(self, req: Request) -> None:
+        self.kv.free(req.request_id)
+        req.reset_for_recompute()
+        self.waiting.appendleft(req)
+
+    # ------------------------------------------------------------------ #
+
+    def on_prefill_done(self, batch: ScheduledBatch) -> None:
+        """Advance KV bookkeeping after a prefill iteration."""
+        for req in batch.requests:
+            take = self._prefill_tokens_for(req)
+            req.kv_tokens += take
+            if req.is_prefill_pending:
+                # chunked prefill: requeue at the front to continue next time
+                req.state = RequestState.WAITING
+                self.waiting.appendleft(req)
+            else:
+                self.running.append(req)
+
+    def on_decode_done(self, batch: ScheduledBatch, finished: list[Request]) -> None:
+        """Remove finished sequences and release their KV."""
+        for req in finished:
+            req.state = RequestState.FINISHED
+            self.kv.free(req.request_id)
+            self.running.remove(req)

@@ -1,0 +1,143 @@
+"""Multi-head / grouped-query attention with an explicit KV cache.
+
+This is the functional (NumPy) counterpart of the attention term in the
+analytical performance model.  It supports incremental decoding: each call
+appends the new keys/values to the cache and attends over the full prefix
+with a causal mask, exactly like a serving engine's prefill + decode steps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.config import AttentionConfig, AttentionKind
+from repro.tensor.functional import apply_rope, causal_mask, rope_frequencies, softmax
+from repro.tensor.linear import Linear
+
+__all__ = ["KVCache", "Attention"]
+
+
+class KVCache:
+    """Preallocated per-layer key/value cache.
+
+    Shapes: ``(batch, max_seq, num_kv_heads, head_dim)`` for both K and V.
+    ``length`` tracks how many positions are filled; appends are in-place
+    writes into the preallocated buffers (no reallocation per step).
+    """
+
+    def __init__(self, batch: int, max_seq: int, num_kv_heads: int, head_dim: int) -> None:
+        if min(batch, max_seq, num_kv_heads, head_dim) <= 0:
+            raise ValueError("all KVCache dimensions must be positive")
+        self.k = np.zeros((batch, max_seq, num_kv_heads, head_dim), dtype=np.float32)
+        self.v = np.zeros_like(self.k)
+        self.length = 0
+        self.max_seq = max_seq
+
+    def append(self, k: np.ndarray, v: np.ndarray) -> None:
+        """Append ``(batch, new_seq, kv_heads, head_dim)`` keys/values."""
+        new = k.shape[1]
+        if self.length + new > self.max_seq:
+            raise ValueError(
+                f"KV cache overflow: {self.length} + {new} > max_seq {self.max_seq}"
+            )
+        self.k[:, self.length : self.length + new] = k
+        self.v[:, self.length : self.length + new] = v
+        self.length += new
+
+    def view(self) -> tuple[np.ndarray, np.ndarray]:
+        """Views (no copies) of the filled portion of the cache."""
+        return self.k[:, : self.length], self.v[:, : self.length]
+
+    def reset(self) -> None:
+        self.length = 0
+
+
+class Attention:
+    """GQA/MHA attention block with RoPE and causal masking.
+
+    MLA configs are executed in their *decompressed* equivalent form (same
+    math, materialised K/V) — the compression only changes cache geometry
+    and weight shapes, which the performance model accounts for separately.
+    """
+
+    def __init__(
+        self,
+        cfg: AttentionConfig,
+        hidden_size: int,
+        rng: np.random.Generator,
+        max_positions: int = 4096,
+        rope_base: float = 10000.0,
+    ) -> None:
+        self.cfg = cfg
+        self.hidden_size = hidden_size
+        h, kv, d = cfg.num_heads, cfg.num_kv_heads, cfg.head_dim
+        if cfg.kind is AttentionKind.MLA:
+            # Decompressed execution: materialise full per-head K/V.
+            d = cfg.qk_nope_head_dim + cfg.qk_rope_head_dim
+            self.v_head_dim = cfg.v_head_dim or d
+        else:
+            self.v_head_dim = d
+        self.head_dim = d
+        self.wq = Linear.random(rng, hidden_size, h * d)
+        self.wk = Linear.random(rng, hidden_size, kv * d)
+        self.wv = Linear.random(rng, hidden_size, kv * self.v_head_dim)
+        self.wo = Linear.random(rng, h * self.v_head_dim, hidden_size)
+        self._phases = rope_frequencies(d, max_positions, rope_base)
+        self.scale = 1.0 / np.sqrt(d)
+
+    def new_cache(self, batch: int, max_seq: int) -> KVCache:
+        return KVCache(batch, max_seq, self.cfg.num_kv_heads, self.head_dim)
+
+    def new_value_cache(self, batch: int, max_seq: int) -> KVCache:  # pragma: no cover
+        return KVCache(batch, max_seq, self.cfg.num_kv_heads, self.v_head_dim)
+
+    def __call__(self, x: np.ndarray, cache: KVCache | None = None) -> np.ndarray:
+        """Run attention over ``x`` of shape ``(batch, seq, hidden)``.
+
+        With a cache, the call is incremental: ``x`` holds only the new
+        tokens, K/V are appended, and queries attend over the whole prefix.
+        """
+        if x.ndim != 3:
+            raise ValueError(f"x must be (batch, seq, hidden), got {x.shape}")
+        b, s, _ = x.shape
+        h, kv = self.cfg.num_heads, self.cfg.num_kv_heads
+        d, dv = self.head_dim, self.v_head_dim
+
+        q = self.wq(x).reshape(b, s, h, d)
+        k = self.wk(x).reshape(b, s, kv, d)
+        v = self.wv(x).reshape(b, s, kv, dv)
+
+        start = cache.length if cache is not None else 0
+        positions = np.arange(start, start + s)
+        # RoPE expects (..., seq, head_dim): move the head axis forward.
+        q = apply_rope(q.transpose(0, 2, 1, 3), self._phases, positions)
+        k = apply_rope(k.transpose(0, 2, 1, 3), self._phases, positions)
+        q = q.transpose(0, 2, 1, 3)
+        k = k.transpose(0, 2, 1, 3)
+
+        if cache is not None:
+            # V-cache shares the K-cache head_dim only when dv == d; the
+            # constructor's new_cache covers the common (GQA) case.
+            if dv != d:
+                raise NotImplementedError(
+                    "cached execution requires v_head_dim == head_dim; "
+                    "decompressed-MLA caching is supported via equal dims"
+                )
+            cache.append(k, v)
+            k_all, v_all = cache.view()
+        else:
+            k_all, v_all = k, v
+
+        kv_len = k_all.shape[1]
+        group = h // kv
+        # expand KV heads across the query groups without copying data
+        k_exp = np.repeat(k_all, group, axis=2) if group > 1 else k_all
+        v_exp = np.repeat(v_all, group, axis=2) if group > 1 else v_all
+
+        # (b, h, s, kv_len) attention scores
+        scores = np.einsum("bshd,bthd->bhst", q, k_exp, optimize=True) * self.scale
+        mask = causal_mask(s, kv_len, self.cfg.sliding_window)
+        scores = np.where(mask[None, None], scores, -np.inf)
+        probs = softmax(scores, axis=-1)
+        ctx = np.einsum("bhst,bthd->bshd", probs, v_exp, optimize=True)
+        return self.wo(ctx.reshape(b, s, h * dv))

@@ -1,0 +1,84 @@
+"""Linear layers for the NumPy execution engine, with optional fake-quantized
+weight storage (the numeric counterpart of :mod:`repro.optim.quantization`)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.dtypes import DType, FP32, get_dtype, quantize_dequantize
+
+__all__ = ["Linear", "init_weight"]
+
+
+def init_weight(
+    rng: np.random.Generator, fan_in: int, fan_out: int, scale: float = 1.0
+) -> np.ndarray:
+    """Scaled Gaussian init (std = scale / sqrt(fan_in)), float32.
+
+    The 1/sqrt(fan_in) scaling keeps activation magnitudes O(1) through deep
+    stacks, which matters for quantization experiments: FP8/INT8 error is a
+    function of dynamic range.
+    """
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError("fan_in and fan_out must be positive")
+    std = scale / np.sqrt(fan_in)
+    return rng.normal(0.0, std, size=(fan_in, fan_out)).astype(np.float32)
+
+
+class Linear:
+    """A dense projection ``y = x @ W``.
+
+    Parameters
+    ----------
+    weight:
+        ``(in_features, out_features)`` float32 array.
+    weight_dtype:
+        Storage dtype.  Quantized dtypes round-trip the weights through the
+        corresponding quantization kernel once, at construction, simulating
+        weight-only quantized inference.
+    """
+
+    def __init__(self, weight: np.ndarray, weight_dtype: DType | str = FP32) -> None:
+        weight = np.asarray(weight, dtype=np.float32)
+        if weight.ndim != 2:
+            raise ValueError(f"weight must be 2-D, got shape {weight.shape}")
+        self.dtype = get_dtype(weight_dtype)
+        if self.dtype.name != "fp32":
+            weight = quantize_dequantize(weight, self.dtype, axis=0)
+        self.weight = np.ascontiguousarray(weight)
+
+    @property
+    def in_features(self) -> int:
+        return self.weight.shape[0]
+
+    @property
+    def out_features(self) -> int:
+        return self.weight.shape[1]
+
+    @property
+    def num_params(self) -> int:
+        return self.weight.size
+
+    def storage_bytes(self) -> float:
+        """Bytes this layer would occupy at its storage dtype."""
+        return self.weight.size * self.dtype.bytes_per_element
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"input last dim {x.shape[-1]} != in_features {self.in_features}"
+            )
+        return x @ self.weight
+
+    @classmethod
+    def random(
+        cls,
+        rng: np.random.Generator,
+        in_features: int,
+        out_features: int,
+        weight_dtype: DType | str = FP32,
+        scale: float = 1.0,
+    ) -> "Linear":
+        """Construct with :func:`init_weight` initialisation."""
+        return cls(init_weight(rng, in_features, out_features, scale), weight_dtype)

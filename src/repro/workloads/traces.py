@@ -1,0 +1,43 @@
+"""Arrival traces for serving simulations: Poisson, bursty, closed-loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["poisson_arrivals", "burst_arrivals", "BurstSpec"]
+
+
+def poisson_arrivals(
+    rate_per_s: float, n: int, rng: np.random.Generator, start: float = 0.0
+) -> np.ndarray:
+    """``n`` arrival timestamps of a Poisson process at ``rate_per_s``."""
+    if rate_per_s <= 0:
+        raise ValueError("rate_per_s must be positive")
+    if n <= 0:
+        raise ValueError("n must be positive")
+    gaps = rng.exponential(1.0 / rate_per_s, size=n)
+    return start + np.cumsum(gaps)
+
+
+@dataclass(frozen=True)
+class BurstSpec:
+    """A burst of ``size`` simultaneous requests every ``period_s`` seconds."""
+
+    size: int
+    period_s: float
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError("size must be positive")
+        if self.period_s <= 0:
+            raise ValueError("period_s must be positive")
+
+
+def burst_arrivals(spec: BurstSpec, num_bursts: int, start: float = 0.0) -> np.ndarray:
+    """Timestamps of ``num_bursts`` bursts (each of ``spec.size`` requests)."""
+    if num_bursts <= 0:
+        raise ValueError("num_bursts must be positive")
+    times = np.repeat(start + np.arange(num_bursts) * spec.period_s, spec.size)
+    return times

@@ -1,0 +1,83 @@
+"""Calibration locks: guard the headline reproduced numbers.
+
+EXPERIMENTS.md quotes specific measured values; these tests pin them with
+generous tolerances (±20-30%) so an accidental recalibration of the
+hardware constants that silently changes a reproduced *shape* fails
+loudly.  If you recalibrate deliberately, update EXPERIMENTS.md and these
+locks together.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.gpus import H100_SXM
+from repro.models.zoo import get_model
+from repro.optim.quantization import FP8_CONFIG, FP16_CONFIG
+from repro.parallel.plan import ParallelPlan
+from repro.perfmodel.inference import InferencePerfModel
+
+
+def _thr(model, plan=None, quant=FP16_CONFIG, bs=32, io=1024, fused=True):
+    pm = InferencePerfModel(get_model(model), H100_SXM,
+                            plan=plan or ParallelPlan(), quant=quant,
+                            fused_moe=fused)
+    return pm.generate(bs, io, io, check_memory=False).throughput_tok_s
+
+
+class TestAbsoluteLocks:
+    """Coarse absolute values (±25%): the model's overall scale."""
+
+    def test_mixtral_tp4_fp16(self):
+        assert _thr("Mixtral-8x7B", ParallelPlan(tp=4)) == pytest.approx(
+            4700, rel=0.25
+        )
+
+    def test_olmoe_single_gpu(self):
+        assert _thr("OLMoE-1B-7B") == pytest.approx(7200, rel=0.25)
+
+    def test_olmoe_bs1_decode_rate(self):
+        pm = InferencePerfModel(get_model("OLMoE-1B-7B"), H100_SXM)
+        rate = 1.0 / pm.steps.decode_step_time(1, 512)
+        assert rate == pytest.approx(390, rel=0.3)
+
+
+class TestRatioLocks:
+    """The reproduced paper ratios (±8 percentage points)."""
+
+    def test_fp8_gain_large_batch(self):
+        f16 = _thr("Mixtral-8x7B", ParallelPlan(tp=4), FP16_CONFIG, bs=64)
+        f8 = _thr("Mixtral-8x7B", ParallelPlan(tp=4), FP8_CONFIG, bs=64)
+        gain = 100 * (f8 / f16 - 1)
+        assert 15 <= gain <= 35  # paper: 25-30%
+
+    def test_fused_moe_gain(self):
+        fused = _thr("Mixtral-8x7B", ParallelPlan(tp=4), bs=16)
+        naive = _thr("Mixtral-8x7B", ParallelPlan(tp=4), bs=16, fused=False)
+        gain = 100 * (fused / naive - 1)
+        assert 8 <= gain <= 30  # paper: 15-20%
+
+    def test_tp_scaling(self):
+        t1 = _thr("Mixtral-8x7B", ParallelPlan(tp=1), bs=16)
+        t4 = _thr("Mixtral-8x7B", ParallelPlan(tp=4), bs=16)
+        assert 2.0 <= t4 / t1 <= 4.0  # paper: >2x
+
+    def test_pp_flat(self):
+        t1 = _thr("Mixtral-8x7B", ParallelPlan(pp=1), bs=16)
+        t4 = _thr("Mixtral-8x7B", ParallelPlan(pp=4), bs=16)
+        assert 0.85 <= t4 / t1 <= 1.1  # paper: almost flat
+
+    def test_qwen_beats_deepseek(self):
+        q = _thr("Qwen1.5-MoE-A2.7B", bs=32, io=512)
+        d = _thr("DeepSeek-V2-Lite", bs=32, io=512)
+        assert 1.05 <= q / d <= 1.5  # paper: 20-30%
+
+    def test_ttft_ordering_llms(self):
+        ttfts = {}
+        for name, tp in (("OLMoE-1B-7B", 1), ("DeepSeek-V2-Lite", 1),
+                         ("Mixtral-8x7B", 2)):
+            pm = InferencePerfModel(get_model(name), H100_SXM,
+                                    plan=ParallelPlan(tp=tp))
+            ttfts[name] = pm.ttft(64, 2048)
+        assert ttfts["OLMoE-1B-7B"] < ttfts["DeepSeek-V2-Lite"]
+        assert ttfts["OLMoE-1B-7B"] < ttfts["Mixtral-8x7B"]

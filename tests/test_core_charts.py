@@ -1,0 +1,97 @@
+"""Tests for repro.core.charts (text chart rendering)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.charts import bar_chart, heatmap, line_chart
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        out = line_chart({"a": [(1, 10), (2, 20), (4, 40)]},
+                         title="demo", width=30, height=8)
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert any("o" in l for l in lines)
+        assert lines[-1].startswith("legend:")
+        assert "o=a" in lines[-1]
+
+    def test_multiple_series_distinct_markers(self):
+        out = line_chart({"a": [(1, 1), (2, 2)], "b": [(1, 2), (2, 1)]},
+                         width=20, height=6)
+        assert "o=a" in out and "x=b" in out
+        assert "o" in out and "x" in out
+
+    def test_logx(self):
+        out = line_chart({"s": [(1, 1), (128, 2)]}, width=20, height=6, logx=True)
+        assert "128" in out
+
+    def test_logx_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            line_chart({"s": [(0, 1), (2, 2)]}, logx=True)
+
+    def test_constant_y_handled(self):
+        out = line_chart({"s": [(1, 5), (2, 5)]}, width=20, height=6)
+        assert "5" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"s": [(1, 1)]}, width=4, height=2)
+        with pytest.raises(ValueError):
+            line_chart({"s": []})
+
+    def test_extremes_are_labelled(self):
+        out = line_chart({"s": [(1, 100), (2, 900)]}, width=20, height=6)
+        assert "900" in out and "100" in out
+
+
+class TestBarChart:
+    def test_render(self):
+        out = bar_chart({"fast": 100.0, "slow": 25.0}, title="t", width=20)
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        assert lines[1].count("#") == 20
+        assert lines[2].count("#") == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": -1.0})
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_zero_values_ok(self):
+        out = bar_chart({"a": 0.0, "b": 0.0})
+        assert "a" in out
+
+
+class TestHeatmap:
+    def test_render(self):
+        m = np.array([[0, 5, 10], [10, 5, 0]])
+        out = heatmap(m, title="h")
+        lines = out.splitlines()
+        assert lines[0] == "h"
+        assert lines[1].startswith("layer  0 |")
+        assert "@" in lines[1]  # max glyph present
+        assert lines[-1].startswith("scale:")
+
+    def test_wide_matrix_downsampled(self):
+        m = np.ones((2, 500))
+        out = heatmap(m, max_width=50)
+        body = out.splitlines()[0]
+        assert len(body) < 80
+
+    def test_zero_matrix(self):
+        out = heatmap(np.zeros((2, 4)))
+        assert "@" not in out.splitlines()[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            heatmap(np.zeros(4))
+        with pytest.raises(ValueError):
+            heatmap(np.zeros((0, 2)))

@@ -1,0 +1,59 @@
+"""Tests for repro.core.experiment (sweeps, results)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiment import ExperimentResult, Sweep, sweep
+from repro.core.results import ResultTable
+
+
+class TestSweep:
+    def test_cartesian_product(self):
+        grid = Sweep({"a": [1, 2], "b": ["x", "y", "z"]})
+        points = list(grid)
+        assert len(points) == len(grid) == 6
+        assert {"a": 1, "b": "x"} in points
+        assert {"a": 2, "b": "z"} in points
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            Sweep({})
+        with pytest.raises(ValueError):
+            Sweep({"a": []})
+
+    def test_sweep_runner_fills_table(self):
+        table = ResultTable("t", ("a", "b", "y"))
+        sweep(table, {"a": [1, 2], "b": [10]}, lambda a, b: {"y": a * b})
+        assert len(table) == 2
+        assert table.column("y") == [10, 20]
+
+    def test_sweep_none_marks_infeasible(self):
+        table = ResultTable("t", ("a", "y"))
+        sweep(table, {"a": [1, 2]}, lambda a: None if a == 2 else {"y": a})
+        assert table.rows[1]["y"] is None
+
+    def test_sweep_accepts_plain_mapping(self):
+        table = ResultTable("t", ("a", "y"))
+        sweep(table, {"a": [3]}, lambda a: {"y": a})
+        assert table.rows[0]["y"] == 3
+
+    def test_sweep_drops_extra_keys(self):
+        table = ResultTable("t", ("a",))
+        sweep(table, {"a": [1]}, lambda a: {"extra": 99})
+        assert table.rows[0] == {"a": 1}
+
+
+class TestExperimentResult:
+    def test_table_lookup(self):
+        res = ExperimentResult("e1", "title", "claim")
+        t = ResultTable("data", ("x",))
+        res.tables.append(t)
+        assert res.table("data") is t
+        with pytest.raises(KeyError, match="have"):
+            res.table("missing")
+
+    def test_observe(self):
+        res = ExperimentResult("e1", "title", "claim")
+        res.observe("finding")
+        assert res.observations == ["finding"]

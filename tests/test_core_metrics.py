@@ -1,0 +1,68 @@
+"""Tests for repro.core.metrics (the paper's Eq. 1 and Eq. 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metrics import (
+    GenerationShape,
+    InferenceMetrics,
+    itl_eq1,
+    throughput_eq2,
+)
+
+
+@pytest.fixture
+def shape():
+    return GenerationShape(batch_size=4, input_tokens=100, output_tokens=50)
+
+
+class TestShape:
+    def test_total_tokens(self, shape):
+        assert shape.total_tokens == 4 * 150
+
+    def test_validation(self):
+        for bad in (dict(batch_size=0, input_tokens=1, output_tokens=1),
+                    dict(batch_size=1, input_tokens=0, output_tokens=1),
+                    dict(batch_size=1, input_tokens=1, output_tokens=0)):
+            with pytest.raises(ValueError):
+                GenerationShape(**bad)
+
+
+class TestEquations:
+    def test_eq2_throughput(self, shape):
+        assert throughput_eq2(shape, 2.0) == pytest.approx(300.0)
+        with pytest.raises(ValueError):
+            throughput_eq2(shape, 0.0)
+
+    def test_eq1_itl(self, shape):
+        # (e2e - ttft) / (batch * out - 1)
+        assert itl_eq1(shape, 1.0, 3.0) == pytest.approx(2.0 / 199)
+        with pytest.raises(ValueError):
+            itl_eq1(shape, 2.0, 1.0)
+
+    def test_eq1_degenerate_single_token(self):
+        s = GenerationShape(1, 10, 1)
+        assert itl_eq1(s, 1.0, 1.0) == 0.0
+
+
+class TestInferenceMetrics:
+    def test_derived_metrics(self, shape):
+        m = InferenceMetrics(shape=shape, ttft_s=1.0, e2e_latency_s=3.0)
+        assert m.itl_s == pytest.approx(2.0 / 199)
+        assert m.itl_per_step_s == pytest.approx(2.0 / 49)
+        assert m.throughput_tok_s == pytest.approx(200.0)
+        assert m.decode_throughput_tok_s == pytest.approx(4 * 49 / 2.0)
+        assert m.samples_per_s == pytest.approx(4 / 3.0)
+
+    def test_validation(self, shape):
+        with pytest.raises(ValueError):
+            InferenceMetrics(shape=shape, ttft_s=-0.1, e2e_latency_s=1.0)
+        with pytest.raises(ValueError):
+            InferenceMetrics(shape=shape, ttft_s=2.0, e2e_latency_s=1.0)
+
+    def test_single_output_token(self):
+        s = GenerationShape(2, 8, 1)
+        m = InferenceMetrics(shape=s, ttft_s=0.5, e2e_latency_s=0.5)
+        assert m.itl_per_step_s == 0.0
+        assert m.decode_throughput_tok_s == float("inf")

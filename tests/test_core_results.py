@@ -1,0 +1,99 @@
+"""Tests for repro.core.results (ResultTable)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.results import ResultTable
+
+
+@pytest.fixture
+def table():
+    t = ResultTable("demo", ("model", "batch", "throughput"))
+    t.add(model="a", batch=1, throughput=100.5)
+    t.add(model="a", batch=2, throughput=None)
+    t.add(model="b", batch=1, throughput=220.0)
+    return t
+
+
+class TestTable:
+    def test_add_and_len(self, table):
+        assert len(table) == 3
+
+    def test_unknown_column_rejected(self, table):
+        with pytest.raises(KeyError, match="unknown columns"):
+            table.add(model="c", gpus=4)
+
+    def test_missing_values_are_none(self):
+        t = ResultTable("x", ("a", "b"))
+        t.add(a=1)
+        assert t.rows[0]["b"] is None
+
+    def test_column(self, table):
+        assert table.column("model") == ["a", "a", "b"]
+        with pytest.raises(KeyError):
+            table.column("gpu")
+
+    def test_where(self, table):
+        sub = table.where(model="a")
+        assert len(sub) == 2
+        assert all(r["model"] == "a" for r in sub)
+        assert len(table.where(model="a", batch=1)) == 1
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError):
+            ResultTable("x", ("a", "a"))
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            ResultTable("x", ())
+
+
+class TestRendering:
+    def test_markdown_structure(self, table):
+        md = table.to_markdown()
+        lines = md.splitlines()
+        assert lines[0] == "| model | batch | throughput |"
+        assert len(lines) == 2 + 3
+
+    def test_none_renders_as_oom(self, table):
+        assert "OOM" in table.to_markdown()
+
+    def test_float_formatting(self):
+        t = ResultTable("x", ("v",))
+        t.add(v=123456.7)
+        t.add(v=0.00012)
+        md = t.to_markdown()
+        assert "123,457" in md
+        assert "0.00012" in md
+
+    def test_bool_formatting(self):
+        t = ResultTable("x", ("ok",))
+        t.add(ok=True)
+        t.add(ok=False)
+        md = t.to_markdown()
+        assert "yes" in md and "no" in md
+
+    def test_csv_roundtrip(self, table):
+        import csv
+        import io
+
+        rows = list(csv.reader(io.StringIO(table.to_csv())))
+        assert rows[0] == ["model", "batch", "throughput"]
+        assert rows[2] == ["a", "2", ""]  # None -> empty cell
+        assert len(rows) == 4
+
+
+class TestPivot:
+    def test_basic_pivot(self, table):
+        out = table.pivot("model", "batch", "throughput")
+        assert out == {"a": {1: 100.5, 2: None}, "b": {1: 220.0}}
+
+    def test_duplicate_cells_rejected(self, table):
+        table.add(model="a", batch=1, throughput=1.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            table.pivot("model", "batch", "throughput")
+
+    def test_unknown_column(self, table):
+        with pytest.raises(KeyError):
+            table.pivot("model", "gpu", "throughput")

@@ -1,0 +1,71 @@
+"""Tests for repro.hardware.cluster (multi-node hierarchical collectives)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.cluster import INFINIBAND_NDR, ClusterSpec
+from repro.hardware.gpus import H100_SXM
+from repro.hardware.interconnect import all_to_all_time, allreduce_time
+
+
+@pytest.fixture
+def cluster():
+    return ClusterSpec(node=H100_SXM, num_nodes=4)
+
+
+class TestClusterSpec:
+    def test_total_devices(self, cluster):
+        assert cluster.total_devices == 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(node=H100_SXM, num_nodes=0)
+
+    def test_infiniband_slower_than_nvlink(self):
+        assert (INFINIBAND_NDR.link_bandwidth_gbps
+                < H100_SXM.interconnect.link_bandwidth_gbps / 5)
+
+
+class TestHierarchicalAllReduce:
+    def test_single_node_matches_flat(self, cluster):
+        flat = allreduce_time(1e8, 4, H100_SXM)
+        assert cluster.allreduce_time(1e8, 4) == pytest.approx(flat)
+
+    def test_crossing_nodes_costs_more(self, cluster):
+        intra = cluster.allreduce_time(1e8, 8)     # one full node
+        inter = cluster.allreduce_time(1e8, 16)    # two nodes
+        assert inter > 1.5 * intra
+
+    def test_grows_with_node_count(self, cluster):
+        t2 = cluster.allreduce_time(1e8, 16)
+        t4 = cluster.allreduce_time(1e8, 32)
+        assert t4 > t2
+
+    def test_device_bounds(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.allreduce_time(1e6, 0)
+        with pytest.raises(ValueError):
+            cluster.allreduce_time(1e6, 33)
+
+
+class TestHierarchicalAllToAll:
+    def test_single_node_matches_flat(self, cluster):
+        flat = all_to_all_time(1e8, 8, H100_SXM)
+        assert cluster.all_to_all_time(1e8, 8) == pytest.approx(flat, rel=0.01)
+
+    def test_cross_node_penalty(self, cluster):
+        """The paper's multi-node EP warning: all-to-all across nodes is
+        dominated by the slow fabric."""
+        intra = cluster.all_to_all_time(1e8, 8)
+        inter = cluster.all_to_all_time(1e8, 32)
+        assert inter > 3 * intra
+
+    def test_ep_dispatch(self, cluster):
+        t8 = cluster.ep_dispatch_time(64, 4096, 2, 8)
+        t32 = cluster.ep_dispatch_time(64, 4096, 2, 32)
+        assert 0 < t8 < t32
+
+    def test_ep_dispatch_validation(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.ep_dispatch_time(0, 4096, 2, 8)

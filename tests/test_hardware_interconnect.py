@@ -1,0 +1,85 @@
+"""Tests for repro.hardware.interconnect collective cost models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.gpus import H100_SXM
+from repro.hardware.interconnect import (
+    all_to_all_time,
+    allgather_time,
+    allreduce_time,
+    p2p_time,
+    reduce_scatter_time,
+    require_interconnect,
+)
+from repro.hardware.spec import HardwareSpec
+
+
+@pytest.fixture
+def no_link_hw():
+    return HardwareSpec(name="solo", peak_tflops={"fp16": 100.0},
+                        memory_gb=16, mem_bandwidth_gbps=1000, interconnect=None)
+
+
+class TestAllReduce:
+    def test_single_device_free(self):
+        assert allreduce_time(1e9, 1, H100_SXM) == 0.0
+
+    def test_zero_bytes_free(self):
+        assert allreduce_time(0, 4, H100_SXM) == 0.0
+
+    def test_ring_volume_formula(self):
+        """Large-message time ≈ 2(n-1)/n * bytes / bw."""
+        n, bytes_ = 4, 450e9  # 1 second of link time
+        t = allreduce_time(bytes_, n, H100_SXM)
+        assert t == pytest.approx(2 * 3 / 4 * 1.0, rel=0.01)
+
+    def test_latency_dominates_small_messages(self):
+        t = allreduce_time(64, 4, H100_SXM)
+        assert t == pytest.approx(2 * 3 * 3e-6, rel=0.05)
+
+    def test_more_devices_costs_more(self):
+        assert allreduce_time(1e8, 8, H100_SXM) > allreduce_time(1e8, 2, H100_SXM)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            allreduce_time(-1, 2, H100_SXM)
+        with pytest.raises(ValueError):
+            allreduce_time(1, 0, H100_SXM)
+
+
+class TestOtherCollectives:
+    def test_reduce_scatter_half_of_allreduce(self):
+        big = 450e9
+        ar = allreduce_time(big, 4, H100_SXM)
+        rs = reduce_scatter_time(big, 4, H100_SXM)
+        assert rs == pytest.approx(ar / 2, rel=0.05)
+
+    def test_all_to_all_volume(self):
+        t = all_to_all_time(450e9, 4, H100_SXM)
+        assert t == pytest.approx(3 / 4 * 1.0, rel=0.01)
+
+    def test_allgather_positive(self):
+        assert allgather_time(1e8, 4, H100_SXM) > 0
+
+    def test_single_device_all_free(self):
+        for fn in (all_to_all_time, allgather_time, reduce_scatter_time):
+            assert fn(1e9, 1, H100_SXM) == 0.0
+
+    def test_p2p(self):
+        t = p2p_time(450e9, H100_SXM)
+        assert t == pytest.approx(1.0 + 3e-6, rel=0.01)
+        assert p2p_time(0, H100_SXM) == 0.0
+        with pytest.raises(ValueError):
+            p2p_time(-1, H100_SXM)
+
+
+class TestMissingInterconnect:
+    def test_require_interconnect_raises(self, no_link_hw):
+        with pytest.raises(ValueError, match="no interconnect"):
+            require_interconnect(no_link_hw)
+
+    def test_collective_on_linkless_device(self, no_link_hw):
+        with pytest.raises(ValueError):
+            allreduce_time(1e6, 2, no_link_hw)

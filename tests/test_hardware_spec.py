@@ -1,0 +1,74 @@
+"""Tests for repro.hardware.spec and the concrete device catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.gpus import A100_SXM, CS3, H100_SXM, HARDWARE, get_hardware
+from repro.hardware.spec import HardwareSpec, InterconnectSpec
+
+
+class TestHardwareSpec:
+    def test_peak_flops_lookup(self):
+        assert H100_SXM.peak_flops("fp16") == pytest.approx(989.4e12)
+        assert H100_SXM.peak_flops("fp8_e4m3") == pytest.approx(1978.9e12)
+
+    def test_peak_flops_fallback_scaling(self):
+        hw = HardwareSpec(name="x", peak_tflops={"fp16": 100.0},
+                          memory_gb=16, mem_bandwidth_gbps=1000)
+        assert hw.peak_flops("int8") == pytest.approx(200e12)
+        assert hw.peak_flops("fp32") == pytest.approx(50e12)
+
+    def test_mem_bytes_per_s_includes_efficiency(self):
+        assert H100_SXM.mem_bytes_per_s == pytest.approx(3350e9 * 0.80)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HardwareSpec(name="bad", peak_tflops={}, memory_gb=1,
+                         mem_bandwidth_gbps=1)
+        with pytest.raises(ValueError):
+            HardwareSpec(name="bad", peak_tflops={"fp16": -1.0}, memory_gb=1,
+                         mem_bandwidth_gbps=1)
+        with pytest.raises(ValueError):
+            HardwareSpec(name="bad", peak_tflops={"fp16": 1.0}, memory_gb=1,
+                         mem_bandwidth_gbps=1, mem_efficiency=1.5)
+
+    def test_interconnect_validation(self):
+        with pytest.raises(ValueError):
+            InterconnectSpec(name="x", link_bandwidth_gbps=0, latency_us=1)
+
+
+class TestCatalog:
+    def test_h100_datasheet_values(self):
+        assert H100_SXM.memory_gb == 80.0
+        assert H100_SXM.mem_bandwidth_gbps == 3350.0
+        assert H100_SXM.interconnect.link_bandwidth_gbps == 450.0
+
+    def test_fp8_doubles_fp16_on_h100(self):
+        assert H100_SXM.peak_tflops["fp8_e4m3"] == pytest.approx(
+            2 * H100_SXM.peak_tflops["fp16"], rel=0.01
+        )
+
+    def test_a100_has_no_fp8_speedup(self):
+        assert A100_SXM.peak_tflops["fp8_e4m3"] == A100_SXM.peak_tflops["fp16"]
+
+    def test_cs3_bandwidth_orders_of_magnitude(self):
+        """The paper's CS-3 argument: memory bandwidth orders of magnitude
+        above HBM."""
+        assert CS3.mem_bandwidth_gbps / H100_SXM.mem_bandwidth_gbps > 1000
+
+    def test_cs3_dataflow_no_kernel_launches(self):
+        assert CS3.kernel_launch_us == 0.0
+
+    def test_lookup_aliases(self):
+        assert get_hardware("h100") is H100_SXM
+        assert get_hardware("cs3") is CS3
+        assert get_hardware(H100_SXM) is H100_SXM
+        assert get_hardware("H100-SXM5-80GB") is H100_SXM
+
+    def test_unknown_hardware(self):
+        with pytest.raises(KeyError, match="known"):
+            get_hardware("tpu-v5")
+
+    def test_catalog_members(self):
+        assert {"h100", "a100", "cs3"} <= set(HARDWARE)

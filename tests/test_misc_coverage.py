@@ -1,0 +1,101 @@
+"""Coverage for remaining paths: CS-3 step behavior, default plans,
+per-request token timelines, and CLI failure handling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import default_plan
+from repro.hardware.gpus import CS3, H100_SXM
+from repro.models.zoo import LLAMA4_SCOUT_17B_16E, MIXTRAL_8X7B, OLMOE_1B_7B, get_model
+from repro.optim.quantization import FP8_CONFIG
+from repro.parallel.plan import ParallelPlan
+from repro.perfmodel.inference import InferencePerfModel
+from repro.perfmodel.phases import StepModel
+from repro.serving.engine import ServingEngine
+from repro.serving.request import Request, SamplingParams
+
+
+class TestCS3Behavior:
+    def test_decode_flat_in_context(self):
+        """The wafer's SRAM bandwidth makes KV reads free — the paper's
+        Fig. 16 mechanism at unit level."""
+        steps = StepModel(LLAMA4_SCOUT_17B_16E, CS3, plan=ParallelPlan(pp=4),
+                          quant=FP8_CONFIG)
+        short = steps.decode_step_time(8, 256)
+        long = steps.decode_step_time(8, 8192)
+        assert long < short * 1.05
+
+    def test_cs3_decode_much_faster_than_h100(self):
+        cs3 = StepModel(LLAMA4_SCOUT_17B_16E, CS3, plan=ParallelPlan(pp=4),
+                        quant=FP8_CONFIG)
+        h100 = StepModel(LLAMA4_SCOUT_17B_16E, H100_SXM, plan=ParallelPlan(tp=4),
+                         quant=FP8_CONFIG)
+        assert cs3.decode_step_time(1, 2048) < h100.decode_step_time(1, 2048) / 3
+
+    def test_cs3_step_dominated_by_overhead(self):
+        bd = StepModel(LLAMA4_SCOUT_17B_16E, CS3, plan=ParallelPlan(pp=4),
+                       quant=FP8_CONFIG).step_breakdown(1, 1, 512, "decode")
+        assert (bd.overhead + bd.pipeline) > 0.5 * bd.total
+
+
+class TestDefaultPlan:
+    def test_small_model_single_gpu(self):
+        assert default_plan(OLMOE_1B_7B).num_devices == 1
+
+    def test_mixtral_fp16_needs_tp(self):
+        plan = default_plan(MIXTRAL_8X7B)
+        assert plan.tp >= 2
+
+    def test_fp8_shrinks_requirement(self):
+        fp16 = default_plan(MIXTRAL_8X7B)
+        fp8 = default_plan(MIXTRAL_8X7B, quant=FP8_CONFIG)
+        assert fp8.num_devices <= fp16.num_devices
+
+
+class TestTokenTimeline:
+    def test_token_times_match_generated_count(self):
+        pm = InferencePerfModel(OLMOE_1B_7B, H100_SXM)
+        eng = ServingEngine(pm)
+        eng.submit(Request(request_id=0, prompt_tokens=64,
+                           sampling=SamplingParams(max_tokens=10)))
+        res = eng.run()
+        times = res.token_times(0)
+        assert len(times) == 10
+        assert times == sorted(times)
+        assert times[0] == pytest.approx(res.requests[0].first_token_time)
+        assert times[-1] == pytest.approx(res.requests[0].finish_time)
+
+    def test_itl_series_positive(self):
+        pm = InferencePerfModel(OLMOE_1B_7B, H100_SXM)
+        eng = ServingEngine(pm)
+        for i in range(4):
+            eng.submit(Request(request_id=i, prompt_tokens=64,
+                               sampling=SamplingParams(max_tokens=8)))
+        res = eng.run()
+        gaps = np.diff(res.token_times(2))
+        assert (gaps > 0).all()
+
+
+class TestCLIFailureHandling:
+    def test_run_all_reports_failures(self, tmp_path, monkeypatch, capsys):
+        import repro.core.cli as cli
+
+        def boom():
+            raise RuntimeError("injected failure")
+
+        monkeypatch.setattr(cli, "list_experiments", lambda: ["table1", "broken"])
+        real_run = cli.run_experiment
+
+        def run(exp_id):
+            if exp_id == "broken":
+                boom()
+            return real_run(exp_id)
+
+        monkeypatch.setattr(cli, "run_experiment", run)
+        rc = cli.main(["run-all", "--out", str(tmp_path)])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "broken" in err and "injected failure" in err
+        assert (tmp_path / "table1.md").exists()

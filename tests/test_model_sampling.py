@@ -1,0 +1,104 @@
+"""Tests for sampled generation and step-profile/roofline diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.gpus import H100_SXM
+from repro.hardware.roofline import KernelCost, arithmetic_intensity, is_memory_bound
+from repro.models.zoo import OLMOE_1B_7B, get_model
+from repro.moe.model import MoETransformer
+from repro.perfmodel.phases import StepModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    cfg = get_model("OLMoE-1B-7B").scaled(1 / 32)
+    return MoETransformer(cfg, seed=4, max_positions=64)
+
+
+class TestSampledGeneration:
+    def test_temperature_zero_is_greedy(self, model):
+        prompt = np.random.default_rng(0).integers(
+            0, model.config.vocab_size, size=(2, 4))
+        greedy = model.generate_greedy(prompt, 5)
+        sampled = model.generate(prompt, 5, temperature=0.0)
+        assert np.array_equal(greedy, sampled)
+
+    def test_sampling_is_seeded(self, model):
+        prompt = np.random.default_rng(1).integers(
+            0, model.config.vocab_size, size=(1, 4))
+        a = model.generate(prompt, 6, temperature=1.0,
+                           rng=np.random.default_rng(7))
+        b = model.generate(prompt, 6, temperature=1.0,
+                           rng=np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+    def test_high_temperature_diversifies(self, model):
+        prompt = np.random.default_rng(2).integers(
+            0, model.config.vocab_size, size=(1, 4))
+        outs = {tuple(model.generate(prompt, 8, temperature=2.0,
+                                     rng=np.random.default_rng(s))[0])
+                for s in range(6)}
+        assert len(outs) > 1
+
+    def test_top_p_restricts_support(self, model):
+        """With a tiny nucleus, sampling collapses towards greedy."""
+        prompt = np.random.default_rng(3).integers(
+            0, model.config.vocab_size, size=(1, 4))
+        greedy = model.generate_greedy(prompt, 4)
+        nucleus = model.generate(prompt, 4, temperature=0.7, top_p=1e-6,
+                                 rng=np.random.default_rng(0))
+        assert np.array_equal(greedy, nucleus)
+
+    def test_ids_in_vocab(self, model):
+        prompt = np.random.default_rng(4).integers(
+            0, model.config.vocab_size, size=(3, 4))
+        out = model.generate(prompt, 5, temperature=1.0, top_p=0.9)
+        assert (out >= 0).all() and (out < model.config.vocab_size).all()
+
+    def test_validation(self, model):
+        prompt = np.zeros((1, 4), dtype=np.int64)
+        with pytest.raises(ValueError):
+            model.generate(prompt, 4, temperature=-1.0)
+        with pytest.raises(ValueError):
+            model.generate(prompt, 4, temperature=1.0, top_p=0.0)
+
+
+class TestRooflineDiagnostics:
+    def test_arithmetic_intensity(self):
+        assert arithmetic_intensity(KernelCost(100, 50)) == 2.0
+        assert arithmetic_intensity(KernelCost(0, 10)) == 0.0
+        assert arithmetic_intensity(KernelCost(5, 0)) == float("inf")
+
+    def test_decode_is_memory_bound_prefill_is_not(self):
+        # decode: 1 token through a big matrix
+        h = 4096
+        decode = KernelCost(flops=2 * 1 * h * h, bytes=h * h * 2)
+        prefill = KernelCost(flops=2 * 65536 * h * h, bytes=h * h * 2)
+        assert is_memory_bound(decode, H100_SXM)
+        assert not is_memory_bound(prefill, H100_SXM)
+
+
+class TestStepProfile:
+    def test_shares_sum_to_one(self):
+        steps = StepModel(OLMOE_1B_7B, H100_SXM)
+        bd = steps.step_breakdown(16, 16, 1024, "decode")
+        assert sum(bd.shares().values()) == pytest.approx(1.0)
+
+    def test_describe_renders(self):
+        steps = StepModel(OLMOE_1B_7B, H100_SXM)
+        bd = steps.step_breakdown(16, 16, 1024, "decode")
+        text = bd.describe()
+        assert text.startswith("decode step:")
+        assert "moe_ffn" in text
+        assert "|#" in text
+
+    def test_decode_profile_dominated_by_moe(self):
+        """For an all-MoE model at moderate batch, expert streaming should
+        be the top component of decode time."""
+        steps = StepModel(OLMOE_1B_7B, H100_SXM)
+        bd = steps.step_breakdown(16, 16, 1024, "decode")
+        shares = bd.shares()
+        assert shares["moe_ffn"] == max(shares.values())

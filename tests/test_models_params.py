@@ -1,0 +1,127 @@
+"""Tests for repro.models.params (Table 1 / Fig. 1 accounting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models.config import AttentionConfig, AttentionKind
+from repro.models.params import (
+    attention_params,
+    layer_params,
+    model_params,
+    vision_tower_params,
+)
+from repro.models.zoo import (
+    ALL_MODELS,
+    DEEPSEEK_V2_LITE,
+    MIXTRAL_8X7B,
+    OLMOE_1B_7B,
+    QWEN3_30B_A3B,
+)
+
+
+class TestAttentionParams:
+    def test_gqa_formula(self):
+        cfg = AttentionConfig(num_heads=32, num_kv_heads=8, head_dim=128)
+        h = 4096
+        expected = h * 32 * 128 + 2 * h * 8 * 128 + 32 * 128 * h
+        assert attention_params(cfg, h) == expected
+
+    def test_mla_counts_low_rank_paths(self):
+        cfg = DEEPSEEK_V2_LITE.attention
+        n = attention_params(cfg, DEEPSEEK_V2_LITE.hidden_size)
+        # DeepSeek-V2-Lite attention is ~13.8M params/layer
+        assert 12e6 < n < 16e6
+
+    def test_mla_with_q_lora_smaller_than_without(self):
+        base = dict(num_heads=16, num_kv_heads=16, head_dim=192,
+                    kind=AttentionKind.MLA, kv_lora_rank=512,
+                    qk_rope_head_dim=64, qk_nope_head_dim=128, v_head_dim=128)
+        without = AttentionConfig(**base)
+        with_q = AttentionConfig(**base, q_lora_rank=256)
+        h = 2048
+        assert attention_params(with_q, h) < attention_params(without, h)
+
+
+class TestLayerParams:
+    def test_moe_layer_components(self, tiny_model):
+        lp = layer_params(tiny_model, 0)
+        assert lp.is_moe
+        h, f, e = 64, 32, 8
+        assert lp.routed_experts_total == e * 3 * h * f
+        assert lp.routed_experts_active == 2 * 3 * h * f
+        assert lp.router == h * e
+        assert lp.dense_ffn == 0
+        assert lp.total > lp.active
+
+    def test_dense_layer_components(self, tiny_dense_model):
+        lp = layer_params(tiny_dense_model, 0)
+        assert not lp.is_moe
+        assert lp.routed_experts_total == 0
+        assert lp.dense_ffn == 3 * 32 * 48
+        assert lp.total == lp.active
+
+    def test_active_le_total(self):
+        for model in ALL_MODELS.values():
+            pb = model_params(model)
+            assert pb.active <= pb.total, model.name
+
+
+class TestPublishedCounts:
+    """Computed totals must match the published parameter counts."""
+
+    @pytest.mark.parametrize("model", list(ALL_MODELS.values()),
+                             ids=lambda m: m.name)
+    def test_total_within_5pct(self, model):
+        if not model.published_total_params:
+            pytest.skip("no published total")
+        pb = model_params(model)
+        assert pb.total == pytest.approx(model.published_total_params, rel=0.05)
+
+    @pytest.mark.parametrize("model", list(ALL_MODELS.values()),
+                             ids=lambda m: m.name)
+    def test_active_within_15pct(self, model):
+        if not model.published_active_params:
+            pytest.skip("no published active count")
+        pb = model_params(model)
+        assert pb.active == pytest.approx(model.published_active_params, rel=0.15)
+
+    def test_mixtral_exact_shape(self):
+        pb = model_params(MIXTRAL_8X7B)
+        assert pb.total == pytest.approx(46.7e9, rel=0.01)
+        assert pb.active == pytest.approx(12.9e9, rel=0.01)
+
+    def test_qwen3_30b_active(self):
+        pb = model_params(QWEN3_30B_A3B)
+        assert pb.active == pytest.approx(3.3e9, rel=0.03)
+
+
+class TestBreakdownViews:
+    def test_component_totals_sum_to_total(self):
+        for model in (MIXTRAL_8X7B, OLMOE_1B_7B, DEEPSEEK_V2_LITE):
+            pb = model_params(model)
+            assert sum(pb.component_totals().values()) == pb.total
+
+    def test_component_actives_sum_to_active(self):
+        pb = model_params(MIXTRAL_8X7B)
+        assert sum(pb.component_actives().values()) == pb.active
+
+    def test_moe_dominates_fig1(self):
+        """Fig. 1's headline: MoE layers dominate parameters."""
+        for model in (MIXTRAL_8X7B, OLMOE_1B_7B):
+            pb = model_params(model)
+            assert pb.moe_fraction_total > 0.85
+            assert pb.moe_fraction_active > 0.5
+
+    def test_moe_fraction_active_lt_total(self):
+        pb = model_params(MIXTRAL_8X7B)
+        assert pb.moe_fraction_active < pb.moe_fraction_total
+
+    def test_vision_tower_params_positive(self):
+        from repro.models.zoo import DEEPSEEK_VL2_TINY
+
+        assert vision_tower_params(DEEPSEEK_VL2_TINY.vision) > 3e8
+
+    def test_layers_tuple_length(self):
+        pb = model_params(MIXTRAL_8X7B)
+        assert len(pb.layers) == 32

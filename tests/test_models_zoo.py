@@ -1,0 +1,81 @@
+"""Tests for the model zoo."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models.config import AttentionKind
+from repro.models.zoo import (
+    ALL_MODELS,
+    DRAFT_MODELS,
+    LLM_MODELS,
+    VLM_MODELS,
+    get_model,
+    list_models,
+)
+
+
+class TestZooContents:
+    def test_paper_llms_present(self):
+        for name in ("Mixtral-8x7B", "Qwen1.5-MoE-A2.7B", "Qwen3-30B-A3B",
+                     "DeepSeek-V2-Lite", "Phi-3.5-MoE", "OLMoE-1B-7B"):
+            assert name in LLM_MODELS
+
+    def test_paper_vlms_present(self):
+        for name in ("DeepSeek-VL2-Tiny", "DeepSeek-VL2-Small", "DeepSeek-VL2",
+                     "MolmoE-1B"):
+            assert name in VLM_MODELS
+
+    def test_draft_models_are_dense(self):
+        for model in DRAFT_MODELS.values():
+            assert model.moe is None
+
+    def test_vlms_have_vision_towers(self):
+        for model in VLM_MODELS.values():
+            assert model.vision is not None
+            assert model.modality == "text+image"
+
+    def test_table1_fields_match_paper(self):
+        mixtral = get_model("Mixtral-8x7B")
+        assert mixtral.num_layers == 32
+        assert mixtral.hidden_size == 4096
+        assert mixtral.moe.num_experts == 8
+        assert mixtral.moe.top_k == 2
+        phi = get_model("Phi-3.5-MoE")
+        assert phi.moe.num_experts == 16
+        assert phi.moe.top_k == 2
+        qwen3 = get_model("Qwen3-30B-A3B")
+        assert qwen3.moe.num_experts == 128
+        assert qwen3.moe.top_k == 8
+
+    def test_deepseek_uses_mla(self):
+        assert get_model("DeepSeek-V2-Lite").attention.kind is AttentionKind.MLA
+
+    def test_deepseek_first_layer_dense(self):
+        m = get_model("DeepSeek-V2-Lite")
+        assert not m.is_moe_layer(0)
+        assert m.is_moe_layer(1)
+
+    def test_molmoe_unbalanced_routing(self):
+        assert get_model("MolmoE-1B").moe.balanced_routing is False
+        assert get_model("DeepSeek-VL2").moe.balanced_routing is True
+
+    def test_llama4_scout_top1(self):
+        scout = get_model("Llama-4-Scout-17B-16E")
+        assert scout.moe.top_k == 1
+        assert scout.moe.num_shared_experts == 1
+
+
+class TestLookup:
+    def test_get_model_roundtrip(self):
+        for name in list_models():
+            assert get_model(name).name == name
+
+    def test_unknown_model_raises_with_choices(self):
+        with pytest.raises(KeyError, match="known models"):
+            get_model("GPT-5")
+
+    def test_list_models_sorted(self):
+        names = list_models()
+        assert names == sorted(names)
+        assert len(names) == len(ALL_MODELS) == 15

@@ -1,0 +1,117 @@
+"""Tests for repro.moe.model (the functional transformer)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.zoo import get_model
+from repro.moe.model import MoETransformer
+
+
+@pytest.fixture(scope="module")
+def tiny_cfg():
+    return get_model("OLMoE-1B-7B").scaled(1 / 32)
+
+
+@pytest.fixture(scope="module")
+def model(tiny_cfg):
+    return MoETransformer(tiny_cfg, seed=7, max_positions=64)
+
+
+class TestForward:
+    def test_logits_shape(self, model, tiny_cfg, rng):
+        ids = rng.integers(0, tiny_cfg.vocab_size, size=(2, 5))
+        logits = model(ids)
+        assert logits.shape == (2, 5, tiny_cfg.vocab_size)
+        assert np.isfinite(logits).all()
+
+    def test_rejects_1d_input(self, model):
+        with pytest.raises(ValueError):
+            model(np.zeros(5, dtype=np.int64))
+
+    def test_rejects_out_of_vocab(self, model, tiny_cfg):
+        with pytest.raises(ValueError, match="vocabulary"):
+            model(np.array([[tiny_cfg.vocab_size]]))
+
+    def test_deterministic_by_seed(self, tiny_cfg, rng):
+        ids = rng.integers(0, tiny_cfg.vocab_size, size=(1, 4))
+        a = MoETransformer(tiny_cfg, seed=3, max_positions=32)(ids)
+        b = MoETransformer(tiny_cfg, seed=3, max_positions=32)(ids)
+        assert np.array_equal(a, b)
+
+    def test_fused_and_unfused_agree(self, model, tiny_cfg, rng):
+        ids = rng.integers(0, tiny_cfg.vocab_size, size=(2, 6))
+        assert np.allclose(model(ids, mode="fused"), model(ids, mode="unfused"),
+                           atol=1e-4)
+
+    def test_cached_matches_uncached(self, model, tiny_cfg, rng):
+        ids = rng.integers(0, tiny_cfg.vocab_size, size=(2, 8))
+        full = model(ids)
+        caches = model.new_caches(2, 16)
+        part1 = model.forward(ids[:, :5], caches)
+        part2 = model.forward(ids[:, 5:], caches)
+        assert np.allclose(part1, full[:, :5], atol=1e-4)
+        assert np.allclose(part2, full[:, 5:], atol=1e-4)
+
+    def test_cache_count_checked(self, model, tiny_cfg, rng):
+        ids = rng.integers(0, tiny_cfg.vocab_size, size=(1, 3))
+        with pytest.raises(ValueError, match="cache"):
+            model.forward(ids, caches=[])
+
+
+class TestGeneration:
+    def test_greedy_shapes(self, model, tiny_cfg, rng):
+        prompt = rng.integers(0, tiny_cfg.vocab_size, size=(3, 4))
+        out = model.generate_greedy(prompt, 5)
+        assert out.shape == (3, 5)
+        assert (out >= 0).all() and (out < tiny_cfg.vocab_size).all()
+
+    def test_greedy_is_deterministic(self, model, tiny_cfg, rng):
+        prompt = rng.integers(0, tiny_cfg.vocab_size, size=(1, 4))
+        assert np.array_equal(model.generate_greedy(prompt, 4),
+                              model.generate_greedy(prompt, 4))
+
+    def test_greedy_matches_full_recompute(self, model, tiny_cfg, rng):
+        """KV-cached generation must equal argmax over full re-forwarding."""
+        prompt = rng.integers(0, tiny_cfg.vocab_size, size=(1, 4))
+        gen = model.generate_greedy(prompt, 3)
+        seq = prompt.copy()
+        for t in range(3):
+            logits = model(seq)
+            nxt = int(np.argmax(logits[0, -1]))
+            assert nxt == gen[0, t]
+            seq = np.concatenate([seq, [[nxt]]], axis=1)
+
+    def test_budget_overflow_rejected(self, model, tiny_cfg):
+        prompt = np.zeros((1, 60), dtype=np.int64)
+        with pytest.raises(ValueError, match="max_positions"):
+            model.generate_greedy(prompt, 10)
+
+    def test_bad_args(self, model):
+        with pytest.raises(ValueError):
+            model.generate_greedy(np.zeros(3, dtype=np.int64), 2)
+        with pytest.raises(ValueError):
+            model.generate_greedy(np.zeros((1, 3), dtype=np.int64), 0)
+
+
+class TestTracking:
+    def test_activation_tracker_records(self, tiny_cfg, rng):
+        m = MoETransformer(tiny_cfg, seed=1, max_positions=32, track_activations=True)
+        ids = rng.integers(0, tiny_cfg.vocab_size, size=(2, 6))
+        m(ids)
+        hm = m.tracker.heatmap()
+        assert hm.shape == (tiny_cfg.num_moe_layers, tiny_cfg.moe.num_experts)
+        assert hm.sum() == tiny_cfg.num_moe_layers * 12 * tiny_cfg.moe.top_k
+
+    def test_dense_model_runs(self, tiny_dense_model, rng):
+        m = MoETransformer(tiny_dense_model, seed=0, max_positions=16)
+        ids = rng.integers(0, tiny_dense_model.vocab_size, size=(1, 4))
+        assert m(ids).shape == (1, 4, tiny_dense_model.vocab_size)
+
+    def test_tied_embeddings(self, tiny_dense_model, rng):
+        import dataclasses
+
+        cfg = dataclasses.replace(tiny_dense_model, tie_embeddings=True)
+        m = MoETransformer(cfg, seed=0, max_positions=16)
+        assert np.array_equal(m.lm_head.weight, m.embedding.T)

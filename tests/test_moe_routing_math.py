@@ -1,0 +1,73 @@
+"""Tests for repro.moe.routing_math."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.moe.routing_math import expected_expert_coverage, expected_group_imbalance
+
+
+class TestCoverage:
+    def test_zero_tokens(self):
+        assert expected_expert_coverage(8, 2, 0) == 0.0
+
+    def test_one_token_covers_top_k(self):
+        assert expected_expert_coverage(64, 6, 1) == pytest.approx(6.0)
+
+    def test_saturates_to_all_experts(self):
+        assert expected_expert_coverage(8, 2, 10_000) == pytest.approx(8.0)
+
+    def test_monotone_in_tokens(self):
+        vals = [expected_expert_coverage(64, 4, m) for m in (1, 4, 16, 64, 256)]
+        assert all(a < b for a, b in zip(vals, vals[1:]))
+
+    def test_monotone_in_top_k(self):
+        vals = [expected_expert_coverage(64, k, 10) for k in (1, 2, 4, 8)]
+        assert all(a < b for a, b in zip(vals, vals[1:]))
+
+    def test_never_exceeds_expert_count(self):
+        for m in (1, 10, 100, 10_000):
+            assert expected_expert_coverage(16, 4, m) <= 16
+
+    def test_matches_monte_carlo(self):
+        """Closed form vs simulation, uniform routing."""
+        rng = np.random.default_rng(0)
+        e, k, m = 32, 4, 12
+        covs = []
+        for _ in range(2000):
+            picks = set()
+            for _ in range(m):
+                picks.update(rng.choice(e, size=k, replace=False).tolist())
+            covs.append(len(picks))
+        assert np.mean(covs) == pytest.approx(expected_expert_coverage(e, k, m), rel=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_expert_coverage(0, 1, 5)
+        with pytest.raises(ValueError):
+            expected_expert_coverage(8, 9, 5)
+        with pytest.raises(ValueError):
+            expected_expert_coverage(8, 2, -1)
+
+
+class TestImbalance:
+    def test_single_group(self):
+        assert expected_group_imbalance(1, 100) == 1.0
+
+    def test_zero_assignments(self):
+        assert expected_group_imbalance(4, 0) == 1.0
+
+    def test_decreases_with_load(self):
+        vals = [expected_group_imbalance(4, t) for t in (8, 64, 512, 4096)]
+        assert all(a > b for a, b in zip(vals, vals[1:]))
+        assert vals[-1] < 1.1
+
+    def test_increases_with_groups(self):
+        assert expected_group_imbalance(8, 64) > expected_group_imbalance(2, 64)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_group_imbalance(0, 10)
+        with pytest.raises(ValueError):
+            expected_group_imbalance(2, -1)

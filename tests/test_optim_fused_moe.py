@@ -1,0 +1,45 @@
+"""Tests for repro.optim.fused_moe."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.gpus import H100_SXM
+from repro.models.zoo import MIXTRAL_8X7B, QWEN3_0_6B
+from repro.optim.fused_moe import (
+    compare_fused_unfused,
+    moe_kernel_launches_per_layer,
+)
+from repro.parallel.plan import ParallelPlan
+
+
+class TestLaunchAccounting:
+    def test_fused_constant_launches(self):
+        assert moe_kernel_launches_per_layer(MIXTRAL_8X7B, fused=True) == 3
+
+    def test_unfused_scales_with_experts(self):
+        n = moe_kernel_launches_per_layer(MIXTRAL_8X7B, fused=False)
+        assert n == MIXTRAL_8X7B.moe.num_experts + 2
+
+    def test_dense_model_rejected(self):
+        with pytest.raises(ValueError, match="MoE"):
+            moe_kernel_launches_per_layer(QWEN3_0_6B, fused=True)
+
+
+class TestComparison:
+    @pytest.fixture(scope="class")
+    def cmp(self):
+        return compare_fused_unfused(
+            MIXTRAL_8X7B, H100_SXM, batch=16, input_tokens=512,
+            output_tokens=512, plan=ParallelPlan(tp=4),
+        )
+
+    def test_fused_wins(self, cmp):
+        assert cmp.speedup > 1.0
+
+    def test_gain_in_paper_band(self, cmp):
+        """Paper Fig. 14: roughly 12-20% advantage."""
+        assert 5.0 < cmp.gain_percent < 35.0
+
+    def test_gain_percent_consistent(self, cmp):
+        assert cmp.gain_percent == pytest.approx(100 * (cmp.speedup - 1))

@@ -1,0 +1,72 @@
+"""Tests for repro.optim.quantization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.optim.quantization import (
+    FP8_CONFIG,
+    FP16_CONFIG,
+    PRESETS,
+    QuantConfig,
+    W4A16_CONFIG,
+    W8A16_CONFIG,
+    get_preset,
+    quantization_error,
+)
+
+
+class TestPresets:
+    def test_fp16_widths(self):
+        assert FP16_CONFIG.weight_bytes == 2.0
+        assert FP16_CONFIG.activation_bytes == 2.0
+        assert FP16_CONFIG.kv_bytes == 2.0
+        assert FP16_CONFIG.compute_dtype_name == "fp16"
+
+    def test_fp8_is_w8a8_with_fp16_kv(self):
+        """vLLM-style FP8: weights+activations FP8, KV cache FP16."""
+        assert FP8_CONFIG.weight_bytes == 1.0
+        assert FP8_CONFIG.activation_bytes == 1.0
+        assert FP8_CONFIG.kv_bytes == 2.0
+        assert FP8_CONFIG.compute_dtype_name == "fp8_e4m3"
+
+    def test_weight_only_computes_in_activation_dtype(self):
+        assert W8A16_CONFIG.compute_dtype_name == "fp16"
+        assert W4A16_CONFIG.weight_bytes == 0.5
+
+    def test_get_preset(self):
+        assert get_preset("fp8") is FP8_CONFIG
+        assert get_preset(FP16_CONFIG) is FP16_CONFIG
+        with pytest.raises(KeyError, match="known"):
+            get_preset("int2")
+
+    def test_make_defaults(self):
+        cfg = QuantConfig.make("custom", "int8", "fp16")
+        assert cfg.kv_bytes == 2.0  # defaults to activation dtype
+        assert cfg.compute_dtype_name == "fp16"
+
+    def test_all_presets_named(self):
+        for name, cfg in PRESETS.items():
+            assert cfg.name == name
+
+
+class TestQuantizationError:
+    def test_fp16_error_tiny(self, rng):
+        x = rng.normal(0, 0.05, 4096).astype(np.float32)
+        assert quantization_error(x, FP16_CONFIG) < 1e-3
+
+    def test_error_ordering(self, rng):
+        x = rng.normal(0, 0.05, 8192).astype(np.float32)
+        e16 = quantization_error(x, FP16_CONFIG)
+        e8 = quantization_error(x, FP8_CONFIG)
+        e4 = quantization_error(x, W4A16_CONFIG)
+        assert e16 < e8 < e4
+
+    def test_fp8_error_in_published_band(self, rng):
+        """E4M3 on unit-scale weights: ~1-4% relative RMS error."""
+        x = rng.normal(0, 1.0, 16384).astype(np.float32)
+        assert 0.005 < quantization_error(x, FP8_CONFIG) < 0.05
+
+    def test_zero_input(self):
+        assert quantization_error(np.zeros(16), FP8_CONFIG) == 0.0

@@ -1,0 +1,58 @@
+"""Tests for repro.parallel.hybrid (plan search)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.gpus import H100_SXM
+from repro.models.zoo import MIXTRAL_8X7B, OLMOE_1B_7B, QWEN3_0_6B
+from repro.parallel.hybrid import best_plan, enumerate_plans, evaluate_plan
+from repro.parallel.plan import ParallelPlan
+
+
+class TestEnumerate:
+    def test_single_device(self):
+        plans = enumerate_plans(OLMOE_1B_7B, 1)
+        assert plans == [ParallelPlan()]
+
+    def test_four_devices_includes_all_families(self):
+        plans = enumerate_plans(MIXTRAL_8X7B, 4)
+        labels = {p.label for p in plans}
+        assert "TP4" in labels
+        assert "TP4+EP4" in labels
+        assert "TP1+PP4" in labels or "PP4" in {p.label for p in plans}
+
+    def test_exact_device_usage(self):
+        for p in enumerate_plans(MIXTRAL_8X7B, 4):
+            assert p.num_devices == 4
+
+    def test_dense_model_skips_ep(self):
+        plans = enumerate_plans(QWEN3_0_6B, 4)
+        assert all(p.ep == 1 for p in plans)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            enumerate_plans(OLMOE_1B_7B, 0)
+
+
+class TestEvaluate:
+    def test_evaluation_fields(self):
+        ev = evaluate_plan(OLMOE_1B_7B, H100_SXM, ParallelPlan(tp=2), 8, 512, 256)
+        assert ev.fits
+        assert ev.throughput_tok_s > 0
+        assert ev.weight_gb_per_device == pytest.approx(13.8 / 2, rel=0.05)
+
+    def test_best_plan_prefers_tp(self):
+        """Paper Fig. 13: TP wins on the H100 node."""
+        best = best_plan(MIXTRAL_8X7B, H100_SXM, 4, 16, 1024, 1024)
+        assert best.plan.tp == 4
+        assert best.plan.pp == 1
+
+    def test_best_plan_requires_fit(self):
+        # Mixtral fp16 cannot fit a single device
+        with pytest.raises(ValueError, match="fits"):
+            best_plan(MIXTRAL_8X7B, H100_SXM, 1, 1, 128, 128)
+
+    def test_best_plan_without_fit_requirement(self):
+        ev = best_plan(MIXTRAL_8X7B, H100_SXM, 1, 1, 128, 128, require_fit=False)
+        assert not ev.fits

@@ -1,0 +1,49 @@
+"""Tests for repro.parallel.plan."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models.zoo import MIXTRAL_8X7B, OLMOE_1B_7B
+from repro.parallel.plan import SINGLE_DEVICE, ParallelPlan
+
+
+class TestPlan:
+    def test_num_devices(self):
+        assert ParallelPlan(tp=4, pp=2).num_devices == 8
+        assert SINGLE_DEVICE.num_devices == 1
+
+    def test_ep_must_divide_tp(self):
+        with pytest.raises(ValueError, match="divide"):
+            ParallelPlan(tp=4, ep=3)
+        ParallelPlan(tp=4, ep=2)  # ok
+
+    def test_expert_shard_tp(self):
+        assert ParallelPlan(tp=4, ep=2).expert_shard_tp == 2
+        assert ParallelPlan(tp=4, ep=4).expert_shard_tp == 1
+        assert ParallelPlan(tp=4).expert_shard_tp == 4
+
+    def test_degrees_positive(self):
+        with pytest.raises(ValueError):
+            ParallelPlan(tp=0)
+        with pytest.raises(ValueError):
+            ParallelPlan(pp=-1)
+
+    def test_label(self):
+        assert ParallelPlan(tp=2).label == "TP2"
+        assert ParallelPlan(tp=4, pp=2, ep=2).label == "TP4+PP2+EP2"
+
+    def test_validate_head_divisibility(self):
+        ParallelPlan(tp=8).validate_for_model(MIXTRAL_8X7B)  # 32 heads
+        with pytest.raises(ValueError, match="num_heads"):
+            ParallelPlan(tp=3).validate_for_model(MIXTRAL_8X7B)
+
+    def test_validate_pp_bound(self):
+        with pytest.raises(ValueError, match="num_layers"):
+            ParallelPlan(pp=33).validate_for_model(MIXTRAL_8X7B)
+
+    def test_validate_expert_divisibility(self):
+        ParallelPlan(tp=4, ep=4).validate_for_model(MIXTRAL_8X7B)  # 8 experts
+        with pytest.raises(ValueError, match="experts"):
+            # Mixtral has 8 experts; ep=16 cannot divide them
+            ParallelPlan(tp=16, ep=16).validate_for_model(MIXTRAL_8X7B)

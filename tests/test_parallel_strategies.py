@@ -1,0 +1,125 @@
+"""Tests for tensor/pipeline/expert parallel analysis modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.gpus import H100_SXM
+from repro.models.zoo import DEEPSEEK_V2_LITE, MIXTRAL_8X7B
+from repro.parallel.expert_parallel import (
+    ep_dispatch_time,
+    ep_dispatch_volume,
+    round_robin_placement,
+    simulate_ep_imbalance,
+)
+from repro.parallel.pipeline import (
+    partition_layers,
+    pipeline_bubble_fraction,
+    pipeline_efficiency,
+)
+from repro.parallel.tensor_parallel import (
+    tp_comm_time_per_layer,
+    tp_comm_volume_per_step,
+    tp_shard,
+)
+
+
+class TestTensorParallel:
+    def test_shard_divides_weights(self):
+        s1 = tp_shard(MIXTRAL_8X7B, 1)
+        s4 = tp_shard(MIXTRAL_8X7B, 4)
+        assert s4.weight_bytes_per_device == pytest.approx(
+            s1.weight_bytes_per_device / 4
+        )
+        assert s4.heads_per_device == 8
+        assert s4.kv_heads_per_device == 2
+
+    def test_kv_heads_floor_at_one(self):
+        s = tp_shard(MIXTRAL_8X7B, 16)
+        assert s.kv_heads_per_device == 1
+
+    def test_indivisible_heads(self):
+        with pytest.raises(ValueError):
+            tp_shard(MIXTRAL_8X7B, 3)
+
+    def test_comm_volume(self):
+        vol = tp_comm_volume_per_step(MIXTRAL_8X7B, 16)
+        assert vol == 2 * 32 * 16 * 4096 * 2
+
+    def test_comm_time_positive(self):
+        assert tp_comm_time_per_layer(MIXTRAL_8X7B, 16, 4, H100_SXM) > 0
+
+
+class TestPipeline:
+    def test_partition_covers_all_layers(self):
+        part = partition_layers(MIXTRAL_8X7B, 4)
+        assert part.num_stages == 4
+        assert part.boundaries[0] == 0
+        assert part.boundaries[-1] == MIXTRAL_8X7B.num_layers
+
+    def test_partition_balanced_for_uniform_model(self):
+        part = partition_layers(MIXTRAL_8X7B, 4)
+        assert part.imbalance < 1.05
+
+    def test_partition_respects_heterogeneous_layers(self):
+        """DeepSeek's dense layer 0 is lighter than the MoE layers."""
+        part = partition_layers(DEEPSEEK_V2_LITE, 3)
+        assert part.imbalance < 1.25
+
+    def test_stage_of_layer(self):
+        part = partition_layers(MIXTRAL_8X7B, 2)
+        assert part.stage_of_layer(0) == 0
+        assert part.stage_of_layer(31) == 1
+
+    def test_partition_bounds(self):
+        with pytest.raises(ValueError):
+            partition_layers(MIXTRAL_8X7B, 0)
+        with pytest.raises(ValueError):
+            partition_layers(MIXTRAL_8X7B, 33)
+
+    def test_bubble_fraction(self):
+        assert pipeline_bubble_fraction(1, 8) == 0.0
+        assert pipeline_bubble_fraction(4, 1) == pytest.approx(3 / 4)
+        assert pipeline_bubble_fraction(4, 16) == pytest.approx(3 / 19)
+
+    def test_efficiency(self):
+        assert pipeline_efficiency(4, 100) > 0.9
+        assert pipeline_efficiency(4, 1) == pytest.approx(0.25)
+        with pytest.raises(ValueError):
+            pipeline_efficiency(4, 4, stage_imbalance=0.9)
+
+
+class TestExpertParallel:
+    def test_round_robin_blocks(self):
+        p = round_robin_placement(8, 4)
+        assert p.experts_on_device(0) == [0, 1]
+        assert p.experts_on_device(3) == [6, 7]
+        assert p.experts_per_device().tolist() == [2, 2, 2, 2]
+
+    def test_indivisible_placement(self):
+        with pytest.raises(ValueError):
+            round_robin_placement(8, 3)
+
+    def test_dispatch_volume(self):
+        v = ep_dispatch_volume(16, 4096, 2, 4)
+        assert v == 16 * 2 * 4096 * 2
+
+    def test_dispatch_time_grows_with_ep(self):
+        t2 = ep_dispatch_time(64, 4096, 2, 2, H100_SXM)
+        t4 = ep_dispatch_time(64, 4096, 2, 4, H100_SXM)
+        assert 0 < t2 < t4
+
+    def test_simulated_imbalance_tracks_analytic(self):
+        sim, analytic = simulate_ep_imbalance(
+            MIXTRAL_8X7B.moe, ep=4, num_tokens=64, num_trials=128,
+            rng=np.random.default_rng(0),
+        )
+        assert sim > 1.0
+        assert abs(sim - analytic) < 0.25
+
+    def test_imbalance_shrinks_with_tokens(self):
+        rng = np.random.default_rng(1)
+        small, _ = simulate_ep_imbalance(MIXTRAL_8X7B.moe, 4, 8, 64, rng)
+        large, _ = simulate_ep_imbalance(MIXTRAL_8X7B.moe, 4, 512, 64, rng)
+        assert large < small

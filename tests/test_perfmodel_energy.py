@@ -1,0 +1,90 @@
+"""Tests for repro.perfmodel.energy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.gpus import A100_SXM, H100_SXM
+from repro.models.zoo import OLMOE_1B_7B, get_model
+from repro.optim.quantization import FP8_CONFIG
+from repro.parallel.plan import ParallelPlan
+from repro.perfmodel.energy import device_power_w, energy_for_generation
+from repro.perfmodel.inference import InferencePerfModel
+
+
+class TestDevicePower:
+    def test_idle_floor_and_tdp_ceiling(self):
+        assert device_power_w(H100_SXM, 0.0) == pytest.approx(0.3 * 700)
+        assert device_power_w(H100_SXM, 1.0) == pytest.approx(700)
+
+    def test_monotone(self):
+        assert device_power_w(H100_SXM, 0.6) > device_power_w(H100_SXM, 0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            device_power_w(H100_SXM, 1.5)
+
+
+class TestEnergyForGeneration:
+    @pytest.fixture(scope="class")
+    def pm(self):
+        return InferencePerfModel(OLMOE_1B_7B, H100_SXM)
+
+    def test_energy_positive_and_power_bounded(self, pm):
+        m = pm.generate(16, 512, 256)
+        e = energy_for_generation(pm, m)
+        assert e.energy_j > 0
+        assert 0.3 * 700 <= e.mean_power_w <= 700
+        assert e.num_devices == 1
+        assert e.energy_wh == pytest.approx(e.energy_j / 3600)
+
+    def test_tokens_per_joule(self, pm):
+        m = pm.generate(16, 512, 256)
+        e = energy_for_generation(pm, m)
+        tpj = e.tokens_per_joule(m.shape.total_tokens)
+        # an H100 serving a small MoE: O(1-100) tokens per joule
+        assert 0.5 < tpj < 1000
+        with pytest.raises(ValueError):
+            e.tokens_per_joule(0)
+
+    def test_bigger_batch_more_efficient(self, pm):
+        small = pm.generate(1, 512, 256)
+        big = pm.generate(64, 512, 256)
+        e_small = energy_for_generation(pm, small)
+        e_big = energy_for_generation(pm, big)
+        assert (e_big.tokens_per_joule(big.shape.total_tokens)
+                > e_small.tokens_per_joule(small.shape.total_tokens))
+
+    def test_more_devices_draw_more(self):
+        m1 = InferencePerfModel(OLMOE_1B_7B, H100_SXM)
+        m4 = InferencePerfModel(OLMOE_1B_7B, H100_SXM, plan=ParallelPlan(tp=4))
+        g1 = m1.generate(16, 512, 256)
+        g4 = m4.generate(16, 512, 256)
+        e1 = energy_for_generation(m1, g1)
+        e4 = energy_for_generation(m4, g4)
+        assert e4.num_devices == 4
+        # 4 GPUs finish faster but burn more instantaneous power; per-token
+        # efficiency should not improve 4x
+        assert (e4.tokens_per_joule(g4.shape.total_tokens)
+                < 4 * e1.tokens_per_joule(g1.shape.total_tokens))
+
+    def test_fp8_improves_efficiency(self):
+        base = InferencePerfModel(get_model("Qwen3-30B-A3B"), H100_SXM)
+        fp8 = InferencePerfModel(get_model("Qwen3-30B-A3B"), H100_SXM,
+                                 quant=FP8_CONFIG)
+        gb = base.generate(32, 512, 512, check_memory=False)
+        g8 = fp8.generate(32, 512, 512, check_memory=False)
+        eb = energy_for_generation(base, gb)
+        e8 = energy_for_generation(fp8, g8)
+        assert (e8.tokens_per_joule(g8.shape.total_tokens)
+                > eb.tokens_per_joule(gb.shape.total_tokens))
+
+    def test_a100_less_efficient_than_h100(self):
+        h = InferencePerfModel(OLMOE_1B_7B, H100_SXM)
+        a = InferencePerfModel(OLMOE_1B_7B, A100_SXM)
+        gh = h.generate(32, 512, 512)
+        ga = a.generate(32, 512, 512)
+        eh = energy_for_generation(h, gh)
+        ea = energy_for_generation(a, ga)
+        assert (eh.tokens_per_joule(gh.shape.total_tokens)
+                > ea.tokens_per_joule(ga.shape.total_tokens))

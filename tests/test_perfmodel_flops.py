@@ -1,0 +1,119 @@
+"""Tests for repro.perfmodel.flops (component cost accounting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models.zoo import DEEPSEEK_V2_LITE, MIXTRAL_8X7B, OLMOE_1B_7B
+from repro.optim.quantization import FP8_CONFIG, FP16_CONFIG
+from repro.perfmodel.flops import (
+    attention_core_cost,
+    dense_ffn_cost,
+    embedding_cost,
+    lm_head_cost,
+    qkvo_cost,
+    router_cost,
+    routed_experts_cost,
+    shared_expert_cost,
+)
+
+
+class TestQKVO:
+    def test_flops_are_2m_params(self):
+        c = qkvo_cost(MIXTRAL_8X7B, 10, FP16_CONFIG)
+        # Mixtral attention ≈ 41.9M params/layer
+        assert c.flops == pytest.approx(2 * 10 * 41.9e6, rel=0.01)
+
+    def test_weight_bytes_scale_with_dtype(self):
+        f16 = qkvo_cost(MIXTRAL_8X7B, 1, FP16_CONFIG)
+        f8 = qkvo_cost(MIXTRAL_8X7B, 1, FP8_CONFIG)
+        assert f8.weight_bytes == pytest.approx(f16.weight_bytes / 2)
+
+
+class TestAttentionCore:
+    def test_kv_read_dominates_decode(self):
+        c = attention_core_cost(MIXTRAL_8X7B, m=1, batch=1, kv_len=4096,
+                                quant=FP16_CONFIG)
+        expected_kv = 4096 * 2 * 8 * 128 * 2  # kv_len * entries * bytes
+        assert c.act_bytes > expected_kv
+        assert c.weight_bytes == 0
+
+    def test_native_mla_reads_less_kv_than_gqa_equivalent(self):
+        mla = attention_core_cost(DEEPSEEK_V2_LITE, 1, 1, 2048, FP16_CONFIG,
+                                  mla_native=True)
+        gqa = attention_core_cost(OLMOE_1B_7B, 1, 1, 2048, FP16_CONFIG)
+        # DeepSeek's compressed latent (576/token) vs OLMoE MHA (4096/token)
+        assert mla.bytes < gqa.bytes
+
+    def test_materialized_mla_reads_more_than_native(self):
+        native = attention_core_cost(DEEPSEEK_V2_LITE, 1, 1, 2048, FP16_CONFIG,
+                                     mla_native=True)
+        mat = attention_core_cost(DEEPSEEK_V2_LITE, 1, 1, 2048, FP16_CONFIG)
+        assert mat.bytes > 3 * native.bytes
+
+    def test_attended_len_scales_flops_only(self):
+        full = attention_core_cost(MIXTRAL_8X7B, 128, 1, 128, FP16_CONFIG)
+        half = attention_core_cost(MIXTRAL_8X7B, 128, 1, 128, FP16_CONFIG,
+                                   attended_len=64)
+        assert half.flops == pytest.approx(full.flops / 2)
+        assert half.bytes == full.bytes
+
+
+class TestRoutedExperts:
+    def test_flops_scale_with_top_k(self):
+        c1 = routed_experts_cost(MIXTRAL_8X7B, 16, FP16_CONFIG, top_k=1)
+        c2 = routed_experts_cost(MIXTRAL_8X7B, 16, FP16_CONFIG, top_k=2)
+        assert c2.flops == pytest.approx(2 * c1.flops)
+
+    def test_weight_bytes_follow_coverage(self):
+        """One decode token streams only top_k experts; a large batch
+        streams all of them."""
+        one = routed_experts_cost(MIXTRAL_8X7B, 1, FP16_CONFIG)
+        big = routed_experts_cost(MIXTRAL_8X7B, 10_000, FP16_CONFIG)
+        per_expert = 3 * 4096 * 14336 * 2
+        assert one.weight_bytes == pytest.approx(2 * per_expert, rel=0.01)
+        assert big.weight_bytes == pytest.approx(8 * per_expert, rel=0.01)
+
+    def test_unfused_penalties(self):
+        fused = routed_experts_cost(MIXTRAL_8X7B, 64, FP16_CONFIG, fused=True)
+        naive = routed_experts_cost(MIXTRAL_8X7B, 64, FP16_CONFIG, fused=False)
+        assert naive.launches > fused.launches
+        assert naive.act_bytes > fused.act_bytes
+        assert naive.weight_bytes > fused.weight_bytes
+
+    def test_resident_override(self):
+        c = routed_experts_cost(MIXTRAL_8X7B, 1000, FP16_CONFIG,
+                                num_experts_resident=2, top_k=2)
+        per_expert = 3 * 4096 * 14336 * 2
+        assert c.weight_bytes == pytest.approx(2 * per_expert, rel=0.01)
+
+
+class TestOtherComponents:
+    def test_router_cost_shape(self):
+        c = router_cost(MIXTRAL_8X7B, 4, FP16_CONFIG)
+        assert c.flops == 2 * 4 * 4096 * 8
+
+    def test_shared_expert_zero_without_shared(self):
+        c = shared_expert_cost(MIXTRAL_8X7B, 4, FP16_CONFIG)
+        assert c.flops == 0 and c.bytes == 0 and c.launches == 0
+
+    def test_shared_expert_nonzero_for_deepseek(self):
+        c = shared_expert_cost(DEEPSEEK_V2_LITE, 4, FP16_CONFIG)
+        assert c.flops == 2 * 4 * 3 * 2048 * (2 * 1408)
+
+    def test_dense_ffn_zero_for_pure_moe(self):
+        assert dense_ffn_cost(MIXTRAL_8X7B, 4, FP16_CONFIG).flops == 0
+
+    def test_dense_ffn_for_deepseek_layer0(self):
+        c = dense_ffn_cost(DEEPSEEK_V2_LITE, 4, FP16_CONFIG)
+        assert c.flops == 2 * 4 * 3 * 2048 * 10944
+
+    def test_lm_head_scales_with_positions(self):
+        c1 = lm_head_cost(MIXTRAL_8X7B, 1, FP16_CONFIG)
+        c64 = lm_head_cost(MIXTRAL_8X7B, 64, FP16_CONFIG)
+        assert c64.flops == 64 * c1.flops
+        assert c64.weight_bytes == c1.weight_bytes
+
+    def test_embedding_memory_only(self):
+        c = embedding_cost(MIXTRAL_8X7B, 16, FP16_CONFIG)
+        assert c.flops == 0 and c.act_bytes > 0

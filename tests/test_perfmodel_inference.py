@@ -1,0 +1,101 @@
+"""Tests for repro.perfmodel.inference (end-to-end metrics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.gpus import H100_SXM
+from repro.models.zoo import DEEPSEEK_VL2_TINY, MIXTRAL_8X7B, OLMOE_1B_7B
+from repro.parallel.plan import ParallelPlan
+from repro.perfmodel.inference import InferencePerfModel, OOMError
+
+
+@pytest.fixture(scope="module")
+def olmoe():
+    return InferencePerfModel(OLMOE_1B_7B, H100_SXM)
+
+
+class TestGenerate:
+    def test_metrics_consistent(self, olmoe):
+        m = olmoe.generate(8, 512, 256)
+        assert 0 < m.ttft_s < m.e2e_latency_s
+        assert m.throughput_tok_s > 0
+        assert m.itl_s > 0
+        assert m.shape.total_tokens == 8 * 768
+
+    def test_e2e_equals_ttft_plus_decode(self, olmoe):
+        ttft = olmoe.ttft(8, 512)
+        decode = olmoe.decode_time(8, 512, 256)
+        m = olmoe.generate(8, 512, 256)
+        assert m.e2e_latency_s == pytest.approx(ttft + decode)
+
+    def test_single_output_token_means_no_decode(self, olmoe):
+        m = olmoe.generate(4, 256, 1)
+        assert m.e2e_latency_s == pytest.approx(m.ttft_s)
+        assert olmoe.decode_time(4, 256, 1) == 0.0
+
+    def test_decode_time_integrates_growing_context(self, olmoe):
+        """Decode over a long generation must cost more per token than the
+        first steps alone (the KV cache grows)."""
+        short_ctx_step = olmoe.steps.decode_step_time(8, 513)
+        total = olmoe.decode_time(8, 512, 1024)
+        assert total > short_ctx_step * 1023
+
+    def test_ttft_dominated_by_prefill_length(self, olmoe):
+        assert olmoe.ttft(4, 2048) > 2 * olmoe.ttft(4, 512)
+
+
+class TestOOMHandling:
+    def test_oversized_raises(self):
+        pm = InferencePerfModel(MIXTRAL_8X7B, H100_SXM)
+        with pytest.raises(OOMError) as err:
+            pm.generate(1, 128, 128)
+        assert err.value.needed_gb > err.value.budget_gb
+
+    def test_check_memory_false_bypasses(self):
+        pm = InferencePerfModel(MIXTRAL_8X7B, H100_SXM)
+        m = pm.generate(1, 128, 128, check_memory=False)
+        assert m.throughput_tok_s > 0
+
+    def test_fits_flag(self, olmoe):
+        assert olmoe.fits(8, 2048)
+        assert not olmoe.fits(2048, 8192)
+
+
+class TestVLM:
+    def test_images_extend_context(self):
+        pm = InferencePerfModel(DEEPSEEK_VL2_TINY, H100_SXM)
+        without = pm.generate(4, 256, 64)
+        with_img = pm.generate(4, 256, 64, images_per_sample=1)
+        assert with_img.ttft_s > without.ttft_s
+        assert with_img.samples_per_s < without.samples_per_s
+
+    def test_images_on_text_model_rejected(self, olmoe):
+        with pytest.raises(ValueError, match="vision"):
+            olmoe.generate(1, 64, 8, images_per_sample=1)
+
+
+class TestPaperTrends:
+    """Coarse end-to-end sanity of the calibrated model."""
+
+    def test_throughput_increases_with_batch(self, olmoe):
+        t1 = olmoe.generate(1, 512, 512).throughput_tok_s
+        t32 = olmoe.generate(32, 512, 512).throughput_tok_s
+        assert t32 > 5 * t1
+
+    def test_throughput_decreases_with_length(self, olmoe):
+        short = olmoe.generate(32, 128, 128).throughput_tok_s
+        long = olmoe.generate(32, 2048, 2048, check_memory=False).throughput_tok_s
+        assert short > long
+
+    def test_tp_improves_throughput(self):
+        single = InferencePerfModel(OLMOE_1B_7B, H100_SXM)
+        tp4 = InferencePerfModel(OLMOE_1B_7B, H100_SXM, plan=ParallelPlan(tp=4))
+        assert (tp4.generate(16, 1024, 1024).throughput_tok_s
+                > single.generate(16, 1024, 1024).throughput_tok_s)
+
+    def test_plausible_absolute_range(self, olmoe):
+        """bs1 decode rate for a 1.3B-active model on H100 should land in
+        the low hundreds of tokens/s."""
+        rate = 1.0 / olmoe.steps.decode_step_time(1, 512)
+        assert 50 < rate < 2000

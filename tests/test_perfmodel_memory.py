@@ -1,0 +1,122 @@
+"""Tests for repro.perfmodel.memory (footprint + OOM)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.gpus import H100_SXM
+from repro.models.zoo import DEEPSEEK_V2_LITE, MIXTRAL_8X7B, OLMOE_1B_7B
+from repro.optim.quantization import FP8_CONFIG, FP16_CONFIG
+from repro.parallel.plan import ParallelPlan
+from repro.perfmodel.memory import GPU_MEMORY_UTILIZATION, MemoryModel
+
+
+class TestWeights:
+    def test_single_device_weight_bytes(self):
+        mm = MemoryModel(OLMOE_1B_7B, H100_SXM)
+        # ~6.9B params at fp16 ≈ 13.8 GB
+        assert mm.weight_bytes_per_device() == pytest.approx(13.8e9, rel=0.02)
+
+    def test_tp_shards_weights(self):
+        full = MemoryModel(MIXTRAL_8X7B, H100_SXM).weight_bytes_per_device()
+        tp4 = MemoryModel(MIXTRAL_8X7B, H100_SXM,
+                          plan=ParallelPlan(tp=4)).weight_bytes_per_device()
+        assert tp4 == pytest.approx(full / 4, rel=0.01)
+
+    def test_pp_shards_layers_not_embeddings(self):
+        pp2 = MemoryModel(MIXTRAL_8X7B, H100_SXM,
+                          plan=ParallelPlan(pp=2)).weight_bytes_per_device()
+        full = MemoryModel(MIXTRAL_8X7B, H100_SXM).weight_bytes_per_device()
+        assert full / 2 < pp2 < full / 1.9
+
+    def test_fp8_halves_weights(self):
+        f16 = MemoryModel(MIXTRAL_8X7B, H100_SXM).weight_bytes_per_device()
+        f8 = MemoryModel(MIXTRAL_8X7B, H100_SXM,
+                         quant=FP8_CONFIG).weight_bytes_per_device()
+        assert f8 == pytest.approx(f16 / 2, rel=0.01)
+
+
+class TestKVCache:
+    def test_gqa_kv_per_token(self):
+        mm = MemoryModel(MIXTRAL_8X7B, H100_SXM)
+        expected = 32 * 2 * 8 * 128 * 2  # layers * 2 * kv_heads * dim * bytes
+        assert mm.kv_bytes_per_token_per_device() == pytest.approx(expected)
+
+    def test_native_mla_kv_much_smaller(self):
+        mla = MemoryModel(DEEPSEEK_V2_LITE, H100_SXM,
+                          mla_native=True).kv_bytes_per_token_per_device()
+        gqa = MemoryModel(OLMOE_1B_7B, H100_SXM).kv_bytes_per_token_per_device()
+        # MLA latent (576/layer) vs MHA (4096/layer): DeepSeek ~10x smaller
+        assert mla < gqa / 3
+
+    def test_materialized_mla_kv_is_large(self):
+        """Default deployment (no native MLA kernels) caches decompressed
+        K/V — bigger per layer than OLMoE's MHA."""
+        mat = MemoryModel(DEEPSEEK_V2_LITE, H100_SXM).kv_bytes_per_token_per_device()
+        nat = MemoryModel(DEEPSEEK_V2_LITE, H100_SXM,
+                          mla_native=True).kv_bytes_per_token_per_device()
+        assert mat > 5 * nat
+
+    def test_tp_shards_gqa_kv(self):
+        full = MemoryModel(MIXTRAL_8X7B, H100_SXM).kv_bytes_per_token_per_device()
+        tp4 = MemoryModel(MIXTRAL_8X7B, H100_SXM,
+                          plan=ParallelPlan(tp=4)).kv_bytes_per_token_per_device()
+        assert tp4 == pytest.approx(full / 4)
+
+    def test_tp_does_not_shard_native_mla_kv(self):
+        full = MemoryModel(DEEPSEEK_V2_LITE, H100_SXM,
+                           mla_native=True).kv_bytes_per_token_per_device()
+        tp2 = MemoryModel(DEEPSEEK_V2_LITE, H100_SXM, plan=ParallelPlan(tp=2),
+                          mla_native=True).kv_bytes_per_token_per_device()
+        assert tp2 == pytest.approx(full)
+
+    def test_tp_shards_materialized_mla_kv(self):
+        full = MemoryModel(DEEPSEEK_V2_LITE, H100_SXM).kv_bytes_per_token_per_device()
+        tp2 = MemoryModel(DEEPSEEK_V2_LITE, H100_SXM,
+                          plan=ParallelPlan(tp=2)).kv_bytes_per_token_per_device()
+        assert tp2 == pytest.approx(full / 2)
+
+    def test_kv_cache_bytes_linear(self):
+        mm = MemoryModel(OLMOE_1B_7B, H100_SXM)
+        assert mm.kv_cache_bytes(4, 100) == pytest.approx(
+            4 * 100 * mm.kv_bytes_per_token_per_device()
+        )
+
+    def test_negative_rejected(self):
+        mm = MemoryModel(OLMOE_1B_7B, H100_SXM)
+        with pytest.raises(ValueError):
+            mm.kv_cache_bytes(-1, 10)
+
+
+class TestOOM:
+    def test_small_model_fits(self):
+        assert MemoryModel(OLMOE_1B_7B, H100_SXM).fits(16, 4096)
+
+    def test_mixtral_fp16_needs_multiple_gpus(self):
+        """47B params at fp16 = 94 GB > 80 GB: the paper's motivation for
+        TP deployment."""
+        assert not MemoryModel(MIXTRAL_8X7B, H100_SXM).fits(1, 128)
+        assert MemoryModel(MIXTRAL_8X7B, H100_SXM, plan=ParallelPlan(tp=2)).fits(1, 128)
+
+    def test_large_batch_long_context_ooms(self):
+        mm = MemoryModel(OLMOE_1B_7B, H100_SXM)
+        assert mm.fits(1, 2048)
+        assert not mm.fits(512, 8192)
+
+    def test_budget_respects_utilization(self):
+        mm = MemoryModel(OLMOE_1B_7B, H100_SXM)
+        assert mm.budget_bytes() == pytest.approx(
+            H100_SXM.memory_bytes * GPU_MEMORY_UTILIZATION
+        )
+
+    def test_max_context_tokens_positive_and_bounded(self):
+        mm = MemoryModel(OLMOE_1B_7B, H100_SXM)
+        cap = mm.max_context_tokens()
+        assert cap > 10_000
+        assert cap * mm.kv_bytes_per_token_per_device() < mm.budget_bytes()
+
+    def test_breakdown_sums(self):
+        mm = MemoryModel(OLMOE_1B_7B, H100_SXM)
+        bd = mm.breakdown(8, 1024)
+        assert bd.total == bd.weights + bd.kv_cache + bd.activations + bd.overhead
+        assert bd.total_gb() == pytest.approx(bd.total / 1e9)

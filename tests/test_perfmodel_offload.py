@@ -1,0 +1,94 @@
+"""Tests for repro.perfmodel.offload (CPU expert offloading)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.gpus import H100_SXM
+from repro.models.zoo import MIXTRAL_8X7B, QWEN3_0_6B
+from repro.perfmodel.offload import (
+    OffloadPlan,
+    offload_throughput_estimate,
+    offloaded_expert_step_time,
+    traffic_hit_fraction,
+)
+
+
+class TestTrafficHitFraction:
+    def test_uniform_counts(self):
+        assert traffic_hit_fraction(np.ones(8), 0.5) == pytest.approx(0.5)
+
+    def test_skewed_counts_beat_fraction(self):
+        counts = np.array([100, 100, 1, 1, 1, 1, 1, 1], dtype=float)
+        assert traffic_hit_fraction(counts, 0.25) == pytest.approx(200 / 206)
+
+    def test_extremes(self):
+        counts = np.arange(8, dtype=float)
+        assert traffic_hit_fraction(counts, 0.0) == 0.0
+        assert traffic_hit_fraction(counts, 1.0) == pytest.approx(1.0)
+
+    def test_zero_counts_fall_back_to_fraction(self):
+        assert traffic_hit_fraction(np.zeros(4), 0.5) == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            traffic_hit_fraction(np.ones(4), 1.5)
+        with pytest.raises(ValueError):
+            traffic_hit_fraction(np.ones((2, 2)), 0.5)
+
+
+class TestOffloadPlan:
+    def test_validation(self):
+        OffloadPlan(hot_fraction=0.5, hit_fraction=0.9)
+        with pytest.raises(ValueError, match="worse-than-random"):
+            OffloadPlan(hot_fraction=0.5, hit_fraction=0.3)
+        with pytest.raises(ValueError):
+            OffloadPlan(hot_fraction=0.5, hit_fraction=0.9, pcie_gbps=0)
+
+
+class TestStepTime:
+    def test_fully_resident_matches_hbm_only(self):
+        full = OffloadPlan(hot_fraction=1.0, hit_fraction=1.0)
+        t = offloaded_expert_step_time(MIXTRAL_8X7B, 16, full, H100_SXM)
+        assert t > 0
+
+    def test_cold_misses_dominate(self):
+        """PCIe is ~50x slower than HBM3 — a 50% miss rate is catastrophic."""
+        full = OffloadPlan(hot_fraction=1.0, hit_fraction=1.0)
+        half = OffloadPlan(hot_fraction=0.5, hit_fraction=0.5)
+        t_full = offloaded_expert_step_time(MIXTRAL_8X7B, 16, full, H100_SXM)
+        t_half = offloaded_expert_step_time(MIXTRAL_8X7B, 16, half, H100_SXM)
+        assert t_half > 10 * t_full
+
+    def test_frequency_caching_softens_the_cliff(self):
+        random_cache = OffloadPlan(hot_fraction=0.5, hit_fraction=0.5)
+        freq_cache = OffloadPlan(hot_fraction=0.5, hit_fraction=0.95)
+        t_rand = offloaded_expert_step_time(MIXTRAL_8X7B, 16, random_cache, H100_SXM)
+        t_freq = offloaded_expert_step_time(MIXTRAL_8X7B, 16, freq_cache, H100_SXM)
+        assert t_freq < t_rand / 3
+
+    def test_dense_model_rejected(self):
+        with pytest.raises(ValueError, match="MoE"):
+            offloaded_expert_step_time(
+                QWEN3_0_6B, 4, OffloadPlan(1.0, 1.0), H100_SXM
+            )
+
+
+class TestThroughputEstimate:
+    def test_throughput_monotone_in_hit_rate(self):
+        rates = []
+        for hit in (0.5, 0.8, 0.95, 1.0):
+            plan = OffloadPlan(hot_fraction=0.5, hit_fraction=hit)
+            rates.append(offload_throughput_estimate(
+                MIXTRAL_8X7B, 16, 1024, plan, H100_SXM
+            ))
+        assert all(a < b for a, b in zip(rates, rates[1:]))
+
+    def test_full_residency_close_to_base_model(self):
+        from repro.perfmodel.phases import StepModel
+
+        plan = OffloadPlan(hot_fraction=1.0, hit_fraction=1.0)
+        off = offload_throughput_estimate(MIXTRAL_8X7B, 16, 1024, plan, H100_SXM)
+        base = 16 / StepModel(MIXTRAL_8X7B, H100_SXM).decode_step_time(16, 1024)
+        assert off == pytest.approx(base, rel=0.35)

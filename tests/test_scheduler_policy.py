@@ -1,0 +1,61 @@
+"""Tests for the scheduler's prefill-first vs decode-first policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.gpus import H100_SXM
+from repro.models.zoo import OLMOE_1B_7B
+from repro.perfmodel.inference import InferencePerfModel
+from repro.serving.engine import ServingEngine
+from repro.serving.request import Request, SamplingParams
+from repro.serving.scheduler import SchedulerConfig
+
+
+def _run(policy: str):
+    pm = InferencePerfModel(OLMOE_1B_7B, H100_SXM)
+    engine = ServingEngine(
+        pm,
+        scheduler_config=SchedulerConfig(policy=policy),
+        kv_pool_tokens=65536,
+    )
+    # one long-running request, then a latecomer mid-generation
+    engine.submit(Request(request_id=0, prompt_tokens=256,
+                          sampling=SamplingParams(max_tokens=256)))
+    engine.submit(Request(request_id=1, prompt_tokens=256,
+                          sampling=SamplingParams(max_tokens=16),
+                          arrival_time=0.2))
+    return engine.run()
+
+
+class TestPolicies:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="policy"):
+            SchedulerConfig(policy="fifo")
+
+    def test_prefill_first_admits_latecomer_quickly(self):
+        res = _run("prefill_first")
+        late = next(r for r in res.requests if r.request_id == 1)
+        assert late.ttft < 0.3  # admitted at the next iteration boundary
+
+    def test_decode_first_delays_latecomer(self):
+        fast = _run("prefill_first")
+        slow = _run("decode_first")
+        late_fast = next(r for r in fast.requests if r.request_id == 1).ttft
+        late_slow = next(r for r in slow.requests if r.request_id == 1).ttft
+        assert late_slow > 2 * late_fast
+
+    def test_decode_first_finishes_first_request_sooner(self):
+        """The running sequence never yields to the latecomer's prefill."""
+        fast = _run("prefill_first")
+        slow = _run("decode_first")
+        first_fast = next(r for r in fast.requests if r.request_id == 0)
+        first_slow = next(r for r in slow.requests if r.request_id == 0)
+        assert first_slow.e2e_latency < first_fast.e2e_latency
+
+    def test_both_policies_complete_everything(self):
+        for policy in ("prefill_first", "decode_first"):
+            res = _run(policy)
+            assert all(r.is_finished for r in res.requests)
+            assert all(r.generated_tokens == r.sampling.max_tokens
+                       for r in res.requests)

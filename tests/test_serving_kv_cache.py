@@ -1,0 +1,108 @@
+"""Tests for repro.serving.kv_cache (paged block manager)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving.kv_cache import PagedKVCache
+
+
+@pytest.fixture
+def pool():
+    return PagedKVCache(num_blocks=8, block_size=16)
+
+
+class TestAllocation:
+    def test_blocks_needed(self, pool):
+        assert pool.blocks_needed(1) == 1
+        assert pool.blocks_needed(16) == 1
+        assert pool.blocks_needed(17) == 2
+
+    def test_allocate_and_free(self, pool):
+        pool.allocate(1, 40)  # 3 blocks
+        assert pool.used_blocks == 3
+        assert pool.num_tokens(1) == 40
+        assert len(pool.block_table(1)) == 3
+        pool.free(1)
+        assert pool.free_blocks == 8
+
+    def test_double_allocate_rejected(self, pool):
+        pool.allocate(1, 10)
+        with pytest.raises(ValueError, match="already"):
+            pool.allocate(1, 10)
+
+    def test_exhaustion(self, pool):
+        pool.allocate(1, 8 * 16)
+        with pytest.raises(MemoryError):
+            pool.allocate(2, 1)
+
+    def test_can_allocate_watermark(self, pool):
+        pool.allocate(1, 7 * 16)
+        assert pool.can_allocate(16)
+        assert not pool.can_allocate(16, watermark_blocks=1)
+
+    def test_free_unknown(self, pool):
+        with pytest.raises(KeyError):
+            pool.free(99)
+
+    def test_block_ids_unique_across_sequences(self, pool):
+        pool.allocate(1, 32)
+        pool.allocate(2, 32)
+        assert not set(pool.block_table(1)) & set(pool.block_table(2))
+
+
+class TestAppend:
+    def test_append_within_block(self, pool):
+        pool.allocate(1, 10)
+        assert pool.can_append_slots(1, 6)
+        pool.append_slots(1, 6)
+        assert pool.num_tokens(1) == 16
+        assert len(pool.block_table(1)) == 1
+
+    def test_append_grows_blocks(self, pool):
+        pool.allocate(1, 16)
+        pool.append_slots(1, 1)
+        assert len(pool.block_table(1)) == 2
+
+    def test_append_exhaustion(self, pool):
+        pool.allocate(1, 7 * 16)  # 7 blocks, all full
+        pool.allocate(2, 16)      # 8th block, full
+        # pool is now completely allocated; any growth must fail
+        with pytest.raises(MemoryError):
+            pool.append_slots(2, 1)
+
+    def test_can_append_guard(self, pool):
+        pool.allocate(1, 8 * 16)
+        assert not pool.can_append_slots(1, 1)
+
+    def test_append_validation(self, pool):
+        pool.allocate(1, 4)
+        with pytest.raises(ValueError):
+            pool.append_slots(1, 0)
+        with pytest.raises(KeyError):
+            pool.append_slots(7, 1)
+
+
+class TestLifecycle:
+    def test_utilization(self, pool):
+        assert pool.utilization == 0.0
+        pool.allocate(1, 4 * 16)
+        assert pool.utilization == pytest.approx(0.5)
+
+    def test_free_returns_blocks_for_reuse(self, pool):
+        pool.allocate(1, 8 * 16)
+        pool.free(1)
+        pool.allocate(2, 8 * 16)  # must succeed after free
+        assert pool.used_blocks == 8
+
+    def test_reset(self, pool):
+        pool.allocate(1, 32)
+        pool.reset()
+        assert pool.free_blocks == 8
+        assert not pool.has_sequence(1)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            PagedKVCache(0, 16)
+        with pytest.raises(ValueError):
+            PagedKVCache(8, 0)

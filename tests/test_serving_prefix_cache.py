@@ -1,0 +1,138 @@
+"""Tests for repro.serving.prefix_cache and its scheduler/engine integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.gpus import H100_SXM
+from repro.models.zoo import OLMOE_1B_7B
+from repro.perfmodel.inference import InferencePerfModel
+from repro.serving.engine import ServingEngine
+from repro.serving.prefix_cache import PrefixCachingKVCache
+from repro.serving.request import Request, SamplingParams
+
+BS = 16  # block size used throughout
+
+
+@pytest.fixture
+def cache():
+    return PrefixCachingKVCache(num_blocks=32, block_size=BS)
+
+
+class TestSharing:
+    def test_first_request_registers(self, cache):
+        cached = cache.allocate_with_prefix(1, 4 * BS, (101, 102, 103))
+        assert cached == 0
+        assert cache.stats.hits == 0
+        assert cache.used_blocks == 4
+
+    def test_second_request_shares(self, cache):
+        cache.allocate_with_prefix(1, 4 * BS, (101, 102, 103))
+        cached = cache.allocate_with_prefix(2, 4 * BS, (101, 102, 103))
+        assert cached == 3 * BS
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+        # 4 + 1 new private block (shared 3)
+        assert cache.used_blocks == 5
+        assert cache.block_table(1)[:3] == cache.block_table(2)[:3]
+
+    def test_partial_prefix_match(self, cache):
+        cache.allocate_with_prefix(1, 4 * BS, (101, 102, 103))
+        cached = cache.allocate_with_prefix(2, 4 * BS, (101, 202, 203))
+        assert cached == BS  # only the first block matches
+
+    def test_miss_then_hit_stays_private(self, cache):
+        """After the first miss, later matching hashes are not shared
+        (their content depends on the differing prefix)."""
+        cache.allocate_with_prefix(1, 3 * BS, (101, 102))
+        cached = cache.allocate_with_prefix(2, 3 * BS, (999, 102))
+        assert cached == 0
+        assert set(cache.block_table(1)).isdisjoint(cache.block_table(2))
+
+    def test_duplicate_hashes_rejected(self, cache):
+        with pytest.raises(ValueError, match="duplicate"):
+            cache.allocate_with_prefix(1, 4 * BS, (7, 7))
+
+    def test_too_many_hashes_rejected(self, cache):
+        with pytest.raises(ValueError, match="exceed"):
+            cache.allocate_with_prefix(1, BS + 1, (1, 2))
+
+
+class TestLifecycle:
+    def test_free_keeps_cached_content(self, cache):
+        cache.allocate_with_prefix(1, 3 * BS, (11, 12))
+        cache.free(1)
+        # content parked as reusable: a new request still hits
+        cached = cache.allocate_with_prefix(2, 3 * BS, (11, 12))
+        assert cached == 2 * BS
+
+    def test_refcounted_free(self, cache):
+        cache.allocate_with_prefix(1, 2 * BS, (11,))
+        cache.allocate_with_prefix(2, 2 * BS, (11,))
+        cache.free(1)
+        # block still referenced by seq 2: a third sharer hits it
+        assert cache.allocate_with_prefix(3, 2 * BS, (11,)) == BS
+        cache.free(2)
+        cache.free(3)
+        assert cache.free_blocks == 32
+
+    def test_eviction_under_pressure(self, cache):
+        cache.allocate_with_prefix(1, 16 * BS, tuple(range(100, 116)))
+        cache.free(1)  # all 16 blocks reusable
+        # a non-matching allocation of 32 blocks must evict cached content
+        cache.allocate(2, 32 * BS)
+        assert cache.stats.evictions > 0
+        # evicted content no longer hits
+        cache.free(2)
+        assert cache.allocate_with_prefix(3, 2 * BS, (100,)) in (0, BS)
+
+    def test_grows_like_base_allocator(self, cache):
+        cache.allocate_with_prefix(1, 2 * BS, (5,))
+        cache.append_slots(1, BS)
+        assert cache.num_tokens(1) == 3 * BS
+
+    def test_reset_clears_cache(self, cache):
+        cache.allocate_with_prefix(1, 2 * BS, (5,))
+        cache.reset()
+        assert cache.allocate_with_prefix(2, 2 * BS, (5,)) == 0
+
+
+class TestEngineIntegration:
+    def _engine(self, prefix: bool) -> ServingEngine:
+        pm = InferencePerfModel(OLMOE_1B_7B, H100_SXM)
+        return ServingEngine(pm, kv_pool_tokens=65536,
+                             enable_prefix_caching=prefix)
+
+    @staticmethod
+    def _request(rid: int, shared_blocks: int = 30) -> Request:
+        # 512-token prompt whose first `shared_blocks` blocks are a shared
+        # system prompt (same hashes across requests)
+        return Request(
+            request_id=rid,
+            prompt_tokens=512,
+            sampling=SamplingParams(max_tokens=16),
+            prompt_block_hashes=tuple(range(shared_blocks)),
+        )
+
+    def test_prefix_caching_cuts_ttft(self):
+        slow = self._engine(prefix=False)
+        fast = self._engine(prefix=True)
+        for eng in (slow, fast):
+            for i in range(8):
+                eng.submit(self._request(i))
+        r_slow = slow.run()
+        r_fast = fast.run()
+        # the first request pays full prefill in both engines, later ones
+        # hit the shared prefix only with caching on
+        later_slow = [r.ttft for r in r_slow.requests[1:]]
+        later_fast = [r.ttft for r in r_fast.requests[1:]]
+        assert sum(later_fast) < sum(later_slow)
+        assert r_fast.kv_hit_rate > 0.5
+        assert r_slow.kv_hit_rate == 0.0
+
+    def test_all_requests_complete_with_caching(self):
+        eng = self._engine(prefix=True)
+        for i in range(6):
+            eng.submit(self._request(i))
+        res = eng.run()
+        assert all(r.is_finished for r in res.requests)
+        assert all(r.generated_tokens == 16 for r in res.requests)

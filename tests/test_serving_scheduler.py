@@ -1,0 +1,187 @@
+"""Tests for repro.serving.scheduler (continuous batching)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving.kv_cache import PagedKVCache
+from repro.serving.request import Request, RequestState, SamplingParams
+from repro.serving.scheduler import Scheduler, SchedulerConfig
+
+
+def make_request(rid: int, prompt: int = 32, out: int = 16) -> Request:
+    return Request(request_id=rid, prompt_tokens=prompt,
+                   sampling=SamplingParams(max_tokens=out))
+
+
+@pytest.fixture
+def sched():
+    kv = PagedKVCache(num_blocks=64, block_size=16)
+    return Scheduler(SchedulerConfig(max_num_seqs=8, max_num_batched_tokens=128), kv)
+
+
+class TestPrefillScheduling:
+    def test_prefill_first(self, sched):
+        sched.add_request(make_request(1))
+        batch = sched.schedule()
+        assert batch.phase == "prefill"
+        assert batch.num_tokens == 32
+        assert batch.requests[0].state is RequestState.RUNNING
+
+    def test_prefill_batches_up_to_token_budget(self, sched):
+        for i in range(6):
+            sched.add_request(make_request(i, prompt=48))
+        batch = sched.schedule()
+        # 48*2=96 <= 128 but adding a third (144) exceeds the budget
+        assert batch.batch_size == 2
+
+    def test_first_oversized_prompt_still_scheduled(self, sched):
+        sched.add_request(make_request(1, prompt=500))
+        batch = sched.schedule()
+        assert batch.batch_size == 1
+        assert batch.num_tokens == 500
+
+    def test_max_num_seqs_cap(self):
+        kv = PagedKVCache(num_blocks=256, block_size=16)
+        sched = Scheduler(SchedulerConfig(max_num_seqs=3,
+                                          max_num_batched_tokens=10_000), kv)
+        for i in range(5):
+            sched.add_request(make_request(i, prompt=8))
+        batch = sched.schedule()
+        assert batch.batch_size == 3
+
+    def test_admission_blocked_by_kv_pressure(self):
+        kv = PagedKVCache(num_blocks=4, block_size=16)
+        sched = Scheduler(SchedulerConfig(), kv)
+        sched.add_request(make_request(1, prompt=48, out=16))  # 4 blocks
+        sched.add_request(make_request(2, prompt=48, out=16))
+        batch = sched.schedule()
+        assert batch.batch_size == 1  # second cannot be admitted
+
+    def test_on_prefill_done_moves_to_running(self, sched):
+        sched.add_request(make_request(1))
+        batch = sched.schedule()
+        sched.on_prefill_done(batch)
+        assert sched.num_running == 1
+        assert not batch.requests[0].is_prefill_pending
+
+
+class TestDecodeScheduling:
+    def _admit(self, sched, n=2):
+        for i in range(n):
+            sched.add_request(make_request(i))
+        batch = sched.schedule()
+        sched.on_prefill_done(batch)
+        return batch.requests
+
+    def test_decode_includes_all_running(self, sched):
+        reqs = self._admit(sched, 2)
+        batch = sched.schedule()
+        assert batch.phase == "decode"
+        assert batch.batch_size == 2
+        assert batch.num_tokens == 2
+
+    def test_decode_appends_kv_slot(self, sched):
+        (req,) = self._admit(sched, 1)
+        before = sched.kv.num_tokens(req.request_id)
+        sched.schedule()
+        assert sched.kv.num_tokens(req.request_id) == before + 1
+
+    def test_finish_releases_kv(self, sched):
+        reqs = self._admit(sched, 2)
+        batch = sched.schedule()
+        sched.on_decode_done(batch, [reqs[0]])
+        assert reqs[0].state is RequestState.FINISHED
+        assert not sched.kv.has_sequence(reqs[0].request_id)
+        assert sched.num_running == 1
+
+    def test_waiting_requests_keep_prefill_priority(self, sched):
+        self._admit(sched, 1)
+        sched.add_request(make_request(9))
+        batch = sched.schedule()
+        assert batch.phase == "prefill"
+
+
+class TestPreemption:
+    def test_preempts_latest_on_pressure(self):
+        kv = PagedKVCache(num_blocks=4, block_size=4)
+        sched = Scheduler(SchedulerConfig(watermark_blocks=0), kv)
+        a = make_request(1, prompt=8, out=8)   # 2 blocks full
+        b = make_request(2, prompt=8, out=8)
+        sched.add_request(a)
+        sched.add_request(b)
+        batch = sched.schedule()
+        sched.on_prefill_done(batch)
+        assert sched.num_running == 2
+        # next decode needs 2 new blocks but the pool is full -> preempt b
+        decode = sched.schedule()
+        assert decode.phase == "decode"
+        assert b in decode.preempted
+        assert b.state is RequestState.PREEMPTED
+        assert a in decode.requests
+        assert sched.waiting[0] is b
+
+    def test_preempted_request_recomputed_later(self):
+        kv = PagedKVCache(num_blocks=4, block_size=4)
+        sched = Scheduler(SchedulerConfig(watermark_blocks=0), kv)
+        a = make_request(1, prompt=8, out=8)
+        b = make_request(2, prompt=8, out=8)
+        sched.add_request(a)
+        sched.add_request(b)
+        sched.on_prefill_done(sched.schedule())
+        sched.schedule()  # preempts b
+        # finish a, releasing space
+        sched.on_decode_done(
+            type(sched.schedule())(phase="decode", requests=[a], num_tokens=1),
+            [a],
+        )
+        batch = sched.schedule()
+        assert batch.phase == "prefill"
+        assert batch.requests == [b]
+
+
+class TestChunkedPrefill:
+    def test_chunks_limit_tokens(self):
+        kv = PagedKVCache(num_blocks=64, block_size=16)
+        sched = Scheduler(
+            SchedulerConfig(enable_chunked_prefill=True, chunk_size=64), kv
+        )
+        req = make_request(1, prompt=200)
+        sched.add_request(req)
+        batch = sched.schedule()
+        assert batch.num_tokens == 64
+        sched.on_prefill_done(batch)
+        assert req.kv_tokens == 64
+        assert req.is_prefill_pending
+        # continues at the queue front
+        batch2 = sched.schedule()
+        assert batch2.requests == [req]
+        assert batch2.num_tokens == 64
+
+    def test_chunked_prefill_completes(self):
+        kv = PagedKVCache(num_blocks=64, block_size=16)
+        sched = Scheduler(
+            SchedulerConfig(enable_chunked_prefill=True, chunk_size=64), kv
+        )
+        req = make_request(1, prompt=150)
+        sched.add_request(req)
+        for _ in range(3):  # 64 + 64 + 22
+            sched.on_prefill_done(sched.schedule())
+        assert not req.is_prefill_pending
+        assert sched.num_running == 1
+
+
+class TestValidation:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(max_num_seqs=0)
+        with pytest.raises(ValueError):
+            SchedulerConfig(max_num_batched_tokens=0)
+        with pytest.raises(ValueError):
+            SchedulerConfig(watermark_blocks=-1)
+
+    def test_add_finished_request_rejected(self, sched):
+        req = make_request(1)
+        req.state = RequestState.FINISHED
+        with pytest.raises(ValueError):
+            sched.add_request(req)

@@ -1,0 +1,100 @@
+"""Tests for repro.tensor.attention (KV cache + GQA)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.config import AttentionConfig, AttentionKind
+from repro.tensor.attention import Attention, KVCache
+
+
+@pytest.fixture
+def gqa_attn(rng):
+    cfg = AttentionConfig(num_heads=4, num_kv_heads=2, head_dim=8)
+    return Attention(cfg, hidden_size=32, rng=rng, max_positions=64)
+
+
+class TestKVCache:
+    def test_append_and_view(self):
+        cache = KVCache(2, 16, 2, 8)
+        k = np.ones((2, 3, 2, 8), dtype=np.float32)
+        cache.append(k, k * 2)
+        kk, vv = cache.view()
+        assert kk.shape == (2, 3, 2, 8)
+        assert (vv == 2).all()
+        assert cache.length == 3
+
+    def test_views_are_views(self):
+        cache = KVCache(1, 8, 1, 4)
+        cache.append(np.ones((1, 2, 1, 4), np.float32), np.ones((1, 2, 1, 4), np.float32))
+        k, _ = cache.view()
+        assert k.base is cache.k
+
+    def test_overflow(self):
+        cache = KVCache(1, 4, 1, 4)
+        big = np.zeros((1, 5, 1, 4), np.float32)
+        with pytest.raises(ValueError, match="overflow"):
+            cache.append(big, big)
+
+    def test_reset(self):
+        cache = KVCache(1, 4, 1, 4)
+        x = np.zeros((1, 2, 1, 4), np.float32)
+        cache.append(x, x)
+        cache.reset()
+        assert cache.length == 0
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            KVCache(0, 4, 1, 4)
+
+
+class TestAttention:
+    def test_output_shape(self, gqa_attn, rng):
+        x = rng.normal(0, 1, (2, 5, 32)).astype(np.float32)
+        assert gqa_attn(x).shape == (2, 5, 32)
+
+    def test_requires_3d(self, gqa_attn):
+        with pytest.raises(ValueError):
+            gqa_attn(np.zeros((5, 32)))
+
+    def test_causality(self, gqa_attn, rng):
+        """Changing a future token must not affect earlier outputs."""
+        x = rng.normal(0, 1, (1, 6, 32)).astype(np.float32)
+        out1 = gqa_attn(x)
+        x2 = x.copy()
+        x2[0, -1] += 10.0
+        out2 = gqa_attn(x2)
+        assert np.allclose(out1[0, :-1], out2[0, :-1], atol=1e-5)
+        assert not np.allclose(out1[0, -1], out2[0, -1], atol=1e-3)
+
+    def test_incremental_matches_full(self, gqa_attn, rng):
+        """Prefill + decode through the cache == one full forward pass."""
+        x = rng.normal(0, 1, (2, 6, 32)).astype(np.float32)
+        full = gqa_attn(x)
+
+        cache = gqa_attn.new_cache(2, 16)
+        prefill = gqa_attn(x[:, :4], cache)
+        step5 = gqa_attn(x[:, 4:5], cache)
+        step6 = gqa_attn(x[:, 5:6], cache)
+
+        assert np.allclose(prefill, full[:, :4], atol=1e-4)
+        assert np.allclose(step5[:, 0], full[:, 4], atol=1e-4)
+        assert np.allclose(step6[:, 0], full[:, 5], atol=1e-4)
+
+    def test_mha_config(self, rng):
+        cfg = AttentionConfig(num_heads=2, num_kv_heads=2, head_dim=8,
+                              kind=AttentionKind.MHA)
+        attn = Attention(cfg, 16, rng, max_positions=32)
+        x = rng.normal(0, 1, (1, 3, 16)).astype(np.float32)
+        assert attn(x).shape == (1, 3, 16)
+
+    def test_mla_decompressed_execution(self, rng):
+        cfg = AttentionConfig(
+            num_heads=2, num_kv_heads=2, head_dim=24, kind=AttentionKind.MLA,
+            kv_lora_rank=16, qk_rope_head_dim=8, qk_nope_head_dim=16,
+            v_head_dim=24,
+        )
+        attn = Attention(cfg, 16, rng, max_positions=32)
+        x = rng.normal(0, 1, (1, 4, 16)).astype(np.float32)
+        assert attn(x).shape == (1, 4, 16)

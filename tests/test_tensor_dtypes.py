@@ -1,0 +1,136 @@
+"""Tests for repro.tensor.dtypes (quantization kernels)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensor.dtypes import (
+    DTYPES,
+    FP8_E4M3,
+    FP16,
+    FP32,
+    INT4,
+    INT8,
+    dequantize_int,
+    get_dtype,
+    quantize_dequantize,
+    quantize_fp8,
+    quantize_int,
+)
+
+
+class TestRegistry:
+    def test_byte_widths(self):
+        assert FP32.bytes_per_element == 4.0
+        assert FP16.bytes_per_element == 2.0
+        assert FP8_E4M3.bytes_per_element == 1.0
+        assert INT4.bytes_per_element == 0.5
+
+    def test_alias_fp8(self):
+        assert get_dtype("fp8") is FP8_E4M3
+
+    def test_get_dtype_passthrough(self):
+        assert get_dtype(FP16) is FP16
+
+    def test_get_dtype_case_insensitive(self):
+        assert get_dtype("FP16") is FP16
+
+    def test_unknown_dtype(self):
+        with pytest.raises(KeyError, match="known dtypes"):
+            get_dtype("fp4")
+
+    def test_quantized_flags(self):
+        assert FP8_E4M3.is_quantized and INT8.is_quantized and INT4.is_quantized
+        assert not FP16.is_quantized and not FP32.is_quantized
+
+
+class TestFP8:
+    def test_exact_grid_points_preserved(self):
+        # powers of two up to 256 are exactly representable in E4M3
+        vals = np.array([0.5, 1.0, 2.0, 4.0, 256.0, -8.0])
+        assert np.array_equal(quantize_fp8(vals), vals.astype(np.float32))
+
+    def test_saturates_at_448(self):
+        assert quantize_fp8(np.array([1e6]))[0] == 448.0
+        assert quantize_fp8(np.array([-1e6]))[0] == -448.0
+
+    def test_zero_preserved(self):
+        assert quantize_fp8(np.array([0.0]))[0] == 0.0
+
+    def test_three_mantissa_bits(self):
+        # between 1.0 and 2.0 the grid step is 1/8
+        x = np.array([1.0 + 1 / 16])
+        q = quantize_fp8(x)[0]
+        assert q in (1.0, 1.125)
+
+    def test_relative_error_bounded(self, rng):
+        x = rng.normal(0, 1, 1000).astype(np.float32)
+        q = quantize_fp8(x)
+        nz = np.abs(x) > 2 ** -6
+        rel = np.abs(q[nz] - x[nz]) / np.abs(x[nz])
+        assert rel.max() <= 1 / 16 + 1e-6  # half-step of 3 mantissa bits
+
+    def test_idempotent(self, rng):
+        x = rng.normal(0, 1, 100)
+        once = quantize_fp8(x)
+        assert np.array_equal(quantize_fp8(once), once)
+
+    def test_subnormal_flush(self):
+        tiny = np.array([2.0 ** -12])
+        assert abs(quantize_fp8(tiny)[0]) <= 2.0 ** -9
+
+
+class TestIntQuant:
+    def test_roundtrip_error_int8(self, rng):
+        x = rng.normal(0, 1, (16, 64)).astype(np.float32)
+        q, s = quantize_int(x, 8)
+        err = np.abs(dequantize_int(q, s) - x)
+        step = np.abs(x).max(axis=-1, keepdims=True) / 127
+        assert (err <= step / 2 + 1e-6).all()
+
+    def test_int4_coarser_than_int8(self, rng):
+        x = rng.normal(0, 1, 512).astype(np.float32)
+        e8 = np.abs(quantize_dequantize(x, INT8) - x).mean()
+        e4 = np.abs(quantize_dequantize(x, INT4) - x).mean()
+        assert e4 > e8
+
+    def test_levels_in_range(self, rng):
+        x = rng.normal(0, 10, 256)
+        q, _ = quantize_int(x, 4)
+        assert q.min() >= -7 and q.max() <= 7
+
+    def test_zero_row_handled(self):
+        x = np.zeros((2, 8), dtype=np.float32)
+        q, s = quantize_int(x, 8)
+        assert np.array_equal(dequantize_int(q, s), x)
+
+    def test_bad_bits_rejected(self):
+        with pytest.raises(ValueError):
+            quantize_int(np.ones(4), 5)
+
+
+class TestQuantizeDequantize:
+    def test_fp32_identity(self, rng):
+        x = rng.normal(0, 1, 64).astype(np.float32)
+        assert np.array_equal(quantize_dequantize(x, FP32), x)
+
+    def test_fp16_matches_numpy_cast(self, rng):
+        x = rng.normal(0, 1, 64).astype(np.float32)
+        expected = x.astype(np.float16).astype(np.float32)
+        assert np.array_equal(quantize_dequantize(x, FP16), expected)
+
+    def test_bf16_drops_mantissa(self):
+        x = np.array([1.0 + 2 ** -12], dtype=np.float32)
+        q = quantize_dequantize(x, "bf16")
+        # bf16 has 7 mantissa bits: 2^-12 is below the step at 1.0
+        assert q[0] in (1.0, 1.0078125)
+
+    def test_error_ordering_across_dtypes(self, rng):
+        """Finer formats must round-trip with less error."""
+        x = rng.normal(0, 1, 4096).astype(np.float32)
+        errs = {
+            name: float(np.abs(quantize_dequantize(x, name) - x).mean())
+            for name in ("fp16", "fp8_e4m3", "int4")
+        }
+        assert errs["fp16"] < errs["fp8_e4m3"] < errs["int4"]

@@ -1,0 +1,57 @@
+"""Tests for repro.tensor.linear."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensor.dtypes import FP8_E4M3, INT8
+from repro.tensor.linear import Linear, init_weight
+
+
+class TestInitWeight:
+    def test_shape_and_scale(self, rng):
+        w = init_weight(rng, 256, 128)
+        assert w.shape == (256, 128)
+        assert w.std() == pytest.approx(1 / np.sqrt(256), rel=0.15)
+
+    def test_rejects_bad_dims(self, rng):
+        with pytest.raises(ValueError):
+            init_weight(rng, 0, 4)
+
+
+class TestLinear:
+    def test_matmul(self, rng):
+        w = rng.normal(0, 1, (8, 4)).astype(np.float32)
+        layer = Linear(w)
+        x = rng.normal(0, 1, (3, 8)).astype(np.float32)
+        assert np.allclose(layer(x), x @ w, atol=1e-6)
+
+    def test_batched_leading_dims(self, rng):
+        layer = Linear.random(rng, 8, 4)
+        x = rng.normal(0, 1, (2, 5, 8)).astype(np.float32)
+        assert layer(x).shape == (2, 5, 4)
+
+    def test_dim_mismatch(self, rng):
+        layer = Linear.random(rng, 8, 4)
+        with pytest.raises(ValueError, match="in_features"):
+            layer(np.zeros((2, 9)))
+
+    def test_weight_must_be_2d(self):
+        with pytest.raises(ValueError):
+            Linear(np.zeros(8))
+
+    def test_quantized_storage_changes_weights(self, rng):
+        w = rng.normal(0, 1, (32, 16)).astype(np.float32)
+        q = Linear(w, FP8_E4M3)
+        assert not np.array_equal(q.weight, w)
+        assert np.abs(q.weight - w).mean() < 0.05
+
+    def test_storage_bytes(self, rng):
+        fp32 = Linear.random(rng, 16, 8)
+        int8 = Linear.random(rng, 16, 8, INT8)
+        assert fp32.storage_bytes() == 16 * 8 * 4
+        assert int8.storage_bytes() == 16 * 8 * 1
+
+    def test_num_params(self, rng):
+        assert Linear.random(rng, 16, 8).num_params == 128
