@@ -6,6 +6,13 @@ Usage::
     moe-inference-bench run fig05 [--out results/]
     moe-inference-bench run-all [--out results/]
     moe-inference-bench summary [--out report.md]
+    moe-inference-bench trace [model-or-experiment] [--out trace.json]
+    moe-inference-bench metrics [model] [--json]
+
+``trace`` records a reference serving run (or a registered experiment)
+under full instrumentation and writes Chrome Trace Event JSON for
+Perfetto / ``chrome://tracing``; ``metrics`` prints the run's metrics in
+Prometheus text exposition format.  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -15,7 +22,12 @@ import pathlib
 import sys
 
 from repro.core.registry import list_experiments, run_experiment
-from repro.core.report import render_markdown, render_summary, write_report
+from repro.core.report import (
+    render_markdown,
+    render_summary,
+    render_time_breakdown,
+    write_report,
+)
 
 __all__ = ["main"]
 
@@ -66,6 +78,91 @@ def _cmd_summary(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--requests", type=int, default=8,
+                        help="number of requests in the workload (default 8)")
+    parser.add_argument("--input-tokens", type=int, default=256,
+                        help="prompt length per request (default 256)")
+    parser.add_argument("--output-tokens", type=int, default=64,
+                        help="generation budget per request (default 64)")
+    parser.add_argument("--arrival-interval", type=float, default=0.0,
+                        help="seconds between request arrivals (default 0: burst)")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.harness import traced_serving_run
+    from repro.obs.instrument import Instrumentation
+
+    out = pathlib.Path(args.out)
+    if args.target in list_experiments():
+        # wall-clock trace of one registered experiment
+        obs = Instrumentation.on()
+        with obs.tracer.wall_span(f"experiment.{args.target}",
+                                  track="experiment", cat="experiment"):
+            run_experiment(args.target)
+        obs.tracer.write(out)
+        print(f"wrote {out} ({obs.tracer.num_events} events)")
+        print()
+        print(render_time_breakdown(obs.tracer.span_totals("experiment")))
+        return 0
+
+    result, obs = traced_serving_run(
+        args.target,
+        num_requests=args.requests,
+        input_tokens=args.input_tokens,
+        output_tokens=args.output_tokens,
+        arrival_interval=args.arrival_interval,
+        with_routing=not args.no_routing,
+    )
+    obs.tracer.write(out)
+    print(f"wrote {out} ({obs.tracer.num_events} events)")
+    print(f"{args.target}: {result.num_requests} requests, "
+          f"makespan {result.makespan:.4f}s, "
+          f"throughput {result.throughput_tok_s:,.0f} tok/s, "
+          f"p50 TTFT {result.p50_ttft() * 1e3:.2f}ms, "
+          f"p99 TTFT {result.p99_ttft() * 1e3:.2f}ms")
+    print()
+    print(render_time_breakdown(obs.tracer.span_totals("engine"),
+                                makespan=result.makespan))
+    if obs.routing is not None:
+        telemetry = obs.routing.telemetry
+        print()
+        print("### Expert routing")
+        print()
+        for key, value in telemetry.summary().items():
+            print(f"- {key}: {value:,.3f}" if isinstance(value, float)
+                  else f"- {key}: {value:,}")
+        top = telemetry.activation_ordering()[:8]
+        print(f"- most-activated experts (all layers): {top}")
+    if args.metrics_out:
+        metrics_path = pathlib.Path(args.metrics_out)
+        metrics_path.parent.mkdir(parents=True, exist_ok=True)
+        metrics_path.write_text(obs.metrics.to_prometheus())
+        print(f"\nwrote {metrics_path}")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs.harness import traced_serving_run
+
+    _, obs = traced_serving_run(
+        args.model,
+        num_requests=args.requests,
+        input_tokens=args.input_tokens,
+        output_tokens=args.output_tokens,
+        arrival_interval=args.arrival_interval,
+    )
+    text = obs.metrics.to_json() if args.json else obs.metrics.to_prometheus()
+    if args.out:
+        path = pathlib.Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        print(f"wrote {path}")
+    else:
+        print(text, end="")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="moe-inference-bench",
@@ -90,6 +187,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sum.add_argument("--out", help="output markdown file")
     p_sum.set_defaults(func=_cmd_summary)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="record a Chrome trace of a serving workload (or an experiment)",
+    )
+    p_trace.add_argument(
+        "target", nargs="?", default="OLMoE-1B-7B",
+        help="model name for a reference serving run, or an experiment id "
+             "for a wall-clock experiment trace (default OLMoE-1B-7B)",
+    )
+    _add_workload_args(p_trace)
+    p_trace.add_argument("--out", default="trace.json",
+                         help="trace output path (default trace.json)")
+    p_trace.add_argument("--metrics-out",
+                         help="also write Prometheus metrics to this path")
+    p_trace.add_argument("--no-routing", action="store_true",
+                         help="disable the expert-routing probe")
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="run the reference serving workload and print its metrics",
+    )
+    p_metrics.add_argument("model", nargs="?", default="OLMoE-1B-7B",
+                           help="model name (default OLMoE-1B-7B)")
+    _add_workload_args(p_metrics)
+    p_metrics.add_argument("--json", action="store_true",
+                           help="JSON snapshot instead of Prometheus text")
+    p_metrics.add_argument("--out", help="write to a file instead of stdout")
+    p_metrics.set_defaults(func=_cmd_metrics)
 
     return parser
 

@@ -29,6 +29,9 @@ class ExperimentResult:
     observations: list[str] = field(default_factory=list)
     charts: list[str] = field(default_factory=list)
     """Pre-rendered text charts (see :mod:`repro.core.charts`)."""
+    breakdown: str = ""
+    """Optional pre-rendered "where the time went" section (see
+    :func:`repro.core.report.render_time_breakdown`)."""
     runtime_s: float = 0.0
 
     def table(self, name: str) -> ResultTable:

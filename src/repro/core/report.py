@@ -3,10 +3,44 @@
 from __future__ import annotations
 
 import pathlib
+from typing import Mapping
 
 from repro.core.experiment import ExperimentResult
 
-__all__ = ["render_markdown", "write_report", "render_summary"]
+__all__ = ["render_markdown", "write_report", "render_summary",
+           "render_time_breakdown"]
+
+
+def render_time_breakdown(
+    span_totals: Mapping[str, tuple[float, int]],
+    makespan: float | None = None,
+    title: str = "Where the time went",
+) -> str:
+    """Per-component time breakdown as a markdown section.
+
+    ``span_totals`` maps span name to ``(total seconds, count)`` — the
+    shape of :meth:`repro.obs.trace.SpanTracer.span_totals`.  Shares are
+    relative to ``makespan`` when given (top-level spans sum to it; nested
+    spans overlap their parents), else to the largest component.
+    """
+    lines = [f"### {title}", ""]
+    if not span_totals:
+        lines.append("_(no spans recorded)_")
+        return "\n".join(lines)
+    denom = makespan if makespan and makespan > 0 else max(
+        total for total, _ in span_totals.values()
+    )
+    lines.append("| component | total (s) | share | count | mean (ms) |")
+    lines.append("|---|---:|---:|---:|---:|")
+    for name, (total, count) in sorted(
+        span_totals.items(), key=lambda kv: -kv[1][0]
+    ):
+        share = total / denom if denom > 0 else 0.0
+        mean_ms = 1e3 * total / count if count else 0.0
+        lines.append(
+            f"| {name} | {total:.6f} | {share:6.1%} | {count} | {mean_ms:.3f} |"
+        )
+    return "\n".join(lines)
 
 
 def render_markdown(result: ExperimentResult) -> str:
@@ -31,6 +65,9 @@ def render_markdown(result: ExperimentResult) -> str:
         lines.append(f"### {table.name}")
         lines.append("")
         lines.append(table.to_markdown())
+        lines.append("")
+    if result.breakdown:
+        lines.append(result.breakdown)
         lines.append("")
     if result.runtime_s:
         lines.append(f"_(generated in {result.runtime_s:.2f}s)_")

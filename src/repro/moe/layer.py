@@ -78,6 +78,18 @@ class MoELayer:
         n += sum(e.num_params for e in self.shared_experts)
         return n
 
+    def subscribe(self, observer) -> None:
+        """Stream this layer's routing decisions to ``observer``.
+
+        Observers see the raw router output (before any capacity-factor
+        token dropping), matching what the activation-frequency telemetry
+        counts.
+        """
+        self.router.subscribe(observer)
+
+    def unsubscribe(self, observer) -> None:
+        self.router.unsubscribe(observer)
+
     # ------------------------------------------------------------------ #
     # forward
     # ------------------------------------------------------------------ #

@@ -18,6 +18,7 @@ to a larger value.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -114,6 +115,24 @@ class TopKRouter:
             0.0, 1.0 / np.sqrt(hidden_size), size=(hidden_size, num_experts)
         ).astype(np.float32)
         self.bias = rng.normal(0.0, expert_bias_std, size=num_experts).astype(np.float32)
+        self._observers: list[Callable[[RoutingResult], None]] = []
+
+    # ------------------------------------------------------------------ #
+    # telemetry subscription
+    # ------------------------------------------------------------------ #
+
+    def subscribe(self, observer: Callable[[RoutingResult], None]) -> None:
+        """Call ``observer`` with every future :meth:`route` result.
+
+        The hook behind live expert-routing telemetry
+        (:class:`repro.obs.routing.RoutingTelemetry`); costs one truthiness
+        check per route when nobody subscribes.
+        """
+        self._observers.append(observer)
+
+    def unsubscribe(self, observer: Callable[[RoutingResult], None]) -> None:
+        """Detach a previously subscribed observer."""
+        self._observers.remove(observer)
 
     def logits(self, x: np.ndarray) -> np.ndarray:
         """Raw router logits for tokens ``x`` of shape ``(num_tokens, hidden)``."""
@@ -132,7 +151,11 @@ class TopKRouter:
         w = np.take_along_axis(probs, idx, axis=-1)
         if self.renormalize:
             w = w / np.sum(w, axis=-1, keepdims=True)
-        return RoutingResult(indices=idx, weights=w.astype(np.float32), probs=probs)
+        result = RoutingResult(indices=idx, weights=w.astype(np.float32), probs=probs)
+        if self._observers:
+            for observer in self._observers:
+                observer(result)
+        return result
 
     def z_loss(self, x: np.ndarray) -> float:
         """Router z-loss: mean squared logsumexp of the logits."""
@@ -155,4 +178,5 @@ class TopKRouter:
         out.renormalize = self.renormalize
         out.weight = np.ascontiguousarray(self.weight[:, keep])
         out.bias = np.ascontiguousarray(self.bias[keep])
+        out._observers = []  # observers are bound to this router's geometry
         return out

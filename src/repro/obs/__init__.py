@@ -1,0 +1,40 @@
+"""Observability for the simulated serving stack (spans, metrics, routing).
+
+Three pillars, one optional handle:
+
+* :mod:`repro.obs.trace` — nested spans on the simulated clock, exported
+  as Chrome Trace Event JSON (open in Perfetto / ``chrome://tracing``).
+* :mod:`repro.obs.metrics` — counters, gauges and fixed-bucket histograms
+  with Prometheus text exposition and a JSON snapshot.
+* :mod:`repro.obs.routing` — live expert-activation telemetry subscribed
+  to routers, regenerating Fig. 15-style data from engine runs.
+
+Thread an :class:`Instrumentation` through
+:class:`~repro.serving.engine.ServingEngine` /
+:class:`~repro.perfmodel.inference.InferencePerfModel` to record; leave it
+``None`` (the default) for byte-identical uninstrumented behaviour.  See
+``docs/observability.md``.
+"""
+
+from repro.obs.instrument import Instrumentation
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.routing import EngineRoutingProbe, RoutingTelemetry
+from repro.obs.trace import SpanTracer
+
+__all__ = [
+    "Instrumentation",
+    "SpanTracer",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS",
+    "RoutingTelemetry",
+    "EngineRoutingProbe",
+]

@@ -1,0 +1,76 @@
+"""Reference serving runs for tracing, metrics and overhead benchmarks.
+
+One canonical workload — a fixed-shape request burst on a single-GPU
+OLMoE deployment — shared by the ``trace``/``metrics`` CLI subcommands,
+the observability tests and the tracer-overhead benchmark, so all three
+measure the same thing.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.gpus import H100_SXM
+from repro.models.zoo import get_model
+from repro.obs.instrument import Instrumentation
+from repro.perfmodel.inference import InferencePerfModel
+from repro.serving.engine import ServingEngine, ServingResult
+from repro.serving.scheduler import SchedulerConfig
+from repro.workloads.generator import FixedShapeWorkload
+
+__all__ = ["REFERENCE_MODEL", "reference_serving_run", "traced_serving_run"]
+
+REFERENCE_MODEL = "OLMoE-1B-7B"
+"""Default workload model: a MoE model that fits one simulated H100."""
+
+
+def reference_serving_run(
+    model_name: str = REFERENCE_MODEL,
+    num_requests: int = 8,
+    input_tokens: int = 256,
+    output_tokens: int = 64,
+    arrival_interval: float = 0.0,
+    instrumentation: Instrumentation | None = None,
+    scheduler_config: SchedulerConfig | None = None,
+) -> ServingResult:
+    """Serve a fixed-shape burst through the engine, optionally observed.
+
+    ``arrival_interval`` staggers request arrivals (0 = simultaneous burst)
+    so traces show admission queueing.
+    """
+    model = get_model(model_name)
+    perf = InferencePerfModel(model, H100_SXM, instrumentation=instrumentation)
+    engine = ServingEngine(
+        perf,
+        scheduler_config=scheduler_config,
+        instrumentation=instrumentation,
+    )
+    workload = FixedShapeWorkload(
+        batch_size=num_requests,
+        input_tokens=input_tokens,
+        output_tokens=output_tokens,
+    )
+    for i, request in enumerate(workload.requests()):
+        request.arrival_time = i * arrival_interval
+        engine.submit(request)
+    return engine.run()
+
+
+def traced_serving_run(
+    model_name: str = REFERENCE_MODEL,
+    num_requests: int = 8,
+    input_tokens: int = 256,
+    output_tokens: int = 64,
+    arrival_interval: float = 0.0,
+    with_routing: bool = True,
+) -> tuple[ServingResult, Instrumentation]:
+    """Reference run with full instrumentation; returns both artefacts."""
+    model = get_model(model_name)
+    obs = Instrumentation.on(model=model if with_routing else None)
+    result = reference_serving_run(
+        model_name,
+        num_requests=num_requests,
+        input_tokens=input_tokens,
+        output_tokens=output_tokens,
+        arrival_interval=arrival_interval,
+        instrumentation=obs,
+    )
+    return result, obs

@@ -1,0 +1,58 @@
+"""The single optional handle instrumented components share.
+
+Every instrumented call site in the serving/perf-model stack takes an
+optional :class:`Instrumentation` (default ``None``) and guards its hooks
+with ``if obs is not None and obs.active`` — so the default path costs one
+comparison and produces byte-identical results to uninstrumented code.
+
+``Instrumentation.on()`` builds a live tracer + metrics registry (and,
+given a MoE model, an expert-routing probe); ``Instrumentation.off()``
+builds an inert one whose hooks are skipped entirely, used by the overhead
+benchmark to price the disabled path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.routing import EngineRoutingProbe
+from repro.obs.trace import SpanTracer
+
+__all__ = ["Instrumentation"]
+
+
+@dataclass
+class Instrumentation:
+    """Tracer + metrics registry + optional routing probe, as one handle."""
+
+    tracer: SpanTracer = field(default_factory=SpanTracer)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    routing: EngineRoutingProbe | None = None
+    active: bool = True
+    """Master switch: instrumented call sites skip every hook when False."""
+
+    now: float = 0.0
+    """Mirror of the owning engine's simulated clock, updated each
+    iteration so clock-less components (scheduler, KV cache) can stamp
+    spans at the current simulated time."""
+
+    @classmethod
+    def on(cls, model=None, routing_rng: np.random.Generator | None = None,
+           **probe_kwargs) -> "Instrumentation":
+        """Fully-enabled instrumentation.
+
+        ``model`` (a :class:`~repro.models.config.ModelConfig` with MoE
+        layers) additionally attaches an expert-routing probe.
+        """
+        routing = None
+        if model is not None and getattr(model, "moe", None) is not None:
+            routing = EngineRoutingProbe(model, rng=routing_rng, **probe_kwargs)
+        return cls(routing=routing)
+
+    @classmethod
+    def off(cls) -> "Instrumentation":
+        """Inert instrumentation: hooks short-circuit, nothing is recorded."""
+        return cls(tracer=SpanTracer(enabled=False), active=False)

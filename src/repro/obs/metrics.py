@@ -1,0 +1,249 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The registry is the aggregate side of the observability layer (the tracer
+records *when*, the registry records *how much*).  It follows Prometheus
+conventions — monotonic counters, settable gauges, cumulative-bucket
+histograms with ``_sum``/``_count`` — and exports both the Prometheus text
+exposition format and a JSON-serialisable snapshot.
+
+Metrics are identified by ``(name, labels)``; ``registry.counter(...)`` is
+get-or-create, so instrumented components can look their metrics up on the
+hot path without holding references.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import math
+from typing import Any, Mapping, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+)
+"""Geometric 1-2.5-5 bucket ladder covering 100µs .. 100s latencies."""
+
+
+def _format_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+class _Metric:
+    """Shared identity: name + fixed label set + help string."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "",
+                 labels: Mapping[str, str] | None = None) -> None:
+        if not name or not name.replace("_", "a").isalnum():
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+
+    @property
+    def key(self) -> tuple[str, frozenset]:
+        return (self.name, frozenset(self.labels.items()))
+
+
+class Counter(_Metric):
+    """Monotonically increasing count (events, tokens, preemptions)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "",
+                 labels: Mapping[str, str] | None = None) -> None:
+        super().__init__(name, help, labels)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
+        self.value += amount
+
+
+class Gauge(_Metric):
+    """Point-in-time value (KV utilization, queue depth, running seqs)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "",
+                 labels: Mapping[str, str] | None = None) -> None:
+        super().__init__(name, help, labels)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram (TTFT, ITL, queue-wait, step-time).
+
+    Buckets are upper bounds in ascending order; an implicit ``+Inf``
+    bucket catches the overflow.  ``quantile`` interpolates linearly inside
+    the containing bucket — the same estimate ``histogram_quantile`` gives.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+                 labels: Mapping[str, str] | None = None) -> None:
+        super().__init__(name, help, labels)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError("buckets must be non-empty, unique and ascending")
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last = +Inf overflow
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self._counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs, ending with +Inf."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, c in zip(self.bounds, self._counts):
+            running += c
+            out.append((bound, running))
+        out.append((math.inf, running + self._counts[-1]))
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0..1) by intra-bucket interpolation."""
+        if not (0.0 <= q <= 1.0):
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if self.count == 0:
+            raise ValueError(f"histogram {self.name} is empty")
+        target = q * self.count
+        running = 0
+        lo = 0.0
+        for bound, c in zip(self.bounds, self._counts):
+            if running + c >= target and c > 0:
+                frac = (target - running) / c
+                return lo + frac * (bound - lo)
+            running += c
+            lo = bound
+        return self.bounds[-1]  # overflow bucket: clamp to the last bound
+
+
+class MetricsRegistry:
+    """Get-or-create home for every metric, with two export formats."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, frozenset], _Metric] = {}
+
+    # ------------------------------------------------------------------ #
+    # creation / lookup
+    # ------------------------------------------------------------------ #
+
+    def _get_or_create(self, cls, name: str, help: str,
+                       labels: Mapping[str, str] | None, **kwargs) -> Any:
+        key = (name, frozenset((labels or {}).items()))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, help, labels=labels, **kwargs)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "",
+                labels: Mapping[str, str] | None = None) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "",
+              labels: Mapping[str, str] | None = None) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+                  labels: Mapping[str, str] | None = None) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labels,
+                                   buckets=buckets)
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # ------------------------------------------------------------------ #
+    # export
+    # ------------------------------------------------------------------ #
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (one block per metric family)."""
+        lines: list[str] = []
+        seen_families: set[str] = set()
+        for metric in sorted(self._metrics.values(),
+                             key=lambda m: (m.name, sorted(m.labels.items()))):
+            if metric.name not in seen_families:
+                seen_families.add(metric.name)
+                if metric.help:
+                    lines.append(f"# HELP {metric.name} {metric.help}")
+                lines.append(f"# TYPE {metric.name} {metric.kind}")
+            label_str = _format_labels(metric.labels)
+            if isinstance(metric, Histogram):
+                for bound, cumulative in metric.bucket_counts():
+                    le = "+Inf" if math.isinf(bound) else repr(bound)
+                    bucket_labels = _format_labels({**metric.labels, "le": le})
+                    lines.append(
+                        f"{metric.name}_bucket{bucket_labels} {cumulative}"
+                    )
+                lines.append(f"{metric.name}_sum{label_str} {metric.sum}")
+                lines.append(f"{metric.name}_count{label_str} {metric.count}")
+            else:
+                lines.append(f"{metric.name}{label_str} {metric.value}")
+        return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-serialisable dump of every metric's current state."""
+        out: list[dict[str, Any]] = []
+        for metric in self._metrics.values():
+            entry: dict[str, Any] = {
+                "name": metric.name, "kind": metric.kind,
+                "labels": dict(metric.labels),
+            }
+            if isinstance(metric, Histogram):
+                entry["sum"] = metric.sum
+                entry["count"] = metric.count
+                entry["buckets"] = [
+                    {"le": ("+Inf" if math.isinf(b) else b), "count": c}
+                    for b, c in metric.bucket_counts()
+                ]
+            else:
+                entry["value"] = metric.value
+            out.append(entry)
+        return {"metrics": out}
+
+    def to_json(self) -> str:
+        return json.dumps(self.snapshot(), indent=2)

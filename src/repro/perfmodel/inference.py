@@ -10,8 +10,12 @@ harnesses can mark infeasible points the way the paper's figures do.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.metrics import GenerationShape, InferenceMetrics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.instrument import Instrumentation
 from repro.hardware.spec import HardwareSpec
 from repro.models.config import ModelConfig
 from repro.optim.quantization import FP16_CONFIG, QuantConfig
@@ -58,12 +62,23 @@ class InferencePerfModel:
         quant: QuantConfig = FP16_CONFIG,
         fused_moe: bool = True,
         mla_native: bool = False,
+        instrumentation: "Instrumentation | None" = None,
     ) -> None:
         self.setup = _Setup(model, hardware, plan, quant, fused_moe)
         self.steps = StepModel(model, hardware, plan, quant, fused_moe,
                                mla_native=mla_native)
         self.memory = MemoryModel(model, hardware, plan, quant,
                                   mla_native=mla_native)
+        self.obs = instrumentation
+
+    def _count_eval(self, kind: str) -> None:
+        obs = self.obs
+        if obs is not None and obs.active:
+            obs.metrics.counter(
+                "perfmodel_evaluations_total",
+                "analytical perf-model evaluations",
+                labels={"kind": kind},
+            ).inc()
 
     @property
     def model(self) -> ModelConfig:
@@ -90,6 +105,7 @@ class InferencePerfModel:
 
     def ttft(self, batch: int, input_tokens: int, images_per_sample: int = 0) -> float:
         """Time to first token: (vision encode +) prefill + sampling."""
+        self._count_eval("ttft")
         t = self.steps.prefill_time(batch, self._context_tokens(input_tokens, images_per_sample))
         if images_per_sample > 0:
             t += self.steps.vision_encode_time(batch * images_per_sample)
@@ -106,6 +122,7 @@ class InferencePerfModel:
         """
         if output_tokens <= 1:
             return 0.0
+        self._count_eval("decode")
         ctx0 = self._context_tokens(input_tokens, images_per_sample)
         n_steps = output_tokens - 1
         samples = max(2, min(_DECODE_SAMPLES, n_steps))
@@ -125,6 +142,26 @@ class InferencePerfModel:
     ) -> InferenceMetrics:
         """Full-generation metrics for the given workload shape."""
         shape = GenerationShape(batch, input_tokens, output_tokens)
+        obs = self.obs
+        if obs is not None and obs.active:
+            with obs.tracer.wall_span("perfmodel.generate", track="perfmodel",
+                                      cat="perfmodel", batch=batch,
+                                      input_tokens=input_tokens,
+                                      output_tokens=output_tokens):
+                return self._generate(shape, batch, input_tokens, output_tokens,
+                                      images_per_sample, check_memory)
+        return self._generate(shape, batch, input_tokens, output_tokens,
+                              images_per_sample, check_memory)
+
+    def _generate(
+        self,
+        shape: GenerationShape,
+        batch: int,
+        input_tokens: int,
+        output_tokens: int,
+        images_per_sample: int,
+        check_memory: bool,
+    ) -> InferenceMetrics:
         if check_memory:
             self.check_fits(
                 batch, self._context_tokens(input_tokens, images_per_sample) + output_tokens

@@ -15,10 +15,14 @@ model.  An ablation bench compares the two.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.metrics import GenerationShape, InferenceMetrics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.instrument import Instrumentation
 from repro.perfmodel.inference import InferencePerfModel
 from repro.serving.events import Event, EventLog, EventType
 from repro.serving.kv_cache import DEFAULT_BLOCK_SIZE, PagedKVCache
@@ -59,21 +63,32 @@ class ServingResult:
             return 0.0
         return sum(r.generated_tokens for r in self.requests) / self.makespan
 
-    def mean_ttft(self) -> float:
+    def _ttft_values(self) -> list[float]:
         vals = [r.ttft for r in self.requests if r.ttft is not None]
         if not vals:
             raise ValueError("no request produced a first token")
-        return float(np.mean(vals))
+        return vals
 
-    def mean_e2e(self) -> float:
+    def _e2e_values(self) -> list[float]:
         vals = [r.e2e_latency for r in self.requests if r.e2e_latency is not None]
         if not vals:
             raise ValueError("no request finished")
-        return float(np.mean(vals))
+        return vals
+
+    def mean_ttft(self) -> float:
+        return float(np.mean(self._ttft_values()))
+
+    def mean_e2e(self) -> float:
+        return float(np.mean(self._e2e_values()))
+
+    def p50_ttft(self) -> float:
+        return float(np.percentile(self._ttft_values(), 50))
 
     def p99_ttft(self) -> float:
-        vals = [r.ttft for r in self.requests if r.ttft is not None]
-        return float(np.percentile(vals, 99))
+        return float(np.percentile(self._ttft_values(), 99))
+
+    def p99_e2e(self) -> float:
+        return float(np.percentile(self._e2e_values(), 99))
 
     @property
     def num_preemptions(self) -> int:
@@ -151,6 +166,7 @@ class ServingEngine:
         kv_pool_tokens: int | None = None,
         rng: np.random.Generator | None = None,
         enable_prefix_caching: bool = False,
+        instrumentation: "Instrumentation | None" = None,
     ) -> None:
         self.perf = perf_model
         if kv_pool_tokens is None:
@@ -169,12 +185,19 @@ class ServingEngine:
             )
         else:
             self.kv = PagedKVCache(kv_pool_tokens // block_size, block_size)
-        self.scheduler = Scheduler(scheduler_config or SchedulerConfig(), self.kv)
+        self.obs = instrumentation
+        self.kv.obs = instrumentation
+        self.scheduler = Scheduler(scheduler_config or SchedulerConfig(), self.kv,
+                                   instrumentation=instrumentation)
         self.clock = 0.0
         self.log = EventLog()
         self._rng = rng or np.random.default_rng(0)
         self._pending: list[Request] = []  # future arrivals, sorted
         self._all: list[Request] = []
+
+    def _active_obs(self) -> "Instrumentation | None":
+        obs = self.obs
+        return obs if obs is not None and obs.active else None
 
     # ------------------------------------------------------------------ #
     # submission
@@ -191,15 +214,24 @@ class ServingEngine:
         self._all.append(request)
         self._pending.append(request)
         self._pending.sort(key=lambda r: r.arrival_time)
+        obs = self._active_obs()
+        if obs is not None:
+            obs.metrics.counter(
+                "requests_submitted_total", "requests submitted to the engine"
+            ).inc()
 
     # ------------------------------------------------------------------ #
     # simulation loop
     # ------------------------------------------------------------------ #
 
     def _admit_arrivals(self) -> None:
+        obs = self._active_obs()
         while self._pending and self._pending[0].arrival_time <= self.clock + 1e-12:
             req = self._pending.pop(0)
             self.log.record(Event(self.clock, EventType.ARRIVAL, (req.request_id,)))
+            if obs is not None:
+                obs.tracer.instant("arrival", self.clock, cat="engine",
+                                   request_id=req.request_id)
             self.scheduler.add_request(req)
 
     def _iteration_duration(self, batch: ScheduledBatch) -> float:
@@ -231,21 +263,48 @@ class ServingEngine:
             self.clock = self._pending[0].arrival_time
             self._admit_arrivals()
 
+        obs = self._active_obs()
+        if obs is not None:
+            obs.now = self.clock
+            obs.tracer.begin("engine.step", self.clock, cat="engine",
+                             iteration=self.log.num_iterations)
+            obs.tracer.begin("scheduler.schedule", self.clock, cat="scheduler")
         batch = self.scheduler.schedule()
+        if obs is not None:
+            obs.tracer.end(self.clock, phase=batch.phase,
+                           batch_size=batch.batch_size,
+                           num_tokens=batch.num_tokens,
+                           preempted=len(batch.preempted))
         if batch.is_empty:
             if batch.preempted:
                 self.log.record(Event(
                     self.clock, EventType.PREEMPTION,
                     tuple(r.request_id for r in batch.preempted),
                 ))
+                if obs is not None:
+                    obs.tracer.end(self.clock, outcome="all_preempted")
                 return True
             if self._pending:
                 self.clock = self._pending[0].arrival_time
+                if obs is not None:
+                    obs.tracer.end(self.clock, outcome="idle_until_arrival")
                 return True
             raise RuntimeError("scheduler starved with no pending arrivals")
 
+        if obs is not None:
+            obs.tracer.begin("perfmodel.iteration_cost", self.clock,
+                             cat="perfmodel")
         duration = self._iteration_duration(batch)
+        t_start = self.clock
+        if obs is not None:
+            obs.tracer.end(self.clock, phase=batch.phase, seconds=duration)
         self.clock += duration
+        if obs is not None:
+            obs.now = self.clock
+            obs.tracer.begin(f"engine.{batch.phase}", t_start, cat=batch.phase,
+                             batch_size=batch.batch_size,
+                             num_tokens=batch.num_tokens,
+                             kv_utilization=round(self.kv.utilization, 4))
 
         if batch.preempted:
             self.log.record(Event(
@@ -263,6 +322,10 @@ class ServingEngine:
                     # the prefill iteration samples the first output token
                     req.generated_tokens = 1
                     req.first_token_time = self.clock
+                    if obs is not None:
+                        obs.metrics.histogram(
+                            "ttft_seconds", "time to first token"
+                        ).observe(req.ttft)
             self.log.record(Event(
                 self.clock, EventType.PREFILL,
                 tuple(r.request_id for r in batch.requests),
@@ -284,7 +347,33 @@ class ServingEngine:
                 kv_utilization=self.kv.utilization,
             ))
             self._complete(finished)
+        if obs is not None:
+            self._observe_iteration(obs, batch, duration)
         return True
+
+    def _observe_iteration(self, obs: "Instrumentation",
+                           batch: ScheduledBatch, duration: float) -> None:
+        """Close the phase/step spans and update per-iteration metrics."""
+        tracer = obs.tracer
+        tracer.end(self.clock)  # engine.<phase>
+        tracer.end(self.clock)  # engine.step
+        tracer.counter("kv_utilization", self.clock,
+                       {"utilization": self.kv.utilization})
+        tracer.counter("scheduler_queues", self.clock,
+                       {"running": self.scheduler.num_running,
+                        "waiting": len(self.scheduler.waiting)})
+        phase = {"phase": batch.phase}
+        obs.metrics.counter(
+            "engine_iterations_total", "engine iterations", labels=phase
+        ).inc()
+        obs.metrics.counter(
+            "tokens_processed_total", "new tokens processed", labels=phase
+        ).inc(batch.num_tokens)
+        obs.metrics.histogram(
+            "step_time_seconds", "simulated iteration duration", labels=phase
+        ).observe(duration)
+        if obs.routing is not None:
+            obs.routing.on_tokens(batch.num_tokens)
 
     def _is_done(self, req: Request) -> bool:
         if req.generated_tokens >= req.sampling.max_tokens:
@@ -310,9 +399,25 @@ class ServingEngine:
         self.scheduler.on_decode_done(
             ScheduledBatch(phase="decode", requests=finished, num_tokens=0), finished
         )
+        obs = self._active_obs()
         for req in finished:
             req.finish_time = self.clock
             self.log.record(Event(self.clock, EventType.FINISH, (req.request_id,)))
+            if obs is None:
+                continue
+            obs.tracer.instant("finish", self.clock, cat="engine",
+                               request_id=req.request_id)
+            obs.metrics.counter(
+                "requests_finished_total", "requests served to completion"
+            ).inc()
+            obs.metrics.histogram(
+                "e2e_latency_seconds", "arrival-to-finish latency"
+            ).observe(req.e2e_latency)
+            if req.ttft is not None and req.generated_tokens > 1:
+                itl = (req.e2e_latency - req.ttft) / (req.generated_tokens - 1)
+                obs.metrics.histogram(
+                    "itl_seconds", "mean inter-token latency per request"
+                ).observe(itl)
 
     def run(self, max_iterations: int = 10_000_000) -> ServingResult:
         """Run until every submitted request finishes."""
@@ -322,10 +427,19 @@ class ServingEngine:
             if iterations > max_iterations:
                 raise RuntimeError(f"engine exceeded {max_iterations} iterations")
         stats = getattr(self.kv, "stats", None)
-        return ServingResult(
+        result = ServingResult(
             requests=list(self._all), makespan=self.clock, log=self.log,
             kv_hit_rate=stats.hit_rate if stats is not None else 0.0,
         )
+        obs = self._active_obs()
+        if obs is not None:
+            obs.metrics.gauge(
+                "engine_makespan_seconds", "simulated time to drain the run"
+            ).set(result.makespan)
+            obs.metrics.gauge(
+                "engine_throughput_tok_s", "prompt+generated tokens per second"
+            ).set(result.throughput_tok_s)
+        return result
 
 
 def serve_static_batch(

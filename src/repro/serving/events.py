@@ -35,9 +35,29 @@ class Event:
 
 @dataclass
 class EventLog:
-    """Append-only, time-ordered event record."""
+    """Append-only, time-ordered event record.
+
+    Per-type indices are maintained incrementally by :meth:`record`, so
+    the query helpers (``of_type``, ``num_iterations``, ...) cost O(1)
+    bookkeeping instead of rescanning the full log inside benchmark loops.
+    Append through :meth:`record`; mutating ``events`` directly bypasses
+    the indices.
+    """
 
     events: list[Event] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._by_type: dict[EventType, list[Event]] = {t: [] for t in EventType}
+        self._total_busy = 0.0
+        self._peak_kv = 0.0
+        for event in self.events:
+            self._index(event)
+
+    def _index(self, event: Event) -> None:
+        self._by_type[event.type].append(event)
+        self._total_busy += event.duration
+        if event.kv_utilization > self._peak_kv:
+            self._peak_kv = event.kv_utilization
 
     def record(self, event: Event) -> None:
         if self.events and event.time < self.events[-1].time - 1e-12:
@@ -46,16 +66,21 @@ class EventLog:
                 f"{self.events[-1].time}"
             )
         self.events.append(event)
+        self._index(event)
 
     def of_type(self, event_type: EventType) -> list[Event]:
-        return [e for e in self.events if e.type is event_type]
+        return list(self._by_type[event_type])
+
+    def count(self, event_type: EventType) -> int:
+        """Number of recorded events of ``event_type`` (O(1))."""
+        return len(self._by_type[event_type])
 
     @property
     def num_iterations(self) -> int:
-        return sum(1 for e in self.events if e.type in (EventType.PREFILL, EventType.DECODE))
+        return self.count(EventType.PREFILL) + self.count(EventType.DECODE)
 
     def total_busy_time(self) -> float:
-        return sum(e.duration for e in self.events)
+        return self._total_busy
 
     def peak_kv_utilization(self) -> float:
-        return max((e.kv_utilization for e in self.events), default=0.0)
+        return self._peak_kv

@@ -12,6 +12,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.instrument import Instrumentation
 
 __all__ = ["BlockTable", "PagedKVCache", "DEFAULT_BLOCK_SIZE"]
 
@@ -41,6 +45,30 @@ class PagedKVCache:
         self.block_size = block_size
         self._free: list[int] = list(range(num_blocks - 1, -1, -1))
         self._tables: dict[int, BlockTable] = {}
+        self.obs: Instrumentation | None = None
+        """Optional observability handle (set by the owning engine); when
+        active, allocate/append/free emit spans at the simulated time the
+        handle mirrors and maintain the KV metrics."""
+
+    def _observe(self, op: str, seq_id: int, blocks: int) -> None:
+        obs = self.obs
+        if obs is None or not obs.active:
+            return
+        tracer = obs.tracer
+        tracer.begin(f"kv.{op}", obs.now, cat="kv", seq_id=seq_id, blocks=blocks)
+        tracer.end(obs.now)
+        obs.metrics.counter(
+            "kv_ops_total", "KV-cache block-manager operations",
+            labels={"op": op},
+        ).inc()
+        if blocks:
+            obs.metrics.counter(
+                "kv_blocks_total", "blocks moved by KV operations",
+                labels={"op": op},
+            ).inc(blocks)
+        obs.metrics.gauge(
+            "kv_utilization", "fraction of KV blocks in use"
+        ).set(self.utilization)
 
     # ------------------------------------------------------------------ #
     # queries
@@ -102,6 +130,7 @@ class PagedKVCache:
             )
         blocks = [self._take_free_block() for _ in range(need)]
         self._tables[seq_id] = BlockTable(blocks=blocks, num_tokens=num_tokens)
+        self._observe("allocate", seq_id, need)
 
     def can_append_slots(self, seq_id: int, num_new_tokens: int = 1) -> bool:
         table = self._table(seq_id)
@@ -126,6 +155,7 @@ class PagedKVCache:
         for _ in range(need):
             table.blocks.append(self._take_free_block())
         table.num_tokens += num_new_tokens
+        self._observe("append", seq_id, need)
 
     def free(self, seq_id: int) -> None:
         """Return a sequence's blocks to the pool."""
@@ -133,6 +163,7 @@ class PagedKVCache:
         if table is None:
             raise KeyError(f"sequence {seq_id} has no allocation")
         self._free.extend(reversed(table.blocks))
+        self._observe("free", seq_id, len(table.blocks))
 
     def reset(self) -> None:
         self._free = list(range(self.num_blocks - 1, -1, -1))

@@ -159,6 +159,7 @@ class PrefixCachingKVCache(PagedKVCache):
 
         self._tables[seq_id] = BlockTable(blocks=blocks, num_tokens=num_tokens)
         self._seq_shared[seq_id] = shared
+        self._observe("allocate", seq_id, need_total - len(shared))
         return cached_tokens
 
     def free(self, seq_id: int) -> None:  # type: ignore[override]
@@ -179,6 +180,7 @@ class PrefixCachingKVCache(PagedKVCache):
                     self._reusable.move_to_end(h)
             else:
                 self._free.append(block)
+        self._observe("free", seq_id, len(table.blocks))
 
     def reset(self) -> None:  # type: ignore[override]
         super().reset()

@@ -16,9 +16,13 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.serving.kv_cache import PagedKVCache
 from repro.serving.request import Request, RequestState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.instrument import Instrumentation
 
 __all__ = ["SchedulerConfig", "ScheduledBatch", "Scheduler"]
 
@@ -78,11 +82,13 @@ class ScheduledBatch:
 class Scheduler:
     """FCFS continuous-batching scheduler over a paged KV pool."""
 
-    def __init__(self, config: SchedulerConfig, kv_cache: PagedKVCache) -> None:
+    def __init__(self, config: SchedulerConfig, kv_cache: PagedKVCache,
+                 instrumentation: "Instrumentation | None" = None) -> None:
         self.config = config
         self.kv = kv_cache
         self.waiting: deque[Request] = deque()
         self.running: list[Request] = []
+        self.obs = instrumentation
 
     # ------------------------------------------------------------------ #
 
@@ -152,6 +158,16 @@ class Scheduler:
                     self.kv.allocate(req.request_id, req.prefill_target)
             self.waiting.popleft()
             req.state = RequestState.RUNNING
+            obs = self.obs
+            if obs is not None and obs.active and req.first_scheduled_time is None:
+                obs.metrics.counter(
+                    "scheduler_admissions_total",
+                    "requests admitted from the waiting queue",
+                ).inc()
+                obs.metrics.histogram(
+                    "queue_wait_seconds",
+                    "arrival-to-first-schedule wait",
+                ).observe(max(0.0, obs.now - req.arrival_time))
             batch.append(req)
             tokens += take
             if not self.config.enable_chunked_prefill and tokens >= self.config.max_num_batched_tokens:
@@ -197,6 +213,14 @@ class Scheduler:
         self.kv.free(req.request_id)
         req.reset_for_recompute()
         self.waiting.appendleft(req)
+        obs = self.obs
+        if obs is not None and obs.active:
+            obs.metrics.counter(
+                "scheduler_preemptions_total",
+                "recompute preemptions under KV pressure",
+            ).inc()
+            obs.tracer.instant("preempt", obs.now, cat="scheduler",
+                               request_id=req.request_id)
 
     # ------------------------------------------------------------------ #
 

@@ -29,6 +29,7 @@ __all__ = [
     "BALANCED_ROUTER_BIAS_STD",
     "UNBALANCED_ROUTER_BIAS_STD",
     "router_bias_std_for",
+    "build_layer_routers",
     "run_activation_study",
 ]
 
@@ -77,6 +78,37 @@ def router_bias_std_for(model: ModelConfig) -> float:
     )
 
 
+def build_layer_routers(
+    model: ModelConfig,
+    router_hidden: int = 128,
+    rng: np.random.Generator | None = None,
+) -> list[TopKRouter]:
+    """One calibrated router per MoE layer of ``model``.
+
+    Each router gets independent weights and a per-expert bias with the
+    spread calibrated to the model's training regime.  Router seeds are
+    drawn from ``rng`` one per layer, in layer order — the shared
+    construction path of :func:`run_activation_study` and the live-engine
+    routing probe (:class:`repro.obs.routing.EngineRoutingProbe`), so both
+    see identical routers given identically-advanced generators.
+    """
+    if model.moe is None:
+        raise ValueError(f"{model.name} has no MoE layers")
+    rng = rng or np.random.default_rng(0)
+    bias_std = router_bias_std_for(model)
+    return [
+        TopKRouter(
+            router_hidden,
+            model.moe.num_experts,
+            model.moe.top_k,
+            renormalize=model.moe.renormalize,
+            expert_bias_std=bias_std,
+            rng=np.random.default_rng(rng.integers(2**63)),
+        )
+        for _ in model.moe_layer_indices()
+    ]
+
+
 def run_activation_study(
     model: ModelConfig,
     stream: MMEStream | None = None,
@@ -96,7 +128,6 @@ def run_activation_study(
         raise ValueError(f"{model.name} has no MoE layers")
     stream = stream or MMEStream()
     rng = rng or np.random.default_rng(0)
-    bias_std = router_bias_std_for(model)
     moe_layers = model.moe_layer_indices()
     tracker = ExpertActivationTracker(len(moe_layers), model.moe.num_experts)
 
@@ -104,17 +135,7 @@ def run_activation_study(
     routed = min(total_tokens, max_routed_tokens)
     scale = total_tokens / routed
 
-    routers = [
-        TopKRouter(
-            router_hidden,
-            model.moe.num_experts,
-            model.moe.top_k,
-            renormalize=model.moe.renormalize,
-            expert_bias_std=bias_std,
-            rng=np.random.default_rng(rng.integers(2**63)),
-        )
-        for _ in moe_layers
-    ]
+    routers = build_layer_routers(model, router_hidden, rng)
 
     remaining = routed
     while remaining > 0:

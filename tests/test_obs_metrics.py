@@ -1,0 +1,146 @@
+"""Tests for repro.obs.metrics (registry, histograms, exposition)."""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("reqs")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_inc_rejected(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            Counter("reqs").inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("util")
+        g.set(0.5)
+        g.inc(0.25)
+        g.dec(0.5)
+        assert g.value == pytest.approx(0.25)
+
+
+class TestHistogram:
+    def test_observe_counts_and_sum(self):
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(105.0)
+        assert h.mean == pytest.approx(26.25)
+
+    def test_bucket_counts_are_cumulative_with_inf(self):
+        h = Histogram("lat", buckets=(1.0, 2.0))
+        for v in (0.5, 0.6, 1.5, 9.0):
+            h.observe(v)
+        assert h.bucket_counts() == [(1.0, 2), (2.0, 3), (math.inf, 4)]
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        h = Histogram("lat", buckets=(1.0, 2.0))
+        h.observe(1.0)  # le="1.0" includes the bound itself
+        assert h.bucket_counts()[0] == (1.0, 1)
+
+    def test_quantile_interpolates(self):
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for _ in range(100):
+            h.observe(1.5)
+        q = h.quantile(0.5)
+        assert 1.0 <= q <= 2.0
+
+    def test_quantile_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            Histogram("lat").quantile(0.5)
+
+    def test_quantile_out_of_range(self):
+        with pytest.raises(ValueError):
+            Histogram("lat").quantile(1.5)
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=(2.0, 1.0))
+
+    def test_default_buckets_ascending(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.counter("a", labels={"x": "1"}) is not reg.counter("a")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("a")
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            MetricsRegistry().counter("bad name!")
+
+    def test_len_and_iter(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        reg.gauge("b")
+        assert len(reg) == 2
+        assert {m.name for m in reg} == {"a", "b"}
+
+
+class TestExposition:
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.counter("requests_total", "served requests").inc(3)
+        reg.gauge("kv_utilization").set(0.75)
+        h = reg.histogram("ttft_seconds", "time to first token",
+                          buckets=(0.01, 0.1))
+        h.observe(0.005)
+        h.observe(0.5)
+        return reg
+
+    def test_prometheus_format(self):
+        text = self._registry().to_prometheus()
+        assert "# HELP requests_total served requests" in text
+        assert "# TYPE requests_total counter" in text
+        assert re.search(r"^requests_total 3\.0$", text, re.M)
+        assert re.search(r"^kv_utilization 0\.75$", text, re.M)
+        assert 'ttft_seconds_bucket{le="+Inf"} 2' in text
+        assert re.search(r"^ttft_seconds_count 2$", text, re.M)
+        assert text.endswith("\n")
+
+    def test_prometheus_labels_rendered_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("iters", labels={"phase": "prefill"}).inc()
+        reg.counter("iters", labels={"phase": "decode"}).inc(2)
+        text = reg.to_prometheus()
+        assert 'iters{phase="prefill"} 1.0' in text
+        assert 'iters{phase="decode"} 2.0' in text
+        # one TYPE line per family, not per label set
+        assert text.count("# TYPE iters counter") == 1
+
+    def test_snapshot_is_json_serialisable(self):
+        snap = self._registry().snapshot()
+        parsed = json.loads(json.dumps(snap))
+        names = {m["name"] for m in parsed["metrics"]}
+        assert names == {"requests_total", "kv_utilization", "ttft_seconds"}
+        hist = next(m for m in parsed["metrics"] if m["kind"] == "histogram")
+        assert hist["count"] == 2
+        assert hist["buckets"][-1]["le"] == "+Inf"

@@ -1,0 +1,139 @@
+"""Tests for repro.obs.trace (span tracer + Chrome Trace export)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.trace import SpanTracer
+
+
+class TestSpans:
+    def test_begin_end_records_balanced_events(self):
+        t = SpanTracer()
+        t.begin("outer", 0.0)
+        t.begin("inner", 0.0)
+        t.end(1.0)
+        t.end(2.0)
+        events = t.to_chrome_trace()["traceEvents"]
+        begins = [e for e in events if e["ph"] == "B"]
+        ends = [e for e in events if e["ph"] == "E"]
+        assert [e["name"] for e in begins] == ["outer", "inner"]
+        assert len(ends) == 2
+        assert t.open_spans() == []
+
+    def test_nesting_order_is_stack_like(self):
+        t = SpanTracer()
+        t.begin("outer", 0.0)
+        t.begin("inner", 0.5)
+        assert t.open_spans() == ["outer", "inner"]
+        t.end(0.7)
+        assert t.open_spans() == ["outer"]
+        t.end(1.0)
+
+    def test_end_without_begin_raises(self):
+        t = SpanTracer()
+        with pytest.raises(ValueError, match="no open span"):
+            t.end(1.0)
+
+    def test_end_before_begin_time_raises(self):
+        t = SpanTracer()
+        t.begin("s", 5.0)
+        with pytest.raises(ValueError, match="before it began"):
+            t.end(4.0)
+
+    def test_tracks_are_independent_stacks(self):
+        t = SpanTracer()
+        t.begin("a", 0.0, track="one")
+        t.begin("b", 0.0, track="two")
+        t.end(1.0, track="one")
+        assert t.open_spans("two") == ["b"]
+        assert t.open_spans("one") == []
+        t.end(1.0, track="two")
+
+    def test_span_args_survive_export(self):
+        t = SpanTracer()
+        t.begin("s", 0.0, batch_size=4, phase="prefill")
+        t.end(1.0)
+        begin = [e for e in t.to_chrome_trace()["traceEvents"]
+                 if e["ph"] == "B"][0]
+        assert begin["args"] == {"batch_size": 4, "phase": "prefill"}
+
+    def test_timestamps_exported_in_microseconds(self):
+        t = SpanTracer()
+        t.begin("s", 0.5)
+        t.end(1.5)
+        begin = [e for e in t.to_chrome_trace()["traceEvents"]
+                 if e["ph"] == "B"][0]
+        assert begin["ts"] == pytest.approx(0.5e6)
+
+
+class TestDisabled:
+    def test_disabled_records_nothing(self):
+        t = SpanTracer(enabled=False)
+        t.begin("s", 0.0)
+        t.instant("i", 0.0)
+        t.counter("c", 0.0, {"v": 1})
+        t.end(1.0)  # must not raise despite no matching begin
+        assert t.num_events == 0
+        assert t.span_totals() == {}
+
+    def test_disabled_wall_span_is_noop(self):
+        t = SpanTracer(enabled=False)
+        with t.wall_span("s"):
+            pass
+        assert t.num_events == 0
+
+
+class TestAggregation:
+    def test_span_totals_accumulate_per_name(self):
+        t = SpanTracer()
+        for i in range(3):
+            t.begin("step", float(i))
+            t.end(float(i) + 0.5)
+        total, count = t.span_totals()["step"]
+        assert total == pytest.approx(1.5)
+        assert count == 3
+
+    def test_span_totals_are_per_track(self):
+        t = SpanTracer()
+        t.begin("a", 0.0, track="one")
+        t.end(1.0, track="one")
+        assert "a" in t.span_totals("one")
+        assert t.span_totals("two") == {}
+
+
+class TestExport:
+    def test_chrome_trace_is_valid_json(self, tmp_path):
+        t = SpanTracer()
+        t.begin("s", 0.0)
+        t.instant("arrival", 0.1, request_id=7)
+        t.counter("kv", 0.2, {"utilization": 0.5})
+        t.end(1.0)
+        path = t.write(tmp_path / "trace.json")
+        data = json.loads(path.read_text())
+        assert isinstance(data["traceEvents"], list)
+        phases = {e["ph"] for e in data["traceEvents"]}
+        assert {"B", "E", "i", "C", "M"} <= phases
+        for e in data["traceEvents"]:
+            assert "pid" in e and "tid" in e and "name" in e
+
+    def test_thread_name_metadata_per_track(self):
+        t = SpanTracer()
+        t.begin("a", 0.0, track="engine")
+        t.end(1.0, track="engine")
+        with t.wall_span("b", track="perfmodel"):
+            pass
+        meta = [e for e in t.to_chrome_trace()["traceEvents"]
+                if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert names == {"engine", "perfmodel"}
+
+    def test_wall_span_records_positive_duration(self):
+        t = SpanTracer()
+        with t.wall_span("work"):
+            sum(range(1000))
+        total, count = t.span_totals("wall")["work"]
+        assert count == 1
+        assert total >= 0.0
