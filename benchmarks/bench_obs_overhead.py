@@ -3,10 +3,11 @@
 The whole point of ``Instrumentation.off()`` is that a disabled tracer
 costs essentially nothing: every hook in the engine/scheduler/KV-cache is
 guarded by ``if obs is not None and obs.active``, and a disabled
-``SpanTracer`` early-returns before touching any state.  This file times a
-reference serving run three ways — no instrumentation, disabled
-instrumentation, full instrumentation — and asserts the disabled path
-stays within 2% of the uninstrumented baseline.
+``SpanTracer`` early-returns before touching any state.  The measurement
+itself lives in :func:`repro.obs.regress.measure_disabled_overhead` so the
+same <2% assertion also runs under ``repro bench --check``; this file is
+the standalone pytest surface plus absolute-timing benchmarks of the
+three instrumentation modes.
 
 Run with::
 
@@ -15,48 +16,16 @@ Run with::
 
 from __future__ import annotations
 
-import time
-
 from repro.obs.harness import reference_serving_run
 from repro.obs.instrument import Instrumentation
+from repro.obs.regress import measure_disabled_overhead
 
 _KWARGS = dict(num_requests=16, input_tokens=256, output_tokens=64)
-# min-of-N wall time: the minimum is the least noisy location statistic
-# for a deterministic workload on a shared machine.
-_ROUNDS = 7
-# absolute slack floor so a sub-millisecond baseline cannot fail on
-# scheduler jitter alone
-_ABS_SLACK_S = 2e-3
-
-
-def _min_time(fn) -> float:
-    best = float("inf")
-    for _ in range(_ROUNDS):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
 
 
 def test_disabled_instrumentation_overhead_under_two_percent():
-    def baseline():
-        return reference_serving_run(**_KWARGS)
-
-    def disabled():
-        return reference_serving_run(
-            instrumentation=Instrumentation.off(), **_KWARGS
-        )
-
-    # warm-up: import costs, perf-model caches, allocator pools
-    baseline()
-    disabled()
-
-    base_t = _min_time(baseline)
-    off_t = _min_time(disabled)
-    assert off_t <= base_t * 1.02 + _ABS_SLACK_S, (
-        f"disabled instrumentation cost {off_t:.4f}s vs baseline "
-        f"{base_t:.4f}s ({(off_t / base_t - 1) * 100:.2f}% overhead)"
-    )
+    report = measure_disabled_overhead(**_KWARGS)
+    assert report.within(), report.describe()
 
 
 def test_baseline_run(benchmark):

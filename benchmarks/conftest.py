@@ -5,23 +5,63 @@ experiment registry under pytest-benchmark timing, then asserts the shape
 properties the paper reports.  Run with::
 
     pytest benchmarks/ --benchmark-only
+
+Every ``run_exp`` invocation is additionally gated by the fingerprint
+baselines committed at the repo root (``BENCH_<figure>.json``, see
+``docs/regression.md``): if the regenerated result's sim-derived metrics
+drift from the recorded baseline, the benchmark fails with a drift report.
+Set ``REPRO_BENCH_RECORD=1`` to re-record baselines instead of gating
+(equivalent to ``repro bench --record``).
 """
 
 from __future__ import annotations
+
+import os
+import pathlib
 
 import pytest
 
 from repro.core.experiment import ExperimentResult
 from repro.core.registry import get_experiment
 
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _gate_fingerprint(result: ExperimentResult) -> None:
+    from repro.obs.fingerprint import fingerprint_result
+    from repro.obs.regress import (
+        BaselineStore,
+        compare_fingerprints,
+        render_drift_report,
+    )
+
+    store = BaselineStore(REPO_ROOT)
+    fingerprint = fingerprint_result(result)
+    if os.environ.get("REPRO_BENCH_RECORD"):
+        store.record(fingerprint, note="benchmark harness")
+        return
+    baseline = store.latest_fingerprint(result.exp_id)
+    if baseline is None:
+        return  # figure has no committed baseline yet
+    drifts = compare_fingerprints(baseline, fingerprint)
+    if drifts:
+        pytest.fail(
+            f"fingerprint drift vs {store.path(result.exp_id).name}:\n"
+            + render_drift_report(drifts)
+        )
+
 
 @pytest.fixture
 def run_exp(benchmark):
     """Run one registered experiment under the benchmark timer (a single
     round — experiments are deterministic; their cost is the figure of
-    merit, not their variance)."""
+    merit, not their variance), then gate it against the committed
+    fingerprint baseline."""
 
     def _run(exp_id: str) -> ExperimentResult:
-        return benchmark.pedantic(get_experiment(exp_id), rounds=1, iterations=1)
+        result = benchmark.pedantic(get_experiment(exp_id), rounds=1,
+                                    iterations=1)
+        _gate_fingerprint(result)
+        return result
 
     return _run

@@ -1,0 +1,6 @@
+"""``python -m repro`` — the same CLI as ``repro`` / ``moe-inference-bench``."""
+
+from repro.core.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

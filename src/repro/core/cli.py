@@ -2,17 +2,28 @@
 
 Usage::
 
-    moe-inference-bench list
-    moe-inference-bench run fig05 [--out results/]
-    moe-inference-bench run-all [--out results/]
-    moe-inference-bench summary [--out report.md]
-    moe-inference-bench trace [model-or-experiment] [--out trace.json]
-    moe-inference-bench metrics [model] [--json]
+    repro list
+    repro run fig05 [--out results/]
+    repro run-all [--out results/]
+    repro summary [--out report.md]
+    repro trace [model-or-experiment] [--out trace.json]
+    repro metrics [model] [--json]
+    repro bench --record [--figs fig05,fig06] [--note "..."]
+    repro bench --check [--wall]
+    repro bench --trend [--out trend.md]
+    repro profile [model-or-experiment] [--out profile.folded]
+
+(``repro`` and ``moe-inference-bench`` are the same entry point.)
 
 ``trace`` records a reference serving run (or a registered experiment)
 under full instrumentation and writes Chrome Trace Event JSON for
 Perfetto / ``chrome://tracing``; ``metrics`` prints the run's metrics in
-Prometheus text exposition format.  See ``docs/observability.md``.
+Prometheus text exposition format.  ``bench`` maintains the
+``BENCH_<figure>.json`` fingerprint baselines and gates drift
+(non-zero exit on ``--check`` failure); ``profile`` attributes a run's
+simulated time per phase × component and writes a folded-stack file for
+flamegraph tooling.  See ``docs/observability.md`` and
+``docs/regression.md``.
 """
 
 from __future__ import annotations
@@ -163,6 +174,144 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_ids(args: argparse.Namespace, store) -> list[str]:
+    if args.figs:
+        return [f.strip() for f in args.figs.split(",") if f.strip()]
+    if args.check or args.trend:
+        # gate / chart whatever has a recorded baseline
+        known = store.known_ids()
+        if known:
+            return known
+    return list_experiments()
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.obs.regress import (
+        BaselineStore,
+        Tolerance,
+        compare_fingerprints,
+        first_suspect,
+        measure_disabled_overhead,
+        render_drift_report,
+    )
+
+    if not (args.record or args.check or args.trend):
+        print("bench: choose one of --record / --check / --trend",
+              file=sys.stderr)
+        return 2
+    store = BaselineStore(args.dir)
+    ids = _bench_ids(args, store)
+
+    if args.trend:
+        text = _render_trend(store, ids)
+        if args.out:
+            path = pathlib.Path(args.out)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text)
+            print(f"wrote {path}")
+        else:
+            print(text)
+        return 0
+
+    failures = 0
+    all_drifts = []
+    for exp_id in ids:
+        result = run_experiment(exp_id)
+        fp = result.fingerprint()
+        if args.record:
+            path = store.record(fp, note=args.note)
+            print(f"[recorded] {exp_id} -> {path}")
+            continue
+        baseline = store.latest_fingerprint(exp_id)
+        if baseline is None:
+            print(f"[no-baseline] {exp_id}: run `repro bench --record` first",
+                  file=sys.stderr)
+            failures += 1
+            continue
+        drifts = compare_fingerprints(baseline, fp, Tolerance(),
+                                      check_wall=args.wall)
+        if drifts:
+            suspect = first_suspect(store.latest_sha(exp_id), args.dir)
+            drifts = [dataclasses.replace(d, suspect=suspect) for d in drifts]
+            all_drifts.extend(drifts)
+            print(f"[DRIFT] {exp_id}: {len(drifts)} metric(s)")
+        else:
+            print(f"[ok] {exp_id}")
+    if args.check:
+        if all_drifts:
+            print()
+            print(render_drift_report(all_drifts), file=sys.stderr)
+        if not args.no_overhead:
+            report = measure_disabled_overhead()
+            print(report.describe())
+            if not report.within():
+                print("[FAIL] disabled-instrumentation overhead exceeds the "
+                      "2% band", file=sys.stderr)
+                failures += 1
+    return 1 if (failures or all_drifts) else 0
+
+
+def _render_trend(store, ids: list[str]) -> str:
+    """Fingerprint trajectories (sim time + wall runtime) as markdown."""
+    lines = ["# Benchmark trend", "",
+             "| figure | records | sim_time_total_s trajectory | "
+             "runtime_s trajectory | last recorded |", "|---|---:|---|---|---|"]
+    charted = 0
+    for exp_id in ids:
+        records = store.records(exp_id)
+        if not records:
+            continue
+        charted += 1
+        sims = [r["fingerprint"].get("sim", {}).get("sim_time_total_s")
+                for r in records]
+        walls = [r["fingerprint"].get("wall", {}).get("runtime_s")
+                 for r in records]
+        fmt = lambda xs: " → ".join(
+            "?" if x is None else f"{x:.4g}" for x in xs[-6:])
+        lines.append(f"| {exp_id} | {len(records)} | {fmt(sims)} | "
+                     f"{fmt(walls)} | {records[-1]['recorded_at']} |")
+    if charted == 0:
+        return "no recorded baselines — run `repro bench --record` first"
+    return "\n".join(lines)
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.core.report import render_profile_report
+    from repro.obs.instrument import Instrumentation
+    from repro.obs.profile import CostProfile, profile_serving_run
+
+    out = pathlib.Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    if args.target in list_experiments():
+        # wall-clock attribution of one registered experiment
+        obs = Instrumentation.on()
+        with obs.tracer.wall_span(f"experiment.{args.target}",
+                                  track="experiment", cat="experiment"):
+            run_experiment(args.target)
+        profile = CostProfile.from_tracer(obs.tracer)
+        out.write_text(profile.folded(tracks=["experiment"]))
+        print(f"wrote {out}")
+        print()
+        print(render_time_breakdown(obs.tracer.span_totals("experiment")))
+        return 0
+
+    report = profile_serving_run(
+        args.target,
+        num_requests=args.requests,
+        input_tokens=args.input_tokens,
+        output_tokens=args.output_tokens,
+        arrival_interval=args.arrival_interval,
+        speedup=args.speedup,
+    )
+    out.write_text(report.folded())
+    print(f"wrote {out} (load with flamegraph.pl / speedscope)")
+    print()
+    print(render_profile_report(report))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="moe-inference-bench",
@@ -217,6 +366,52 @@ def build_parser() -> argparse.ArgumentParser:
                            help="JSON snapshot instead of Prometheus text")
     p_metrics.add_argument("--out", help="write to a file instead of stdout")
     p_metrics.set_defaults(func=_cmd_metrics)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="record / check / chart experiment fingerprint baselines",
+    )
+    p_bench.add_argument("--record", action="store_true",
+                         help="append current fingerprints to the baselines")
+    p_bench.add_argument("--check", action="store_true",
+                         help="diff current fingerprints against the "
+                              "baselines; exit 1 on drift")
+    p_bench.add_argument("--trend", action="store_true",
+                         help="chart recorded fingerprint trajectories")
+    p_bench.add_argument("--figs",
+                         help="comma-separated experiment ids (default: all "
+                              "with baselines, else all)")
+    p_bench.add_argument("--dir", default=".",
+                         help="directory holding BENCH_<figure>.json "
+                              "(default: repo root)")
+    p_bench.add_argument("--note", default="",
+                         help="annotation stored with --record")
+    p_bench.add_argument("--wall", action="store_true",
+                         help="also gate wall-clock metrics (loose band)")
+    p_bench.add_argument("--no-overhead", action="store_true",
+                         help="skip the disabled-instrumentation overhead "
+                              "gate during --check")
+    p_bench.add_argument("--out", help="write the --trend report here")
+    p_bench.set_defaults(func=_cmd_bench)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="attribute a run's time per phase × component "
+             "(folded-stack output + roofline advice)",
+    )
+    p_prof.add_argument(
+        "target", nargs="?", default="OLMoE-1B-7B",
+        help="model name for a simulated serving profile, or an experiment "
+             "id for a wall-clock experiment profile (default OLMoE-1B-7B)",
+    )
+    _add_workload_args(p_prof)
+    p_prof.add_argument("--out", default="profile.folded",
+                        help="folded-stack output path (default "
+                             "profile.folded)")
+    p_prof.add_argument("--speedup", type=float, default=0.10,
+                        help="hypothetical component speedup priced by the "
+                             "advice table (default 0.10)")
+    p_prof.set_defaults(func=_cmd_profile)
 
     return parser
 

@@ -49,6 +49,13 @@ class ExperimentResult:
         """Attach a rendered text chart (shown as a code block in reports)."""
         self.charts.append(chart)
 
+    def fingerprint(self):
+        """Deterministic digest of this result for the regression gate
+        (see :mod:`repro.obs.fingerprint`)."""
+        from repro.obs.fingerprint import fingerprint_result
+
+        return fingerprint_result(self)
+
 
 @dataclass(frozen=True)
 class Sweep:

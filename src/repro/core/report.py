@@ -8,7 +8,7 @@ from typing import Mapping
 from repro.core.experiment import ExperimentResult
 
 __all__ = ["render_markdown", "write_report", "render_summary",
-           "render_time_breakdown"]
+           "render_time_breakdown", "render_profile_report"]
 
 
 def render_time_breakdown(
@@ -40,6 +40,35 @@ def render_time_breakdown(
         lines.append(
             f"| {name} | {total:.6f} | {share:6.1%} | {count} | {mean_ms:.3f} |"
         )
+    return "\n".join(lines)
+
+
+def render_profile_report(report) -> str:
+    """A :class:`~repro.obs.profile.ProfileReport` as markdown sections:
+    the per-phase × per-component attribution table plus the
+    roofline-classified speedup advice."""
+    lines = [f"## Cost attribution — {report.model_name}", ""]
+    lines.append(f"Simulated busy time: {report.profile.total_s():.6f}s "
+                 f"over {report.result.num_requests} requests "
+                 f"(makespan {report.result.makespan:.6f}s).")
+    lines.append("")
+    lines.append("### Per-phase × per-component time")
+    lines.append("")
+    lines.append(report.table().to_markdown())
+    lines.append("")
+    pct = f"{report.speedup:.0%}"
+    lines.append(f"### Where would a {pct} speedup matter most?")
+    lines.append("")
+    advice = report.advice
+    if advice.rows:
+        top = advice.rows[0]
+        lines.append(
+            f"Biggest lever: **{top['phase']}/{top['component']}** "
+            f"({top['bound']}-bound) — {pct} faster saves "
+            f"{top['saving_s'] * 1e3:.3f}ms of simulated time "
+            f"({top['share']:.1%} of the busy time).")
+        lines.append("")
+    lines.append(advice.to_markdown())
     return "\n".join(lines)
 
 

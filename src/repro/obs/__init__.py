@@ -9,6 +9,17 @@ Three pillars, one optional handle:
 * :mod:`repro.obs.routing` — live expert-activation telemetry subscribed
   to routers, regenerating Fig. 15-style data from engine runs.
 
+On top of the pillars sit the continuous-performance tools:
+
+* :mod:`repro.obs.fingerprint` / :mod:`repro.obs.regress` — deterministic
+  experiment fingerprints, ``BENCH_<figure>.json`` baselines and drift
+  detection (``repro bench --record/--check/--trend``).
+* :mod:`repro.obs.profile` — cost-attribution profiler folding the span
+  stream into per-phase × per-component tables, folded-stack flamegraph
+  export and roofline-backed speedup advice (``repro profile``).
+* :mod:`repro.obs.alerts` — alert rules over live engine state with
+  flight-recorder bundles for postmortems.
+
 Thread an :class:`Instrumentation` through
 :class:`~repro.serving.engine.ServingEngine` /
 :class:`~repro.perfmodel.inference.InferencePerfModel` to record; leave it
@@ -16,6 +27,14 @@ Thread an :class:`Instrumentation` through
 ``docs/observability.md``.
 """
 
+from repro.obs.alerts import (
+    Alert,
+    AlertMonitor,
+    AlertRule,
+    FlightRecorder,
+    default_rules,
+)
+from repro.obs.fingerprint import Fingerprint, fingerprint_result
 from repro.obs.instrument import Instrumentation
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
@@ -23,6 +42,14 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from repro.obs.profile import CostProfile, ProfileReport, profile_serving_run
+from repro.obs.regress import (
+    BaselineStore,
+    Drift,
+    Tolerance,
+    compare_fingerprints,
+    measure_disabled_overhead,
 )
 from repro.obs.routing import EngineRoutingProbe, RoutingTelemetry
 from repro.obs.trace import SpanTracer
@@ -37,4 +64,19 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "RoutingTelemetry",
     "EngineRoutingProbe",
+    "Fingerprint",
+    "fingerprint_result",
+    "BaselineStore",
+    "Tolerance",
+    "Drift",
+    "compare_fingerprints",
+    "measure_disabled_overhead",
+    "CostProfile",
+    "ProfileReport",
+    "profile_serving_run",
+    "Alert",
+    "AlertRule",
+    "AlertMonitor",
+    "FlightRecorder",
+    "default_rules",
 ]

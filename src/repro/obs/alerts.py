@@ -1,0 +1,278 @@
+"""Alert rules over live engine state, with flight-recorder bundles.
+
+An :class:`AlertMonitor` hangs off the :class:`Instrumentation` handle and
+is consulted by the serving engine once per iteration and once at run end.
+Each :class:`AlertRule` watches one pathology the paper's serving
+experiments actually exhibit:
+
+* :class:`ExpertImbalanceRule` — the rolling expert-load imbalance from the
+  routing probe crosses a max/mean threshold (hot experts).
+* :class:`PreemptionStormRule` — too many preemption events inside a
+  sliding simulated-time window (KV thrash / recompute livelock).
+* :class:`KvHighWaterRule` — the paged KV cache crosses a utilization
+  high-water mark.
+* :class:`EmptyPercentileRule` — the run produced iterations but no
+  percentile-able latency samples (every percentile would raise), the
+  classic silently-broken-dashboard anomaly.
+
+When a rule trips (once per rule per run), the monitor records an
+:class:`Alert` and — if a :class:`FlightRecorder` is attached — dumps a
+bundle (the alert, the last-N engine events, a metrics snapshot, the trace
+tail, routing telemetry) into a deterministically-named directory for
+postmortem debugging.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, TYPE_CHECKING
+
+from repro.serving.events import Event, EventType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serving.engine import ServingEngine, ServingResult
+
+__all__ = [
+    "Alert",
+    "AlertRule",
+    "ExpertImbalanceRule",
+    "PreemptionStormRule",
+    "KvHighWaterRule",
+    "EmptyPercentileRule",
+    "FlightRecorder",
+    "AlertMonitor",
+    "default_rules",
+]
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One fired alert, stamped with the simulated time it tripped."""
+
+    rule: str
+    time: float
+    message: str
+    context: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"rule": self.rule, "time": self.time,
+                "message": self.message, "context": self.context}
+
+
+class AlertRule:
+    """Base rule: override :meth:`check` (per iteration) and/or
+    :meth:`check_end` (once per run). Return an :class:`Alert` to fire."""
+
+    name = "alert"
+
+    def check(self, engine: "ServingEngine") -> Alert | None:
+        return None
+
+    def check_end(self, engine: "ServingEngine",
+                  result: "ServingResult") -> Alert | None:
+        return None
+
+
+class ExpertImbalanceRule(AlertRule):
+    """Rolling expert-load imbalance (max/mean over the probe's window)
+    exceeds ``threshold`` after at least ``min_batches`` routed batches."""
+
+    name = "expert_imbalance"
+
+    def __init__(self, threshold: float = 2.0, min_batches: int = 32) -> None:
+        self.threshold = threshold
+        self.min_batches = min_batches
+
+    def check(self, engine: "ServingEngine") -> Alert | None:
+        obs = engine.obs
+        if obs is None or obs.routing is None:
+            return None
+        telemetry = obs.routing.telemetry
+        if len(telemetry.imbalance_series) < self.min_batches:
+            return None
+        imbalance = telemetry.rolling_imbalance()
+        if imbalance < self.threshold:
+            return None
+        return Alert(
+            self.name, engine.clock,
+            f"rolling expert imbalance {imbalance:.3f} >= "
+            f"{self.threshold:.3f} (max/mean over window of "
+            f"{telemetry.window} batches)",
+            {"imbalance": imbalance, "threshold": self.threshold,
+             "window": telemetry.window,
+             "hottest_experts": telemetry.activation_ordering()[:4]},
+        )
+
+
+class PreemptionStormRule(AlertRule):
+    """More than ``max_events`` preemptions within the trailing
+    ``window_s`` of simulated time."""
+
+    name = "preemption_storm"
+
+    def __init__(self, max_events: int = 4, window_s: float = 1.0) -> None:
+        self.max_events = max_events
+        self.window_s = window_s
+
+    def check(self, engine: "ServingEngine") -> Alert | None:
+        preemptions = engine.log.of_type(EventType.PREEMPTION)
+        cutoff = engine.clock - self.window_s
+        recent = 0
+        for event in reversed(preemptions):
+            if event.time < cutoff:
+                break
+            recent += 1
+        if recent <= self.max_events:
+            return None
+        return Alert(
+            self.name, engine.clock,
+            f"{recent} preemptions in the last {self.window_s:g}s of "
+            f"simulated time (> {self.max_events})",
+            {"recent_preemptions": recent, "window_s": self.window_s,
+             "total_preemptions": len(preemptions),
+             "kv_utilization": engine.kv.utilization},
+        )
+
+
+class KvHighWaterRule(AlertRule):
+    """Paged KV cache utilization crosses ``threshold``."""
+
+    name = "kv_high_water"
+
+    def __init__(self, threshold: float = 0.95) -> None:
+        self.threshold = threshold
+
+    def check(self, engine: "ServingEngine") -> Alert | None:
+        utilization = engine.kv.utilization
+        if utilization < self.threshold:
+            return None
+        return Alert(
+            self.name, engine.clock,
+            f"KV cache at {utilization:.1%} (high-water mark "
+            f"{self.threshold:.0%})",
+            {"utilization": utilization, "threshold": self.threshold,
+             "num_blocks": engine.kv.num_blocks},
+        )
+
+
+class EmptyPercentileRule(AlertRule):
+    """The run executed iterations yet produced no latency samples —
+    every percentile accessor (``p50_ttft``, ``p99_itl``, ...) would raise,
+    so dashboards reading them silently show nothing."""
+
+    name = "empty_percentiles"
+
+    def check_end(self, engine: "ServingEngine",
+                  result: "ServingResult") -> Alert | None:
+        if engine.log.num_iterations == 0:
+            return None
+        ttft_samples = sum(
+            1 for r in result.requests
+            if r.is_finished and r.ttft is not None
+        )
+        if ttft_samples > 0:
+            return None
+        return Alert(
+            self.name, engine.clock,
+            f"{engine.log.num_iterations} iterations ran but no request "
+            "produced a TTFT sample — percentile metrics are undefined",
+            {"iterations": engine.log.num_iterations,
+             "requests": len(result.requests)},
+        )
+
+
+def default_rules() -> list[AlertRule]:
+    return [ExpertImbalanceRule(), PreemptionStormRule(), KvHighWaterRule(),
+            EmptyPercentileRule()]
+
+
+# --------------------------------------------------------------------------- #
+# flight recorder
+# --------------------------------------------------------------------------- #
+
+
+def _event_to_dict(event: Event) -> dict[str, Any]:
+    return {
+        "time": event.time,
+        "type": event.type.value,
+        "request_ids": list(event.request_ids),
+        "num_tokens": event.num_tokens,
+        "duration": event.duration,
+        "kv_utilization": event.kv_utilization,
+    }
+
+
+class FlightRecorder:
+    """Dumps a postmortem bundle when an alert fires.
+
+    Bundle directories are named ``<rule>-t<sim_time>`` — simulated time,
+    so reruns of a deterministic workload land in the same place.
+    """
+
+    def __init__(self, out_dir: str | pathlib.Path, last_n: int = 64) -> None:
+        self.out_dir = pathlib.Path(out_dir)
+        self.last_n = last_n
+
+    def dump(self, alert: Alert, engine: "ServingEngine") -> pathlib.Path:
+        bundle = self.out_dir / f"{alert.rule}-t{alert.time:.6f}"
+        bundle.mkdir(parents=True, exist_ok=True)
+        (bundle / "alert.json").write_text(
+            json.dumps(alert.to_dict(), indent=2) + "\n")
+        events = engine.log.events[-self.last_n:]
+        (bundle / "events.json").write_text(json.dumps(
+            [_event_to_dict(e) for e in events], indent=2) + "\n")
+        obs = engine.obs
+        if obs is not None:
+            (bundle / "metrics.json").write_text(
+                obs.metrics.to_json() + "\n")
+            (bundle / "trace_tail.json").write_text(json.dumps(
+                obs.tracer.tail(self.last_n), indent=2) + "\n")
+            if obs.routing is not None:
+                (bundle / "routing.json").write_text(json.dumps(
+                    obs.routing.telemetry.summary(), indent=2) + "\n")
+        return bundle
+
+
+# --------------------------------------------------------------------------- #
+# monitor
+# --------------------------------------------------------------------------- #
+
+
+class AlertMonitor:
+    """Evaluates rules against the live engine; one shot per rule per run."""
+
+    def __init__(self, rules: list[AlertRule] | None = None,
+                 recorder: FlightRecorder | None = None) -> None:
+        self.rules = default_rules() if rules is None else list(rules)
+        self.recorder = recorder
+        self.fired: list[Alert] = []
+        self.bundles: list[pathlib.Path] = []
+        self._tripped: set[str] = set()
+
+    def _fire(self, alert: Alert, engine: "ServingEngine") -> None:
+        self._tripped.add(alert.rule)
+        self.fired.append(alert)
+        if self.recorder is not None:
+            self.bundles.append(self.recorder.dump(alert, engine))
+
+    def on_iteration(self, engine: "ServingEngine") -> None:
+        for rule in self.rules:
+            if rule.name in self._tripped:
+                continue
+            alert = rule.check(engine)
+            if alert is not None:
+                self._fire(alert, engine)
+
+    def on_run_end(self, engine: "ServingEngine",
+                   result: "ServingResult") -> None:
+        for rule in self.rules:
+            if rule.name in self._tripped:
+                continue
+            alert = rule.check_end(engine, result)
+            if alert is not None:
+                self._fire(alert, engine)
+
+    def summary(self) -> list[dict[str, Any]]:
+        return [a.to_dict() for a in self.fired]

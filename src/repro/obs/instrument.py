@@ -14,12 +14,16 @@ benchmark to price the disabled path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.routing import EngineRoutingProbe
 from repro.obs.trace import SpanTracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.alerts import AlertMonitor
 
 __all__ = ["Instrumentation"]
 
@@ -31,6 +35,10 @@ class Instrumentation:
     tracer: SpanTracer = field(default_factory=SpanTracer)
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
     routing: EngineRoutingProbe | None = None
+    alerts: "AlertMonitor | None" = None
+    """Optional alert rules engine (see :mod:`repro.obs.alerts`): evaluated
+    once per engine iteration and at run end; dumps a flight-recorder
+    bundle when a rule trips."""
     active: bool = True
     """Master switch: instrumented call sites skip every hook when False."""
 
@@ -41,16 +49,18 @@ class Instrumentation:
 
     @classmethod
     def on(cls, model=None, routing_rng: np.random.Generator | None = None,
+           alerts: "AlertMonitor | None" = None,
            **probe_kwargs) -> "Instrumentation":
         """Fully-enabled instrumentation.
 
         ``model`` (a :class:`~repro.models.config.ModelConfig` with MoE
-        layers) additionally attaches an expert-routing probe.
+        layers) additionally attaches an expert-routing probe; ``alerts``
+        attaches an :class:`~repro.obs.alerts.AlertMonitor`.
         """
         routing = None
         if model is not None and getattr(model, "moe", None) is not None:
             routing = EngineRoutingProbe(model, rng=routing_rng, **probe_kwargs)
-        return cls(routing=routing)
+        return cls(routing=routing, alerts=alerts)
 
     @classmethod
     def off(cls) -> "Instrumentation":

@@ -1,0 +1,331 @@
+"""Cost-attribution profiler over the span tracer's B/E stream.
+
+Folds the Chrome-trace begin/end events recorded by :class:`SpanTracer`
+into per-phase × per-component inclusive/exclusive time tables, exports
+folded-stack text loadable by standard flamegraph tooling
+(``flamegraph.pl``, speedscope, inferno), and answers "where would a 10%
+speedup matter most" by reusing the roofline model's memory/compute bound
+classification for each component.
+
+The component-level data comes from the ``components`` track the serving
+engine emits: every iteration tiles its simulated duration into
+attention / router / expert FFN / dense FFN / embedding / lm_head /
+interconnect / pipeline / overhead spans, so folded totals sum to the
+run's simulated busy time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, TYPE_CHECKING
+
+from repro.core.results import ResultTable
+from repro.hardware.roofline import KernelCost, is_memory_bound
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.instrument import Instrumentation
+    from repro.obs.trace import SpanTracer
+    from repro.perfmodel.inference import InferencePerfModel
+    from repro.serving.engine import ServingResult
+
+__all__ = [
+    "SpanAggregate",
+    "CostProfile",
+    "component_bound",
+    "ProfileReport",
+    "profile_serving_run",
+]
+
+COMPONENTS_TRACK = "components"
+
+_US_TO_S = 1e-6
+
+
+@dataclass
+class SpanAggregate:
+    """Accumulated time of one unique stack path."""
+
+    inclusive_s: float = 0.0
+    exclusive_s: float = 0.0
+    count: int = 0
+
+
+class CostProfile:
+    """Folded view of a trace: ``{(track, name, ...): SpanAggregate}``."""
+
+    def __init__(self) -> None:
+        self.paths: dict[tuple[str, ...], SpanAggregate] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_tracer(cls, tracer: "SpanTracer") -> "CostProfile":
+        return cls.from_events(tracer.events)
+
+    @classmethod
+    def from_events(cls, events: Iterable[dict[str, Any]]) -> "CostProfile":
+        """Fold a Chrome Trace Event stream (``ph`` B/E/M events)."""
+        profile = cls()
+        tracks: dict[int, str] = {}
+        # per-tid stack of [name, begin_ts_us, child_time_us]
+        stacks: dict[int, list[list[Any]]] = {}
+        for ev in events:
+            ph = ev.get("ph")
+            tid = ev.get("tid", 0)
+            if ph == "M":
+                if ev.get("name") == "thread_name":
+                    tracks[tid] = ev.get("args", {}).get("name", str(tid))
+            elif ph == "B":
+                stacks.setdefault(tid, []).append([ev["name"], ev["ts"], 0.0])
+            elif ph == "E":
+                stack = stacks.get(tid)
+                if not stack:
+                    continue  # unbalanced stream: ignore the stray end
+                name, ts0, child_us = stack.pop()
+                dt_us = ev["ts"] - ts0
+                track = tracks.get(tid, str(tid))
+                path = (track, *[frame[0] for frame in stack], name)
+                agg = profile.paths.setdefault(path, SpanAggregate())
+                agg.inclusive_s += dt_us * _US_TO_S
+                agg.exclusive_s += max(0.0, dt_us - child_us) * _US_TO_S
+                agg.count += 1
+                if stack:
+                    stack[-1][2] += dt_us
+        return profile
+
+    # ------------------------------------------------------------------ #
+    # views
+    # ------------------------------------------------------------------ #
+
+    def tracks(self) -> list[str]:
+        return sorted({path[0] for path in self.paths})
+
+    def total_s(self, track: str = COMPONENTS_TRACK) -> float:
+        """Inclusive time of the track's root spans."""
+        return sum(agg.inclusive_s for path, agg in self.paths.items()
+                   if path[0] == track and len(path) == 2)
+
+    def component_totals(
+        self, track: str = COMPONENTS_TRACK
+    ) -> dict[tuple[str, str], SpanAggregate]:
+        """``{(phase, component): aggregate}`` for depth-2 spans on a track
+        — the per-phase × per-component attribution."""
+        return {
+            (path[1], path[2]): agg
+            for path, agg in self.paths.items()
+            if path[0] == track and len(path) == 3
+        }
+
+    def table(self, track: str = COMPONENTS_TRACK) -> ResultTable:
+        """Per-phase × per-component inclusive/exclusive table.
+
+        ``(all)`` rows carry each phase's own totals; ``share`` is the
+        component's exclusive time relative to the track's busy time.
+        """
+        table = ResultTable(
+            "cost attribution",
+            ("phase", "component", "inclusive_s", "exclusive_s", "count",
+             "share"),
+        )
+        busy = self.total_s(track)
+        phases = sorted({p[1] for p in self.paths
+                         if p[0] == track and len(p) >= 2})
+        per_component = self.component_totals(track)
+        for phase in phases:
+            root = self.paths.get((track, phase))
+            if root is not None:
+                table.add(phase=phase, component="(all)",
+                          inclusive_s=root.inclusive_s,
+                          exclusive_s=root.exclusive_s, count=root.count,
+                          share=root.inclusive_s / busy if busy else 0.0)
+            comps = sorted(
+                ((c, agg) for (ph, c), agg in per_component.items()
+                 if ph == phase),
+                key=lambda kv: -kv[1].exclusive_s,
+            )
+            for component, agg in comps:
+                table.add(phase=phase, component=component,
+                          inclusive_s=agg.inclusive_s,
+                          exclusive_s=agg.exclusive_s, count=agg.count,
+                          share=agg.exclusive_s / busy if busy else 0.0)
+        return table
+
+    def folded(self, tracks: Iterable[str] | None = None) -> str:
+        """Folded-stack text: ``track;frame;frame value_us`` per line.
+
+        Values are *exclusive* microseconds (fractional), the convention
+        flamegraph tooling sums back into inclusive widths.
+        """
+        wanted = None if tracks is None else set(tracks)
+        lines = []
+        for path in sorted(self.paths):
+            if wanted is not None and path[0] not in wanted:
+                continue
+            agg = self.paths[path]
+            if agg.exclusive_s <= 0 and len(path) > 2:
+                continue
+            lines.append(f"{';'.join(path)} {agg.exclusive_s * 1e6:.3f}")
+        return "\n".join(lines) + "\n"
+
+
+# --------------------------------------------------------------------------- #
+# roofline bound classification
+# --------------------------------------------------------------------------- #
+
+
+def _component_kernel_cost(pm: "InferencePerfModel", component: str,
+                           num_tokens: float, batch: float,
+                           kv_len: float, phase: str) -> KernelCost | None:
+    """Aggregated roofline cost of one profiler component at a shape.
+
+    Returns None for latency-style components (interconnect, pipeline,
+    overhead) that are not roofline-classifiable.
+    """
+    from repro.perfmodel import flops as F
+
+    model, quant = pm.setup.model, pm.setup.quant
+    m = float(num_tokens)
+    attended = (kv_len + 1) / 2.0 if phase == "prefill" else None
+    costs: list[Any] = []
+    if component == "attention":
+        costs = [F.qkvo_cost(model, m, quant),
+                 F.attention_core_cost(model, m, batch, kv_len, quant,
+                                       attended)]
+    elif component == "router" and model.moe is not None:
+        costs = [F.router_cost(model, m, quant)]
+    elif component == "expert_ffn" and model.moe is not None:
+        costs = [F.routed_experts_cost(model, m, quant,
+                                       fused=pm.setup.fused_moe),
+                 F.shared_expert_cost(model, m, quant)]
+    elif component == "dense_ffn":
+        costs = [F.dense_ffn_cost(model, m, quant)]
+    elif component == "embedding":
+        costs = [F.embedding_cost(model, m, quant)]
+    elif component == "lm_head":
+        costs = [F.lm_head_cost(model, batch, quant)]
+    if not costs:
+        return None
+    total_flops = sum(c.flops for c in costs)
+    total_bytes = sum(c.weight_bytes + c.act_bytes for c in costs)
+    if total_flops <= 0 and total_bytes <= 0:
+        return None
+    return KernelCost(flops=total_flops, bytes=total_bytes,
+                      dtype=quant.compute_dtype_name)
+
+
+def component_bound(pm: "InferencePerfModel", component: str,
+                    num_tokens: float, batch: float, kv_len: float,
+                    phase: str) -> str:
+    """``"memory"`` / ``"compute"`` / ``"latency"`` — which roofline term
+    dominates this component at the given step shape."""
+    cost = _component_kernel_cost(pm, component, num_tokens, batch, kv_len,
+                                  phase)
+    if cost is None:
+        return "latency"
+    return "memory" if is_memory_bound(cost, pm.setup.hardware) else "compute"
+
+
+# --------------------------------------------------------------------------- #
+# one-call profiling harness
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class ProfileReport:
+    """Everything ``repro profile`` produces for one serving run."""
+
+    model_name: str
+    result: "ServingResult"
+    obs: "Instrumentation"
+    profile: CostProfile
+    advice: ResultTable
+    shapes: dict[str, tuple[float, float, float]] = field(default_factory=dict)
+    speedup: float = 0.10
+    """The hypothetical per-component speedup the advice table prices."""
+
+    def folded(self) -> str:
+        return self.profile.folded()
+
+    def table(self) -> ResultTable:
+        return self.profile.table()
+
+
+def _build_advice(profile: CostProfile, pm: "InferencePerfModel",
+                  shapes: dict[str, tuple[float, float, float]],
+                  speedup: float = 0.10) -> ResultTable:
+    """Rank components by the makespan saved if each ran ``speedup``
+    faster; the roofline bound says *how* to get that speedup."""
+    busy = profile.total_s()
+    table = ResultTable(
+        "speedup advice",
+        ("phase", "component", "exclusive_s", "share", "bound",
+         "saving_s"),
+    )
+    rows = []
+    for (phase, component), agg in profile.component_totals().items():
+        shape = shapes.get(phase)
+        bound = (component_bound(pm, component, *shape, phase)
+                 if shape else "latency")
+        rows.append({
+            "phase": phase,
+            "component": component,
+            "exclusive_s": agg.exclusive_s,
+            "share": agg.exclusive_s / busy if busy else 0.0,
+            "bound": bound,
+            "saving_s": agg.exclusive_s * speedup,
+        })
+    for row in sorted(rows, key=lambda r: -r["saving_s"]):
+        table.add(**row)
+    return table
+
+
+def profile_serving_run(
+    model_name: str | None = None,
+    num_requests: int = 8,
+    input_tokens: int = 256,
+    output_tokens: int = 64,
+    arrival_interval: float = 0.0,
+    speedup: float = 0.10,
+) -> ProfileReport:
+    """Serve the reference workload fully instrumented and attribute cost.
+
+    Mirrors :func:`repro.obs.harness.reference_serving_run` but keeps the
+    perf model so the advice table can classify each component's roofline
+    bound at the run's representative step shapes.
+    """
+    from repro.hardware.gpus import H100_SXM
+    from repro.models.zoo import get_model
+    from repro.obs.harness import REFERENCE_MODEL
+    from repro.obs.instrument import Instrumentation
+    from repro.perfmodel.inference import InferencePerfModel
+    from repro.serving.engine import ServingEngine
+    from repro.workloads.generator import FixedShapeWorkload
+
+    model_name = model_name or REFERENCE_MODEL
+    model = get_model(model_name)
+    obs = Instrumentation.on()
+    pm = InferencePerfModel(model, H100_SXM, instrumentation=obs)
+    engine = ServingEngine(pm, instrumentation=obs)
+    workload = FixedShapeWorkload(
+        batch_size=num_requests,
+        input_tokens=input_tokens,
+        output_tokens=output_tokens,
+    )
+    for i, request in enumerate(workload.requests()):
+        request.arrival_time = i * arrival_interval
+        engine.submit(request)
+    result = engine.run()
+
+    profile = CostProfile.from_tracer(obs.tracer)
+    shapes = {
+        "prefill": (float(num_requests * input_tokens), float(num_requests),
+                    float(input_tokens)),
+        "decode": (float(num_requests), float(num_requests),
+                   float(input_tokens + max(1, output_tokens // 2))),
+    }
+    advice = _build_advice(profile, pm, shapes, speedup=speedup)
+    return ProfileReport(model_name=model_name, result=result, obs=obs,
+                         profile=profile, advice=advice, shapes=shapes,
+                         speedup=speedup)

@@ -149,6 +149,17 @@ class SpanTracer:
     def num_events(self) -> int:
         return len(self._events)
 
+    @property
+    def events(self) -> list[dict[str, Any]]:
+        """The raw Chrome Trace events recorded so far (shallow copy)."""
+        return list(self._events)
+
+    def tail(self, n: int) -> list[dict[str, Any]]:
+        """The most recent ``n`` trace events (the flight-recorder view)."""
+        if n <= 0:
+            return []
+        return list(self._events[-n:])
+
     def open_spans(self, track: str = "engine") -> list[str]:
         """Names of currently unclosed spans on ``track`` (outermost first)."""
         return [name for name, _, _ in self._stacks.get(track, [])]

@@ -54,6 +54,10 @@ class PhaseBreakdown:
     comm: float = 0.0
     pipeline: float = 0.0
     overhead: float = 0.0
+    subcomponents: dict[str, float] = field(default_factory=dict)
+    """Finer-grained attribution *overlapping* ``components`` (e.g. the
+    router's share of ``moe_ffn``) — excluded from :attr:`total`, consumed
+    by the cost-attribution profiler to carve components apart."""
 
     @property
     def total(self) -> float:
@@ -179,13 +183,15 @@ class StepModel:
         t += kernel_time(ew, self.hardware)
         return t
 
-    def _moe_ffn_time(self, m: float) -> tuple[float, float]:
-        """(compute seconds, comm seconds) of one MoE layer's FFN block."""
+    def _moe_ffn_time(self, m: float) -> tuple[float, float, float]:
+        """(router seconds, compute seconds incl. router, comm seconds) of
+        one MoE layer's FFN block."""
         moe = self.model.moe
         assert moe is not None
         tp, ep = self.plan.tp, self.plan.ep
         intra_tp = self.plan.expert_shard_tp
-        t = self._component_time(router_cost(self.model, m, self.quant), shard=1.0)
+        router_t = self._component_time(router_cost(self.model, m, self.quant), shard=1.0)
+        t = router_t
 
         if ep > 1:
             resident = moe.num_experts // ep
@@ -218,7 +224,7 @@ class StepModel:
         if ep > 1:
             payload = (m * moe.top_k / ep) * self.model.hidden_size * self.quant.activation_bytes
             comm += 2.0 * all_to_all_time(payload * ep, ep, self.hardware)
-        return t, comm
+        return router_t, t, comm
 
     def _dense_ffn_time(self, m: float) -> float:
         return self._component_time(
@@ -259,11 +265,12 @@ class StepModel:
         hw, plan, quant = self.hardware, self.plan, self.quant
         bd = PhaseBreakdown(phase=phase)
 
-        moe_time = moe_comm = dense_time = attn_time = 0.0
+        moe_time = moe_comm = dense_time = attn_time = router_time = 0.0
         for _, is_moe in self.model.iter_layers():
             attn_time += self._attention_time(m, batch, kv_len, attended_len)
             if is_moe:
-                t, c = self._moe_ffn_time(m)
+                r, t, c = self._moe_ffn_time(m)
+                router_time += r
                 moe_time += t
                 moe_comm += c
             else:
@@ -271,6 +278,8 @@ class StepModel:
         bd.add("attention", attn_time)
         bd.add("moe_ffn", moe_time)
         bd.add("dense_ffn", dense_time)
+        if router_time:
+            bd.subcomponents["router"] = router_time
 
         # embeddings + final logits (decode & prefill both produce `batch`)
         bd.add("embedding", self._component_time(

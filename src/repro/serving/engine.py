@@ -90,6 +90,33 @@ class ServingResult:
     def p99_e2e(self) -> float:
         return float(np.percentile(self._e2e_values(), 99))
 
+    @staticmethod
+    def _mean_itl(r: Request) -> float | None:
+        """Per-request mean inter-token latency, or None when undefined
+        (unfinished, no first token, or a single-token generation)."""
+        if r.ttft is None or r.e2e_latency is None or r.generated_tokens <= 1:
+            return None
+        return (r.e2e_latency - r.ttft) / (r.generated_tokens - 1)
+
+    def _itl_values(self) -> list[float]:
+        vals = [itl for r in self.requests
+                if (itl := self._mean_itl(r)) is not None]
+        if not vals:
+            raise ValueError(
+                "no request generated a second token (ITL undefined)"
+            )
+        return vals
+
+    @property
+    def p50_itl(self) -> float:
+        """Median of the per-request mean inter-token latencies."""
+        return float(np.percentile(self._itl_values(), 50))
+
+    @property
+    def p99_itl(self) -> float:
+        """p99 of the per-request mean inter-token latencies."""
+        return float(np.percentile(self._itl_values(), 99))
+
     @property
     def num_preemptions(self) -> int:
         return sum(r.num_preemptions for r in self.requests)
@@ -131,9 +158,9 @@ class ServingResult:
         for r in finished:
             if r.ttft is None or r.ttft > ttft_slo_s:
                 continue
-            if itl_slo_s is not None and r.generated_tokens > 1:
-                itl = (r.e2e_latency - r.ttft) / (r.generated_tokens - 1)
-                if itl > itl_slo_s:
+            if itl_slo_s is not None:
+                itl = self._mean_itl(r)
+                if itl is not None and itl > itl_slo_s:
                     continue
             ok += 1
         return ok / len(finished)
@@ -147,9 +174,9 @@ class ServingResult:
         for r in self.requests:
             if not r.is_finished or r.ttft is None or r.ttft > ttft_slo_s:
                 continue
-            if itl_slo_s is not None and r.generated_tokens > 1:
-                itl = (r.e2e_latency - r.ttft) / (r.generated_tokens - 1)
-                if itl > itl_slo_s:
+            if itl_slo_s is not None:
+                itl = self._mean_itl(r)
+                if itl is not None and itl > itl_slo_s:
                     continue
             total += r.generated_tokens
         return total / self.makespan
@@ -234,7 +261,13 @@ class ServingEngine:
                                    request_id=req.request_id)
             self.scheduler.add_request(req)
 
-    def _iteration_duration(self, batch: ScheduledBatch) -> float:
+    def _iteration_cost(
+        self, batch: ScheduledBatch, want_components: bool = False
+    ) -> tuple[float, dict[str, float] | None]:
+        """Duration of one iteration, optionally with its per-component
+        decomposition (profiler spans).  The duration is computed through
+        the exact same perf-model calls either way, so enabling components
+        cannot perturb simulated results."""
         reqs = batch.requests
         if batch.phase == "prefill":
             mean_ctx = float(np.mean([r.kv_tokens + self.scheduler._prefill_tokens_for(r)
@@ -247,12 +280,45 @@ class ServingEngine:
                 attended_len=(mean_ctx + 1) / 2.0,
             )
             t = bd.total
+            vision = 0.0
             images = sum(r.num_images for r in reqs)
             if images:
-                t += self.perf.steps.vision_encode_time(images)
-            return t
+                vision = self.perf.steps.vision_encode_time(images)
+                t += vision
+            if not want_components:
+                return t, None
+            return t, self._components_of(bd, vision)
         mean_ctx = float(np.mean([r.kv_tokens for r in reqs]))
-        return self.perf.steps.decode_step_time(batch.batch_size, max(1, int(mean_ctx)))
+        ctx = max(1, int(mean_ctx))
+        if not want_components:
+            return self.perf.steps.decode_step_time(batch.batch_size, ctx), None
+        # decode_step_time is step_breakdown().total — same floats, but the
+        # breakdown is kept so the profiler can attribute the step
+        bd = self.perf.steps.step_breakdown(
+            num_tokens=batch.batch_size, batch=batch.batch_size,
+            kv_len=ctx, phase="decode",
+        )
+        return bd.total, self._components_of(bd, 0.0)
+
+    @staticmethod
+    def _components_of(bd, vision: float) -> dict[str, float]:
+        """Profiler component taxonomy from a :class:`PhaseBreakdown`:
+        the router is carved out of the expert FFN, collectives map to
+        ``interconnect``; zero components are dropped."""
+        router = bd.subcomponents.get("router", 0.0)
+        comps = {
+            "attention": bd.components.get("attention", 0.0),
+            "router": router,
+            "expert_ffn": bd.components.get("moe_ffn", 0.0) - router,
+            "dense_ffn": bd.components.get("dense_ffn", 0.0),
+            "embedding": bd.components.get("embedding", 0.0),
+            "lm_head": bd.components.get("lm_head", 0.0),
+            "interconnect": bd.comm,
+            "pipeline": bd.pipeline,
+            "overhead": bd.overhead,
+            "vision_encode": vision,
+        }
+        return {k: v for k, v in comps.items() if v > 0}
 
     def step(self) -> bool:
         """Run one engine iteration; returns False when nothing remains."""
@@ -294,7 +360,9 @@ class ServingEngine:
         if obs is not None:
             obs.tracer.begin("perfmodel.iteration_cost", self.clock,
                              cat="perfmodel")
-        duration = self._iteration_duration(batch)
+        duration, components = self._iteration_cost(
+            batch, want_components=obs is not None
+        )
         t_start = self.clock
         if obs is not None:
             obs.tracer.end(self.clock, phase=batch.phase, seconds=duration)
@@ -305,6 +373,9 @@ class ServingEngine:
                              batch_size=batch.batch_size,
                              num_tokens=batch.num_tokens,
                              kv_utilization=round(self.kv.utilization, 4))
+            if components:
+                self._emit_component_spans(obs, batch.phase, components,
+                                           t_start)
 
         if batch.preempted:
             self.log.record(Event(
@@ -351,6 +422,26 @@ class ServingEngine:
             self._observe_iteration(obs, batch, duration)
         return True
 
+    def _emit_component_spans(self, obs: "Instrumentation", phase: str,
+                              components: dict[str, float],
+                              t_start: float) -> None:
+        """Tile this iteration's per-component times onto the dedicated
+        ``components`` track as nested simulated-time spans.
+
+        Components are laid out sequentially from ``t_start``; the last
+        span is clamped to the iteration end, so the track tiles the
+        engine's busy time exactly and folded-stack totals sum to the
+        simulated time (up to float accumulation)."""
+        tracer = obs.tracer
+        tracer.begin(phase, t_start, track="components", cat="component")
+        t = t_start
+        last = len(components) - 1
+        for i, (name, secs) in enumerate(components.items()):
+            tracer.begin(name, t, track="components", cat="component")
+            t = self.clock if i == last else min(t + secs, self.clock)
+            tracer.end(t, track="components", seconds=secs)
+        tracer.end(self.clock, track="components")
+
     def _observe_iteration(self, obs: "Instrumentation",
                            batch: ScheduledBatch, duration: float) -> None:
         """Close the phase/step spans and update per-iteration metrics."""
@@ -374,6 +465,8 @@ class ServingEngine:
         ).observe(duration)
         if obs.routing is not None:
             obs.routing.on_tokens(batch.num_tokens)
+        if obs.alerts is not None:
+            obs.alerts.on_iteration(self)
 
     def _is_done(self, req: Request) -> bool:
         if req.generated_tokens >= req.sampling.max_tokens:
@@ -413,8 +506,8 @@ class ServingEngine:
             obs.metrics.histogram(
                 "e2e_latency_seconds", "arrival-to-finish latency"
             ).observe(req.e2e_latency)
-            if req.ttft is not None and req.generated_tokens > 1:
-                itl = (req.e2e_latency - req.ttft) / (req.generated_tokens - 1)
+            itl = ServingResult._mean_itl(req)
+            if itl is not None:
                 obs.metrics.histogram(
                     "itl_seconds", "mean inter-token latency per request"
                 ).observe(itl)
@@ -439,6 +532,8 @@ class ServingEngine:
             obs.metrics.gauge(
                 "engine_throughput_tok_s", "prompt+generated tokens per second"
             ).set(result.throughput_tok_s)
+            if obs.alerts is not None:
+                obs.alerts.on_run_end(self, result)
         return result
 
 

@@ -1,0 +1,140 @@
+"""Tests for repro.obs.profile — cost attribution and roofline advice."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.profile import (
+    COMPONENTS_TRACK,
+    CostProfile,
+    component_bound,
+    profile_serving_run,
+)
+
+
+def _stream():
+    """Hand-built B/E stream: root [0,100]us with child [10,40]us on one
+    track, plus a second track with a lone [0,5]us span."""
+    return [
+        {"ph": "M", "name": "thread_name", "tid": 1,
+         "args": {"name": "components"}},
+        {"ph": "M", "name": "thread_name", "tid": 2, "args": {"name": "aux"}},
+        {"ph": "B", "name": "decode", "tid": 1, "ts": 0.0},
+        {"ph": "B", "name": "expert_ffn", "tid": 1, "ts": 10.0},
+        {"ph": "E", "name": "expert_ffn", "tid": 1, "ts": 40.0},
+        {"ph": "E", "name": "decode", "tid": 1, "ts": 100.0},
+        {"ph": "B", "name": "io", "tid": 2, "ts": 0.0},
+        {"ph": "E", "name": "io", "tid": 2, "ts": 5.0},
+    ]
+
+
+class TestFold:
+    def test_inclusive_exclusive(self):
+        prof = CostProfile.from_events(_stream())
+        root = prof.paths[("components", "decode")]
+        child = prof.paths[("components", "decode", "expert_ffn")]
+        assert root.inclusive_s == pytest.approx(100e-6)
+        assert root.exclusive_s == pytest.approx(70e-6)
+        assert child.inclusive_s == child.exclusive_s == pytest.approx(30e-6)
+        assert root.count == child.count == 1
+
+    def test_tracks_are_separate(self):
+        prof = CostProfile.from_events(_stream())
+        assert prof.tracks() == ["aux", "components"]
+        assert prof.total_s("aux") == pytest.approx(5e-6)
+        assert prof.total_s() == pytest.approx(100e-6)
+
+    def test_repeated_paths_aggregate(self):
+        events = _stream() + [
+            {"ph": "B", "name": "decode", "tid": 1, "ts": 200.0},
+            {"ph": "E", "name": "decode", "tid": 1, "ts": 250.0},
+        ]
+        prof = CostProfile.from_events(events)
+        root = prof.paths[("components", "decode")]
+        assert root.count == 2
+        assert root.inclusive_s == pytest.approx(150e-6)
+
+    def test_stray_end_ignored(self):
+        events = [{"ph": "E", "name": "x", "tid": 9, "ts": 1.0}]
+        assert CostProfile.from_events(events).paths == {}
+
+    def test_folded_format(self):
+        text = CostProfile.from_events(_stream()).folded()
+        lines = dict(
+            line.rsplit(" ", 1) for line in text.strip().splitlines()
+        )
+        assert float(lines["components;decode;expert_ffn"]) == \
+            pytest.approx(30.0)
+        assert float(lines["components;decode"]) == pytest.approx(70.0)
+
+    def test_folded_track_filter(self):
+        text = CostProfile.from_events(_stream()).folded(tracks=["aux"])
+        assert "components" not in text and "aux;io" in text
+
+
+class TestServingProfile:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return profile_serving_run(num_requests=4, input_tokens=128,
+                                   output_tokens=16)
+
+    def test_component_totals_sum_to_simulated_time(self, report):
+        total = sum(
+            agg.exclusive_s
+            for path, agg in report.profile.paths.items()
+            if path[0] == COMPONENTS_TRACK
+        )
+        assert total == pytest.approx(report.result.makespan, rel=1e-9)
+
+    def test_folded_file_totals_sum_to_simulated_time(self, report):
+        # parse the *exported text* back — the acceptance-criterion check
+        leaf_us = 0.0
+        for line in report.folded().strip().splitlines():
+            path, value = line.rsplit(" ", 1)
+            if path.startswith(f"{COMPONENTS_TRACK};"):
+                leaf_us += float(value)
+        assert leaf_us * 1e-6 == pytest.approx(report.result.makespan,
+                                               rel=1e-4)
+
+    def test_table_has_phase_component_rows(self, report):
+        table = report.table()
+        assert table.columns == ("phase", "component", "inclusive_s",
+                                 "exclusive_s", "count", "share")
+        pairs = {(r["phase"], r["component"]) for r in table.rows}
+        assert ("decode", "expert_ffn") in pairs
+        assert ("prefill", "attention") in pairs
+        shares = sum(r["share"] for r in table.rows
+                     if r["component"] != "(all)")
+        assert shares == pytest.approx(1.0, rel=1e-6)
+
+    def test_advice_ranked_by_saving(self, report):
+        savings = [r["saving_s"] for r in report.advice.rows]
+        assert savings == sorted(savings, reverse=True)
+        top = report.advice.rows[0]
+        # the reference MoE decode run is dominated by the expert FFN
+        assert top["component"] == "expert_ffn"
+        assert top["bound"] in ("memory", "compute")
+        assert top["saving_s"] == pytest.approx(0.1 * top["exclusive_s"])
+
+    def test_bit_identical_to_uninstrumented(self, report):
+        from repro.obs.harness import reference_serving_run
+
+        bare = reference_serving_run(num_requests=4, input_tokens=128,
+                                     output_tokens=16)
+        assert bare.makespan == report.result.makespan
+
+
+class TestBoundClassification:
+    def test_decode_expert_ffn_is_memory_bound(self):
+        from repro.hardware.gpus import H100_SXM
+        from repro.models.zoo import get_model
+        from repro.perfmodel.inference import InferencePerfModel
+
+        pm = InferencePerfModel(get_model("OLMoE-1B-7B"), H100_SXM)
+        assert component_bound(pm, "expert_ffn", 4, 4, 512,
+                               "decode") == "memory"
+        # huge prefill GEMMs saturate compute instead
+        assert component_bound(pm, "attention", 16384, 16, 1024,
+                               "prefill") == "compute"
+        assert component_bound(pm, "interconnect", 4, 4, 512,
+                               "decode") == "latency"

@@ -1,0 +1,131 @@
+"""SLO / ITL edge cases for ServingResult.
+
+Covers the paths a healthy burst run never exercises: zero finished
+requests, single-token generations (ITL undefined), and exact boundary
+equality against the SLO thresholds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving.engine import ServingResult
+from repro.serving.events import EventLog
+from repro.serving.request import Request, RequestState, SamplingParams
+
+
+def _req(request_id=0, prompt=16, max_tokens=4, arrival=0.0,
+         first_token=None, finish=None, generated=0,
+         finished=False) -> Request:
+    req = Request(request_id=request_id, prompt_tokens=prompt,
+                  sampling=SamplingParams(max_tokens=max_tokens),
+                  arrival_time=arrival)
+    req.first_token_time = first_token
+    req.finish_time = finish
+    req.generated_tokens = generated
+    if finished:
+        req.state = RequestState.FINISHED
+    return req
+
+
+def _result(requests, makespan=1.0) -> ServingResult:
+    return ServingResult(requests=requests, makespan=makespan, log=EventLog())
+
+
+class TestZeroFinished:
+    def test_slo_attainment_is_zero(self):
+        result = _result([_req()])
+        assert result.slo_attainment(ttft_slo_s=1.0) == 0.0
+        assert result.slo_attainment(ttft_slo_s=1.0, itl_slo_s=0.1) == 0.0
+
+    def test_goodput_is_zero(self):
+        result = _result([_req()])
+        assert result.goodput_tok_s(ttft_slo_s=1.0) == 0.0
+
+    def test_empty_result(self):
+        result = _result([])
+        assert result.slo_attainment(ttft_slo_s=1.0) == 0.0
+        with pytest.raises(ValueError, match="first token"):
+            result.p50_ttft()
+
+    def test_itl_percentiles_raise(self):
+        result = _result([_req()])
+        with pytest.raises(ValueError, match="ITL undefined"):
+            _ = result.p50_itl
+        with pytest.raises(ValueError, match="ITL undefined"):
+            _ = result.p99_itl
+
+
+class TestSingleToken:
+    """A one-token generation has a TTFT but no inter-token gaps."""
+
+    def _single(self):
+        return _req(first_token=0.5, finish=0.5, generated=1, max_tokens=1,
+                    finished=True)
+
+    def test_mean_itl_is_undefined(self):
+        assert ServingResult._mean_itl(self._single()) is None
+
+    def test_itl_slo_does_not_reject(self):
+        # an undefined ITL cannot violate the ITL SLO
+        result = _result([self._single()])
+        assert result.slo_attainment(ttft_slo_s=1.0, itl_slo_s=1e-9) == 1.0
+        assert result.goodput_tok_s(ttft_slo_s=1.0, itl_slo_s=1e-9) == \
+            pytest.approx(1.0)
+
+    def test_itl_percentiles_raise_but_ttft_works(self):
+        result = _result([self._single()])
+        assert result.p50_ttft() == pytest.approx(0.5)
+        with pytest.raises(ValueError, match="ITL undefined"):
+            _ = result.p99_itl
+
+    def test_mixed_population_uses_defined_itls_only(self):
+        multi = _req(request_id=1, first_token=0.1, finish=0.5, generated=5,
+                     finished=True)  # itl = 0.4 / 4 = 0.1
+        result = _result([self._single(), multi])
+        assert result.p50_itl == pytest.approx(0.1)
+        assert result.p99_itl == pytest.approx(0.1)
+
+
+class TestBoundaryEquality:
+    def test_ttft_exactly_at_slo_attains(self):
+        req = _req(first_token=0.5, finish=1.0, generated=2, finished=True)
+        result = _result([req])
+        assert result.slo_attainment(ttft_slo_s=0.5) == 1.0
+        assert result.slo_attainment(ttft_slo_s=0.5 - 1e-9) == 0.0
+
+    def test_itl_exactly_at_slo_attains(self):
+        # ttft 0.1, e2e 0.5, 5 tokens -> mean itl == 0.1 exactly
+        req = _req(first_token=0.1, finish=0.5, generated=5, finished=True)
+        result = _result([req])
+        itl = ServingResult._mean_itl(req)
+        assert itl == pytest.approx(0.1)
+        assert result.slo_attainment(ttft_slo_s=1.0, itl_slo_s=itl) == 1.0
+        assert result.slo_attainment(ttft_slo_s=1.0,
+                                     itl_slo_s=itl * 0.999) == 0.0
+
+    def test_invalid_slos_rejected(self):
+        result = _result([_req()])
+        with pytest.raises(ValueError):
+            result.slo_attainment(ttft_slo_s=0.0)
+        with pytest.raises(ValueError):
+            result.slo_attainment(ttft_slo_s=1.0, itl_slo_s=0.0)
+
+
+class TestItlProperties:
+    def test_percentiles_from_engine_run(self):
+        from repro.obs.harness import reference_serving_run
+
+        result = reference_serving_run(num_requests=4, input_tokens=64,
+                                       output_tokens=8)
+        assert 0 < result.p50_itl <= result.p99_itl
+        # burst workload: every request decodes in lockstep
+        assert result.p50_itl == pytest.approx(result.p99_itl, rel=0.2)
+
+    def test_goodput_never_exceeds_generation_throughput(self):
+        from repro.obs.harness import reference_serving_run
+
+        result = reference_serving_run(num_requests=4, input_tokens=64,
+                                       output_tokens=8)
+        goodput = result.goodput_tok_s(ttft_slo_s=1e9, itl_slo_s=1e9)
+        assert goodput == pytest.approx(result.generation_throughput_tok_s)
