@@ -12,10 +12,17 @@ Usage::
     repro bench --check [--wall]
     repro bench --trend [--out trend.md]
     repro profile [model-or-experiment] [--out profile.folded]
+    repro chaos [--fault-seed N] [--fault-rate R] [--policy retry|failfast]
+    repro chaos --smoke
 
 (``repro`` and ``moe-inference-bench`` are the same entry point.)
 
-``trace`` records a reference serving run (or a registered experiment)
+``chaos`` serves a deterministic workload under a seeded fault schedule
+(device loss, expert-shard loss, link degradation, KV-pressure spikes) and
+reports availability/recovery; ``--smoke`` replays the run, asserts the
+two digests are bit-identical and that every simulator invariant held —
+the CI determinism gate.  ``trace`` records a reference serving run (or a
+registered experiment)
 under full instrumentation and writes Chrome Trace Event JSON for
 Perfetto / ``chrome://tracing``; ``metrics`` prints the run's metrics in
 Prometheus text exposition format.  ``bench`` maintains the
@@ -277,6 +284,69 @@ def _render_trend(store, ids: list[str]) -> str:
     return "\n".join(lines)
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.harness import ChaosConfig, chaos_serving_run
+    from repro.faults.invariants import (
+        InvariantViolation,
+        check_final_invariants,
+        run_digest,
+    )
+
+    config = ChaosConfig(
+        model_name=args.model,
+        num_requests=args.requests,
+        input_tokens=args.input_tokens,
+        output_tokens=args.output_tokens,
+        arrival_interval=args.arrival_interval or 0.005,
+        fault_seed=args.fault_seed,
+        fault_rate=args.fault_rate,
+        horizon_s=args.horizon,
+        num_devices=args.devices,
+        ep=args.ep,
+        replicas=args.replicas,
+        policy=args.policy,
+        degrade=not args.no_degrade,
+    )
+    run = chaos_serving_run(config)
+    if args.show_schedule:
+        print(run.schedule.describe())
+        print()
+    summary = run.summary
+    health = summary.pop("health")
+    print(f"chaos run (fault seed {config.fault_seed}, "
+          f"rate {config.fault_rate:g}/s, policy {config.policy}):")
+    for key, value in summary.items():
+        print(f"  {key}: {value:.4f}" if isinstance(value, float)
+              else f"  {key}: {value}")
+    print(f"  final health: {health}")
+    for req in run.result.requests:
+        if req.is_failed:
+            print(f"  [failed] request {req.request_id}: {req.failure_reason}")
+
+    try:
+        check_final_invariants(run.result)
+    except InvariantViolation as exc:
+        print(f"[FAIL] invariant violated: {exc}", file=sys.stderr)
+        return 1
+
+    if args.smoke:
+        digest = run_digest(run.result)
+        replay = chaos_serving_run(config)
+        replay_digest = run_digest(replay.result)
+        try:
+            check_final_invariants(replay.result)
+        except InvariantViolation as exc:
+            print(f"[FAIL] replay invariant violated: {exc}", file=sys.stderr)
+            return 1
+        if digest != replay_digest:
+            print(f"[FAIL] same-seed replay diverged:\n  {digest}\n  "
+                  f"{replay_digest}", file=sys.stderr)
+            return 1
+        print(f"[ok] same-seed replay bit-identical ({digest[:16]}…), "
+              "invariants held on both runs")
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.core.report import render_profile_report
     from repro.obs.instrument import Instrumentation
@@ -393,6 +463,40 @@ def build_parser() -> argparse.ArgumentParser:
                               "gate during --check")
     p_bench.add_argument("--out", help="write the --trend report here")
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="serve a deterministic workload under a seeded fault schedule",
+    )
+    p_chaos.add_argument("--model", default="OLMoE-1B-7B",
+                         help="model name (default OLMoE-1B-7B)")
+    _add_workload_args(p_chaos)
+    p_chaos.add_argument("--fault-seed", type=int, default=0,
+                         help="seed of the fault schedule (default 0)")
+    p_chaos.add_argument("--fault-rate", type=float, default=2.0,
+                         help="total fault events per simulated second "
+                              "(default 2.0)")
+    p_chaos.add_argument("--horizon", type=float, default=8.0,
+                         help="fault-schedule horizon in simulated seconds "
+                              "(default 8.0)")
+    p_chaos.add_argument("--devices", type=int, default=4,
+                         help="devices in the fault domain (default 4)")
+    p_chaos.add_argument("--ep", type=int, default=4,
+                         help="expert-parallel ranks (default 4)")
+    p_chaos.add_argument("--replicas", type=int, default=2,
+                         help="expert replicas across EP ranks (default 2)")
+    p_chaos.add_argument("--policy", choices=("retry", "failfast"),
+                         default="retry",
+                         help="recovery policy for fault-killed requests")
+    p_chaos.add_argument("--no-degrade", action="store_true",
+                         help="disable graceful top-k degradation on "
+                              "expert-coverage loss")
+    p_chaos.add_argument("--show-schedule", action="store_true",
+                         help="print the generated fault schedule")
+    p_chaos.add_argument("--smoke", action="store_true",
+                         help="replay with the same seeds and assert "
+                              "bit-identical digests + invariants (CI gate)")
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     p_prof = sub.add_parser(
         "profile",

@@ -27,6 +27,7 @@ __all__ = [
     "task_accuracy",
     "average_accuracy",
     "predicted_accuracy",
+    "degraded_topk_accuracy",
 ]
 
 LM_EVAL_TASKS = (
@@ -138,4 +139,52 @@ def predicted_accuracy(model: ModelConfig) -> float:
     coef, *_ = np.linalg.lstsq(np.array(xs), np.array(ys), rcond=None)
     pb = model_params(model)
     pred = coef @ np.array([1.0, math.log(pb.active), math.log(pb.total)])
+    return float(np.clip(pred, 0.0, 100.0))
+
+
+def _active_param_slope() -> float:
+    """Accuracy points per ln(active parameters), fitted one-variable
+    across the LLM reference table."""
+    from repro.models.zoo import ALL_MODELS
+
+    xs, ys = [], []
+    for name in LLM_TASK_ACCURACY:
+        pb = model_params(ALL_MODELS[name])
+        xs.append([1.0, math.log(pb.active)])
+        ys.append(average_accuracy(name))
+    coef, *_ = np.linalg.lstsq(np.array(xs), np.array(ys), rcond=None)
+    return float(coef[1])
+
+
+def degraded_topk_accuracy(model: ModelConfig, top_k: int) -> float:
+    """Predicted accuracy (percent) of ``model`` served with its router
+    truncated to ``top_k`` routed experts.
+
+    The two-variable regression in :func:`predicted_accuracy` cannot price
+    a *within-model* top-k cut: active and total parameters are collinear
+    across the reference table, so its active-parameter coefficient carries
+    the wrong sign for a counterfactual where total parameters stay fixed.
+    Instead this anchors at the model's reference accuracy at its native
+    top-k and walks down a log(active)-only capability slope fitted across
+    the LLM table — fewer routed experts, fewer active parameters, lower
+    accuracy.
+    """
+    if model.moe is None:
+        raise ValueError(f"{model.name} is dense; top-k degradation does not apply")
+    native_k = model.moe.top_k
+    if not 1 <= top_k <= native_k:
+        raise ValueError(f"top_k must be in [1, {native_k}], got {top_k}")
+    try:
+        anchor = average_accuracy(model.name)
+    except KeyError:
+        anchor = predicted_accuracy(model)
+    if top_k == native_k:
+        return anchor
+    import dataclasses
+
+    degraded = dataclasses.replace(model, moe=model.moe.with_top_k(top_k))
+    native_active = model_params(model).active
+    degraded_active = model_params(degraded).active
+    slope = _active_param_slope()
+    pred = anchor + slope * (math.log(degraded_active) - math.log(native_active))
     return float(np.clip(pred, 0.0, 100.0))

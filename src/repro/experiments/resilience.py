@@ -1,0 +1,101 @@
+"""Extension experiment: serving resilience under deterministic chaos.
+
+The paper benchmarks healthy deployments; production MoE serving loses
+devices, expert shards and links.  ``ext_resilience`` sweeps a seeded
+fault schedule's event rate against the recovery policy and measures what
+the paper's metrics (availability, throughput, tail latency) pay — plus
+the accuracy price of gracefully degrading the router's top-k when expert
+replicas run out, using the same capability regression as the frontier
+figures.
+"""
+
+from __future__ import annotations
+
+from repro.core.experiment import ExperimentResult, sweep
+from repro.core.registry import experiment
+from repro.core.results import ResultTable
+from repro.evals.accuracy import degraded_topk_accuracy
+from repro.faults.harness import ChaosConfig, chaos_serving_run
+from repro.models.zoo import get_model
+
+_MODEL = "OLMoE-1B-7B"
+
+
+@experiment("ext_resilience")
+def run_resilience() -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="ext_resilience",
+        title="Extension: fault injection, recovery policies and graceful "
+              "degradation",
+        paper_claim=(
+            "(extension) The paper serves healthy clusters; real EP "
+            "deployments lose devices, shards and links — availability "
+            "and the degradation trade-off are part of the benchmark."
+        ),
+    )
+
+    table = ResultTable(
+        "fault rate x recovery policy",
+        ("fault_rate_per_s", "policy", "availability", "failed",
+         "fault_retries", "faults_applied", "makespan_s",
+         "throughput_tok_s"),
+    )
+
+    def point(fault_rate_per_s: float, policy: str) -> dict:
+        run = chaos_serving_run(ChaosConfig(
+            model_name=_MODEL,
+            fault_seed=7,
+            fault_rate=fault_rate_per_s,
+            policy=policy,
+        ))
+        res = run.result
+        return {
+            "availability": res.availability,
+            "failed": res.num_failed,
+            "fault_retries": res.num_fault_retries,
+            "faults_applied": run.injector.counts["faults_applied"],
+            "makespan_s": res.makespan,
+            "throughput_tok_s": res.throughput_tok_s,
+        }
+
+    sweep(table, {"fault_rate_per_s": (0.0, 1.0, 4.0),
+                  "policy": ("retry", "failfast")}, point)
+    result.tables.append(table)
+
+    # graceful degradation: the accuracy a reduced top-k costs (anchored at
+    # the model's reference accuracy, walked down the cross-model
+    # log(active)-parameter capability slope)
+    model = get_model(_MODEL)
+    acc_table = ResultTable(
+        "degraded top-k accuracy", ("top_k", "predicted_accuracy_pct"),
+    )
+    for k in (model.moe.top_k, model.moe.top_k // 2, 1):
+        acc_table.add(top_k=k,
+                      predicted_accuracy_pct=degraded_topk_accuracy(model, k))
+    result.tables.append(acc_table)
+
+    healthy = {r["policy"]: r for r in table.where(fault_rate_per_s=0.0)}
+    stormy = {r["policy"]: r for r in table.where(fault_rate_per_s=4.0)}
+    result.observe(
+        "With no faults armed the engine is bit-identical to the default "
+        f"path: availability {healthy['retry']['availability']:.0%}, zero "
+        "retries, and both policies produce the same "
+        f"{healthy['retry']['throughput_tok_s']:,.0f} tok/s."
+    )
+    result.observe(
+        f"At 4 faults/s, capped-backoff retry holds availability at "
+        f"{stormy['retry']['availability']:.0%} (with "
+        f"{stormy['retry']['fault_retries']} resubmissions stretching the "
+        f"makespan {stormy['retry']['makespan_s'] / healthy['retry']['makespan_s']:.2f}x), "
+        f"while fail-fast drops to {stormy['failfast']['availability']:.0%} "
+        "— retries buy availability with tail latency."
+    )
+    full = acc_table.rows[0]["predicted_accuracy_pct"]
+    half = acc_table.rows[1]["predicted_accuracy_pct"]
+    result.observe(
+        "Graceful degradation to half the routed experts is predicted to "
+        f"cost {full - half:.1f} accuracy points "
+        f"({full:.1f} -> {half:.1f}, anchored capability slope) — the "
+        "price of staying up when expert replicas run out."
+    )
+    return result

@@ -1,0 +1,132 @@
+"""Recovery policies: what the engine does with fault-killed work.
+
+A :class:`RecoveryPolicy` decides, per killed request, whether to retry
+(with a simulated-time backoff) or fail terminally with a reason.  A
+:class:`DegradePolicy` additionally governs graceful degradation when
+expert shards are lost without surviving replicas: instead of failing
+every request that would route to a dead expert, the router's effective
+top-k is reduced — trading accuracy (priced by the evals layer) for
+availability.
+
+All delays are **simulated** seconds computed from deterministic inputs
+(attempt count), never wall clock, so chaos runs replay bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serving.request import Request
+
+__all__ = [
+    "RecoveryDecision",
+    "RecoveryPolicy",
+    "RetryPolicy",
+    "FailFastPolicy",
+    "DegradePolicy",
+]
+
+
+@dataclass(frozen=True)
+class RecoveryDecision:
+    """Verdict for one killed request."""
+
+    action: str  # "retry" | "fail"
+    retry_at: float = 0.0
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if self.action not in ("retry", "fail"):
+            raise ValueError(f"action must be 'retry' or 'fail', got {self.action!r}")
+        if self.action == "fail" and not self.reason:
+            raise ValueError("a fail decision needs a reason")
+
+
+class RecoveryPolicy:
+    """Base policy: subclasses override :meth:`on_request_killed`."""
+
+    def on_request_killed(self, request: "Request", now: float,
+                          reason: str) -> RecoveryDecision:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class RetryPolicy(RecoveryPolicy):
+    """Retry with capped exponential backoff, in simulated time.
+
+    Attempt ``n`` (0-based) is resubmitted after
+    ``min(base_delay_s * multiplier**n, max_delay_s)``; after
+    ``max_retries`` kills the request fails with the originating fault as
+    the reason.  No jitter — determinism is the point here; real jitter
+    belongs to the fault schedule's seed, not the policy.
+    """
+
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+    max_retries: int = 3
+
+    def __post_init__(self) -> None:
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Delay before retry ``attempt`` (0-based), capped."""
+        return min(self.base_delay_s * self.multiplier ** attempt,
+                   self.max_delay_s)
+
+    def on_request_killed(self, request: "Request", now: float,
+                          reason: str) -> RecoveryDecision:
+        attempt = request.fault_retries
+        if attempt >= self.max_retries:
+            return RecoveryDecision(
+                action="fail",
+                reason=f"retry budget exhausted after {attempt} attempts "
+                       f"({reason})",
+            )
+        return RecoveryDecision(action="retry",
+                                retry_at=now + self.backoff_s(attempt))
+
+
+@dataclass(frozen=True)
+class FailFastPolicy(RecoveryPolicy):
+    """No retries: every fault-killed request fails immediately.  The
+    availability floor any retry policy must beat."""
+
+    def on_request_killed(self, request: "Request", now: float,
+                          reason: str) -> RecoveryDecision:
+        return RecoveryDecision(action="fail", reason=reason)
+
+
+@dataclass(frozen=True)
+class DegradePolicy:
+    """Graceful degradation of the router when experts become unreachable.
+
+    When an EP rank's shards are lost and an expert has no surviving
+    replica, the deployment can keep serving by routing each token to
+    fewer experts: effective top-k drops by ``step`` per degradation
+    (never below ``min_top_k``).  The throughput side of the trade is
+    priced by the injector through the perf-model component breakdown
+    (expert FFN + dispatch scale with top-k); the accuracy side by
+    :func:`repro.evals.accuracy.predicted_accuracy` on the degraded
+    configuration.
+    """
+
+    min_top_k: int = 1
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        if self.min_top_k < 1:
+            raise ValueError("min_top_k must be >= 1")
+        if self.step < 1:
+            raise ValueError("step must be >= 1")
+
+    def degraded_top_k(self, current_top_k: int) -> int:
+        """Top-k after one more degradation step."""
+        return max(self.min_top_k, current_top_k - self.step)

@@ -1,0 +1,200 @@
+"""Seeded fault schedules: what breaks, when, and for how long.
+
+A :class:`FaultSchedule` is generated entirely at construction from a
+``numpy`` PRNG seed — a pure function of ``(seed, horizon, rates)`` with no
+wall-clock or iteration-order dependence — so the same seed always injects
+the same faults at the same simulated times, and two chaos runs with one
+seed are bit-identical.  Event times are Poisson arrivals per fault kind;
+durations are exponential with a per-kind mean (a fraction of events are
+permanent, modelling hardware that stays dead).
+
+The schedule is data, not behaviour: the :class:`~repro.faults.injector.
+FaultInjector` interprets events against the engine.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["FaultKind", "FaultEvent", "FaultSchedule", "PERMANENT"]
+
+PERMANENT = math.inf
+"""Duration marking a fault that never heals within the run."""
+
+
+class FaultKind(enum.Enum):
+    DEVICE_LOSS = "device_loss"
+    """A whole device (GPU) drops out of the deployment."""
+    EXPERT_SHARD_LOSS = "expert_shard_loss"
+    """One EP rank loses its expert shards (ECC/driver fault, OOM-kill)."""
+    LINK_DEGRADE = "link_degrade"
+    """The interconnect falls back to a slower path (NVLink -> PCIe)."""
+    KV_PRESSURE = "kv_pressure"
+    """A transient spike withholds a fraction of the KV block pool."""
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``time`` and ``duration`` are simulated seconds.  ``target`` selects
+    the device / EP rank the fault lands on (interpreted modulo the
+    deployment's size by the injector; ignored for ``KV_PRESSURE``).
+    ``magnitude`` is kind-specific: the bandwidth-slowdown factor for
+    ``LINK_DEGRADE`` (>= 1) and the withheld pool fraction for
+    ``KV_PRESSURE`` (in (0, 1]); unused otherwise.
+    """
+
+    time: float
+    kind: FaultKind
+    duration: float = PERMANENT
+    target: int = 0
+    magnitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("fault time must be non-negative")
+        if self.duration <= 0:
+            raise ValueError("fault duration must be positive")
+        if self.target < 0:
+            raise ValueError("fault target must be non-negative")
+        if self.kind is FaultKind.LINK_DEGRADE and self.magnitude < 1.0:
+            raise ValueError("LINK_DEGRADE magnitude is a slowdown (>= 1)")
+        if self.kind is FaultKind.KV_PRESSURE and not (0 < self.magnitude <= 1):
+            raise ValueError("KV_PRESSURE magnitude must be in (0, 1]")
+
+    @property
+    def heal_time(self) -> float:
+        return self.time + self.duration
+
+    @property
+    def is_permanent(self) -> bool:
+        return math.isinf(self.duration)
+
+    def describe(self) -> str:
+        heal = "permanent" if self.is_permanent else f"heals @{self.heal_time:.3f}s"
+        return (f"t={self.time:.3f}s {self.kind.value} target={self.target} "
+                f"magnitude={self.magnitude:g} ({heal})")
+
+
+_DEFAULT_MIX: dict[FaultKind, float] = {
+    FaultKind.DEVICE_LOSS: 0.15,
+    FaultKind.EXPERT_SHARD_LOSS: 0.25,
+    FaultKind.LINK_DEGRADE: 0.30,
+    FaultKind.KV_PRESSURE: 0.30,
+}
+"""Default share of the total fault rate per kind (device loss rarest,
+soft faults common — the usual production failure mix)."""
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable, time-sorted list of :class:`FaultEvent`.
+
+    Build explicitly from events (tests, replays) or via :meth:`generate`
+    (seeded Poisson chaos).  ``events_between(t0, t1)`` is the injector's
+    polling primitive: all events with ``t0 < time <= t1``.
+    """
+
+    events: tuple[FaultEvent, ...] = field(default=())
+    seed: int | None = None
+    """Seed the schedule was generated from (None for explicit events)."""
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.events, key=lambda e: (e.time, e.kind.value,
+                                                           e.target)))
+        object.__setattr__(self, "events", ordered)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def is_armed(self) -> bool:
+        return bool(self.events)
+
+    def events_between(self, t0: float, t1: float) -> list[FaultEvent]:
+        """Events due in the half-open window ``(t0, t1]``."""
+        return [e for e in self.events if t0 < e.time <= t1]
+
+    def next_event_time(self, after: float) -> float | None:
+        """First fault or heal strictly after ``after`` (idle engines
+        advance their clock here so transient faults still heal)."""
+        times = [e.time for e in self.events if e.time > after]
+        times += [e.heal_time for e in self.events
+                  if not e.is_permanent and e.heal_time > after]
+        return min(times) if times else None
+
+    def describe(self) -> str:
+        if not self.events:
+            return "no faults scheduled"
+        head = f"{len(self.events)} fault(s)"
+        if self.seed is not None:
+            head += f" (seed {self.seed})"
+        return "\n".join([head] + [f"  {e.describe()}" for e in self.events])
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        horizon_s: float,
+        rate_per_s: float,
+        num_targets: int = 1,
+        mix: dict[FaultKind, float] | None = None,
+        mean_duration_s: float = 0.5,
+        permanent_fraction: float = 0.2,
+        link_slowdown: float = 8.0,
+        kv_pressure_fraction: float = 0.35,
+    ) -> "FaultSchedule":
+        """Poisson chaos: ``rate_per_s`` total events over ``horizon_s``.
+
+        Pure function of its arguments — the PRNG is constructed from
+        ``seed`` here and never touched again, so schedules are
+        reproducible across processes and platforms.  ``link_slowdown``
+        defaults to ~8x, the NVLink-4 (450 GB/s) to PCIe Gen5 x16
+        (~56 GB/s effective) bandwidth ratio.
+        """
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        if rate_per_s < 0:
+            raise ValueError("rate_per_s must be non-negative")
+        if num_targets < 1:
+            raise ValueError("num_targets must be >= 1")
+        mix = dict(_DEFAULT_MIX if mix is None else mix)
+        total = sum(mix.values())
+        if total <= 0:
+            raise ValueError("fault mix must have positive total weight")
+        rng = np.random.default_rng(seed)
+        events: list[FaultEvent] = []
+        for kind in sorted(mix, key=lambda k: k.value):  # stable order
+            rate = rate_per_s * mix[kind] / total
+            if rate <= 0:
+                continue
+            t = 0.0
+            while True:
+                t += float(rng.exponential(1.0 / rate))
+                if t > horizon_s:
+                    break
+                permanent = bool(rng.random() < permanent_fraction)
+                duration = PERMANENT if permanent else \
+                    max(1e-3, float(rng.exponential(mean_duration_s)))
+                magnitude = 1.0
+                if kind is FaultKind.LINK_DEGRADE:
+                    magnitude = max(1.0, link_slowdown * float(rng.uniform(0.5, 1.5)))
+                elif kind is FaultKind.KV_PRESSURE:
+                    magnitude = float(np.clip(
+                        kv_pressure_fraction * rng.uniform(0.5, 1.5), 0.05, 0.9))
+                events.append(FaultEvent(
+                    time=t,
+                    kind=kind,
+                    duration=duration,
+                    target=int(rng.integers(num_targets)),
+                    magnitude=magnitude,
+                ))
+        return cls(events=tuple(events), seed=seed)

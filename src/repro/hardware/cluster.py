@@ -18,6 +18,7 @@ from repro.hardware.interconnect import (
     all_to_all_time,
     allgather_time,
     allreduce_time,
+    degrade_interconnect,
     reduce_scatter_time,
 )
 from repro.hardware.spec import HardwareSpec, InterconnectSpec
@@ -56,6 +57,16 @@ class ClusterSpec:
         import dataclasses
 
         return dataclasses.replace(self.node, interconnect=self.inter_node)
+
+    def with_degraded_inter_node(self, slowdown: float) -> "ClusterSpec":
+        """This cluster with its inter-node fabric slowed ``slowdown``x
+        (a flapping IB link / congested rail) — the multi-node analogue of
+        the injector's ``LINK_DEGRADE`` fault."""
+        import dataclasses
+
+        return dataclasses.replace(
+            self, inter_node=degrade_interconnect(self.inter_node, slowdown)
+        )
 
     # ------------------------------------------------------------------ #
     # hierarchical collectives

@@ -10,13 +10,39 @@ from __future__ import annotations
 from repro.hardware.spec import HardwareSpec, InterconnectSpec
 
 __all__ = [
+    "PCIE_GEN5_X16",
     "allreduce_time",
     "allgather_time",
     "reduce_scatter_time",
     "all_to_all_time",
     "p2p_time",
     "require_interconnect",
+    "degrade_interconnect",
 ]
+
+PCIE_GEN5_X16 = InterconnectSpec(
+    name="PCIe-Gen5-x16",
+    link_bandwidth_gbps=56.0,  # ~64 GB/s raw, ~56 GB/s achievable
+    latency_us=4.0,
+)
+"""The fallback path when NVLink drops: host-routed PCIe Gen5 x16 —
+roughly 8x less bandwidth than H100 SXM NVLink-4 (450 GB/s)."""
+
+
+def degrade_interconnect(link: InterconnectSpec, slowdown: float) -> InterconnectSpec:
+    """``link`` with its bandwidth divided by ``slowdown`` (latency
+    unchanged — degradation models a slower data path, not a longer one).
+    Used by the fault injector's ``LINK_DEGRADE`` events to model an
+    NVLink→PCIe fallback without editing hardware specs in place."""
+    if slowdown < 1.0:
+        raise ValueError(f"slowdown must be >= 1, got {slowdown}")
+    import dataclasses
+
+    return dataclasses.replace(
+        link,
+        name=f"{link.name}-degraded{slowdown:g}x",
+        link_bandwidth_gbps=link.link_bandwidth_gbps / slowdown,
+    )
 
 
 def require_interconnect(hw: HardwareSpec) -> InterconnectSpec:

@@ -14,6 +14,13 @@ experiments actually exhibit:
 * :class:`EmptyPercentileRule` — the run produced iterations but no
   percentile-able latency samples (every percentile would raise), the
   classic silently-broken-dashboard anomaly.
+* :class:`FaultStormRule` — too many injected fault events inside a
+  sliding simulated-time window (the deployment is flapping faster than
+  recovery can drain).
+* :class:`UnrecoverableLossRule` — the fault injector declared the
+  deployment unrecoverable (expert coverage lost with no degrade
+  headroom, or every device lost); fires at the iteration of loss so the
+  flight-recorder bundle captures the state that led there.
 
 When a rule trips (once per rule per run), the monitor records an
 :class:`Alert` and — if a :class:`FlightRecorder` is attached — dumps a
@@ -41,6 +48,8 @@ __all__ = [
     "PreemptionStormRule",
     "KvHighWaterRule",
     "EmptyPercentileRule",
+    "FaultStormRule",
+    "UnrecoverableLossRule",
     "FlightRecorder",
     "AlertMonitor",
     "default_rules",
@@ -183,9 +192,61 @@ class EmptyPercentileRule(AlertRule):
         )
 
 
+class FaultStormRule(AlertRule):
+    """More than ``max_events`` injected faults within the trailing
+    ``window_s`` of simulated time — the cluster is flapping faster than
+    the recovery policies can drain the damage."""
+
+    name = "fault_storm"
+
+    def __init__(self, max_events: int = 3, window_s: float = 1.0) -> None:
+        self.max_events = max_events
+        self.window_s = window_s
+
+    def check(self, engine: "ServingEngine") -> Alert | None:
+        faults = engine.log.of_type(EventType.FAULT)
+        cutoff = engine.clock - self.window_s
+        recent = 0
+        for event in reversed(faults):
+            if event.time < cutoff:
+                break
+            recent += 1
+        if recent <= self.max_events:
+            return None
+        return Alert(
+            self.name, engine.clock,
+            f"{recent} faults injected in the last {self.window_s:g}s of "
+            f"simulated time (> {self.max_events})",
+            {"recent_faults": recent, "window_s": self.window_s,
+             "total_faults": len(faults),
+             "last_fault": faults[-1].detail},
+        )
+
+
+class UnrecoverableLossRule(AlertRule):
+    """The fault injector marked the deployment unrecoverable — expert
+    coverage lost with no degrade headroom, or every device lost.  Firing
+    per-iteration (not at run end) means an attached flight recorder
+    snapshots the engine at the moment of loss."""
+
+    name = "unrecoverable_loss"
+
+    def check(self, engine: "ServingEngine") -> Alert | None:
+        faults = getattr(engine, "faults", None)
+        if faults is None or not faults.health.unrecoverable:
+            return None
+        return Alert(
+            self.name, engine.clock,
+            "deployment unrecoverable: " + "; ".join(
+                faults.health.unrecoverable),
+            {"health": faults.health.summary(),
+             **{k: v for k, v in faults.counts.items()}},
+        )
+
+
 def default_rules() -> list[AlertRule]:
     return [ExpertImbalanceRule(), PreemptionStormRule(), KvHighWaterRule(),
-            EmptyPercentileRule()]
+            EmptyPercentileRule(), FaultStormRule(), UnrecoverableLossRule()]
 
 
 # --------------------------------------------------------------------------- #

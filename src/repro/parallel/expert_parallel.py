@@ -24,7 +24,9 @@ from repro.moe.routing_math import expected_group_imbalance
 
 __all__ = [
     "ExpertPlacement",
+    "ReplicatedExpertPlacement",
     "round_robin_placement",
+    "replicated_round_robin_placement",
     "ep_dispatch_volume",
     "ep_dispatch_time",
     "simulate_ep_imbalance",
@@ -56,6 +58,68 @@ class ExpertPlacement:
         return counts
 
 
+@dataclass(frozen=True)
+class ReplicatedExpertPlacement:
+    """Mapping expert id → *several* devices (replicated EP).
+
+    Replication buys fault tolerance and hot-expert load spreading at the
+    cost of ``replicas`` copies of each expert's weights: when an EP rank
+    loses its shards, traffic reroutes to the surviving replicas instead
+    of failing.  ``devices_of_expert[e]`` lists every device holding a
+    copy of expert ``e`` (primary first).
+    """
+
+    devices_of_expert: tuple[tuple[int, ...], ...]
+    num_devices: int
+
+    def __post_init__(self) -> None:
+        for e, devices in enumerate(self.devices_of_expert):
+            if not devices:
+                raise ValueError(f"expert {e} has no replica devices")
+            if len(set(devices)) != len(devices):
+                raise ValueError(f"expert {e} lists a device twice")
+            if any(not (0 <= d < self.num_devices) for d in devices):
+                raise ValueError("placement references an out-of-range device")
+
+    @property
+    def num_experts(self) -> int:
+        return len(self.devices_of_expert)
+
+    @property
+    def replication_factor(self) -> int:
+        """Minimum replicas any expert has (the fault-tolerance floor)."""
+        return min(len(d) for d in self.devices_of_expert)
+
+    def experts_on_device(self, device: int) -> list[int]:
+        return [e for e, devices in enumerate(self.devices_of_expert)
+                if device in devices]
+
+    def primary(self) -> ExpertPlacement:
+        """The replica-0 placement (what a replication-unaware consumer,
+        e.g. the dispatch-volume model, sees)."""
+        return ExpertPlacement(
+            device_of_expert=tuple(d[0] for d in self.devices_of_expert),
+            num_devices=self.num_devices,
+        )
+
+    def surviving_replicas(
+        self, lost_devices: set[int] | frozenset[int]
+    ) -> tuple[tuple[int, ...], ...]:
+        """Per-expert replica devices after removing ``lost_devices``
+        (an expert's tuple may be empty — see :meth:`lost_experts`)."""
+        return tuple(
+            tuple(d for d in devices if d not in lost_devices)
+            for devices in self.devices_of_expert
+        )
+
+    def lost_experts(self, lost_devices: set[int] | frozenset[int]) -> list[int]:
+        """Experts with no surviving replica — unreachable until the ranks
+        heal (or the router degrades around them)."""
+        return [e for e, devices in
+                enumerate(self.surviving_replicas(lost_devices))
+                if not devices]
+
+
 def round_robin_placement(num_experts: int, num_devices: int) -> ExpertPlacement:
     """Contiguous block placement (vLLM/DeepSpeed default): device ``d``
     owns experts ``[d*E/n, (d+1)*E/n)``."""
@@ -66,6 +130,31 @@ def round_robin_placement(num_experts: int, num_devices: int) -> ExpertPlacement
     per = num_experts // num_devices
     return ExpertPlacement(
         device_of_expert=tuple(e // per for e in range(num_experts)),
+        num_devices=num_devices,
+    )
+
+
+def replicated_round_robin_placement(
+    num_experts: int, num_devices: int, replicas: int = 2
+) -> ReplicatedExpertPlacement:
+    """Contiguous placement with replica ``r`` shifted ``r * n/replicas``
+    devices to the right, so an expert's copies land on distinct devices
+    (and, when devices fill nodes in order, usually distinct nodes)."""
+    if replicas < 1:
+        raise ValueError("replicas must be >= 1")
+    if replicas > num_devices:
+        raise ValueError(
+            f"{replicas} replicas cannot occupy distinct devices out of "
+            f"{num_devices}"
+        )
+    base = round_robin_placement(num_experts, num_devices).device_of_expert
+    stride = max(1, num_devices // replicas)
+    return ReplicatedExpertPlacement(
+        devices_of_expert=tuple(
+            tuple(dict.fromkeys((d + r * stride) % num_devices
+                                for r in range(replicas)))
+            for d in base
+        ),
         num_devices=num_devices,
     )
 

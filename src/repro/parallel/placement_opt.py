@@ -17,12 +17,23 @@ with a per-device expert-count cap so memory stays balanced too.
 from __future__ import annotations
 
 import heapq
+import math
 
 import numpy as np
 
-from repro.parallel.expert_parallel import ExpertPlacement, round_robin_placement
+from repro.parallel.expert_parallel import (
+    ExpertPlacement,
+    ReplicatedExpertPlacement,
+    round_robin_placement,
+)
 
-__all__ = ["placement_imbalance", "balanced_placement", "compare_placements"]
+__all__ = [
+    "placement_imbalance",
+    "balanced_placement",
+    "compare_placements",
+    "replicated_balanced_placement",
+    "surviving_imbalance",
+]
 
 
 def placement_imbalance(placement: ExpertPlacement, loads: np.ndarray) -> float:
@@ -80,6 +91,74 @@ def balanced_placement(loads: np.ndarray, num_devices: int) -> ExpertPlacement:
         overflow.clear()
     return ExpertPlacement(device_of_expert=tuple(assignment),
                            num_devices=num_devices)
+
+
+def replicated_balanced_placement(
+    loads: np.ndarray, num_devices: int, replicas: int = 2
+) -> ReplicatedExpertPlacement:
+    """LPT placement with ``replicas`` copies of each expert on distinct
+    devices: replica ``r`` runs the same greedy over device ids rotated by
+    ``r * num_devices / replicas``, so every pass is individually balanced
+    and an expert's copies never share a device.
+    """
+    loads = np.asarray(loads, dtype=np.float64)
+    if replicas < 1:
+        raise ValueError("replicas must be >= 1")
+    if replicas > num_devices:
+        raise ValueError(
+            f"{replicas} replicas cannot occupy distinct devices out of "
+            f"{num_devices}"
+        )
+    base = balanced_placement(loads, num_devices).device_of_expert
+    stride = max(1, num_devices // replicas)
+    return ReplicatedExpertPlacement(
+        devices_of_expert=tuple(
+            tuple(dict.fromkeys((d + r * stride) % num_devices
+                                for r in range(replicas)))
+            for d in base
+        ),
+        num_devices=num_devices,
+    )
+
+
+def surviving_imbalance(
+    placement: ReplicatedExpertPlacement,
+    loads: np.ndarray,
+    lost_devices: set[int] | frozenset[int],
+) -> tuple[float, list[int]]:
+    """Load picture after losing ``lost_devices``: each expert's traffic is
+    split evenly over its surviving replicas.
+
+    Returns ``(max/mean load over surviving devices, lost expert ids)``.
+    Experts with no surviving replica contribute no load (they are
+    unreachable — the second element names them so callers can degrade or
+    fail).  The imbalance is ``inf`` when no device survives and ``1.0``
+    when nothing is loaded.
+    """
+    loads = np.asarray(loads, dtype=np.float64)
+    if loads.shape != (placement.num_experts,):
+        raise ValueError(
+            f"loads must have shape ({placement.num_experts},), got {loads.shape}"
+        )
+    if np.any(loads < 0):
+        raise ValueError("loads must be non-negative")
+    survivors = [d for d in range(placement.num_devices) if d not in lost_devices]
+    surviving = placement.surviving_replicas(lost_devices)
+    lost = [e for e, devices in enumerate(surviving) if not devices]
+    if not survivors:
+        return math.inf, lost
+    device_load = np.zeros(placement.num_devices)
+    for e, devices in enumerate(surviving):
+        if not devices:
+            continue
+        share = loads[e] / len(devices)
+        for d in devices:
+            device_load[d] += share
+    alive = device_load[survivors]
+    mean = alive.mean()
+    if mean == 0:
+        return 1.0, lost
+    return float(alive.max() / mean), lost
 
 
 def compare_placements(

@@ -22,6 +22,7 @@ import numpy as np
 from repro.core.metrics import GenerationShape, InferenceMetrics
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.injector import FaultInjector
     from repro.obs.instrument import Instrumentation
 from repro.perfmodel.inference import InferencePerfModel
 from repro.serving.events import Event, EventLog, EventType
@@ -45,6 +46,25 @@ class ServingResult:
     @property
     def num_requests(self) -> int:
         return len(self.requests)
+
+    @property
+    def num_failed(self) -> int:
+        """Requests that ended in terminal failure (fault injection)."""
+        return sum(1 for r in self.requests if r.is_failed)
+
+    @property
+    def num_fault_retries(self) -> int:
+        """Total fault-kill resubmissions across all requests."""
+        return sum(r.fault_retries for r in self.requests)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of submitted requests served to completion — the
+        serving-level availability under fault injection (1.0 on any
+        healthy run)."""
+        if not self.requests:
+            return 1.0
+        return sum(1 for r in self.requests if r.is_finished) / len(self.requests)
 
     @property
     def total_tokens(self) -> int:
@@ -194,6 +214,7 @@ class ServingEngine:
         rng: np.random.Generator | None = None,
         enable_prefix_caching: bool = False,
         instrumentation: "Instrumentation | None" = None,
+        fault_injector: "FaultInjector | None" = None,
     ) -> None:
         self.perf = perf_model
         if kv_pool_tokens is None:
@@ -221,6 +242,9 @@ class ServingEngine:
         self._rng = rng or np.random.default_rng(0)
         self._pending: list[Request] = []  # future arrivals, sorted
         self._all: list[Request] = []
+        self.faults = fault_injector
+        """Optional fault injector; ``None`` (or an unarmed schedule)
+        leaves the engine's behaviour bit-identical to the default."""
 
     def _active_obs(self) -> "Instrumentation | None":
         obs = self.obs
@@ -240,12 +264,26 @@ class ServingEngine:
             )
         self._all.append(request)
         self._pending.append(request)
-        self._pending.sort(key=lambda r: r.arrival_time)
+        self._pending.sort(key=lambda r: r.effective_arrival_time)
         obs = self._active_obs()
         if obs is not None:
             obs.metrics.counter(
                 "requests_submitted_total", "requests submitted to the engine"
             ).inc()
+
+    def requeue(self, request: Request) -> None:
+        """Resubmit a fault-killed request for a later retry: it re-enters
+        admission at ``request.effective_arrival_time`` (the backoff
+        deadline), while latency metrics stay anchored to the original
+        arrival."""
+        self._pending.append(request)
+        self._pending.sort(key=lambda r: r.effective_arrival_time)
+
+    def in_flight(self) -> list[Request]:
+        """Admitted, non-terminal requests (running first, then waiting) —
+        the population a fault can kill.  Requests still in ``_pending``
+        are client-side and unaffected by cluster faults."""
+        return list(self.scheduler.running) + list(self.scheduler.waiting)
 
     # ------------------------------------------------------------------ #
     # simulation loop
@@ -253,7 +291,8 @@ class ServingEngine:
 
     def _admit_arrivals(self) -> None:
         obs = self._active_obs()
-        while self._pending and self._pending[0].arrival_time <= self.clock + 1e-12:
+        while self._pending and \
+                self._pending[0].effective_arrival_time <= self.clock + 1e-12:
             req = self._pending.pop(0)
             self.log.record(Event(self.clock, EventType.ARRIVAL, (req.request_id,)))
             if obs is not None:
@@ -322,11 +361,18 @@ class ServingEngine:
 
     def step(self) -> bool:
         """Run one engine iteration; returns False when nothing remains."""
+        faults = self.faults if self.faults is not None and \
+            self.faults.active else None
+        if faults is not None:
+            faults.advance_to(self.clock, self)
         self._admit_arrivals()
         if not self.scheduler.has_unfinished:
             if not self._pending:
                 return False
-            self.clock = self._pending[0].arrival_time
+            self.clock = self._pending[0].effective_arrival_time
+            if faults is not None:
+                # apply faults/heals due before the next arrival is admitted
+                faults.advance_to(self.clock, self)
             self._admit_arrivals()
 
         obs = self._active_obs()
@@ -351,9 +397,11 @@ class ServingEngine:
                     obs.tracer.end(self.clock, outcome="all_preempted")
                 return True
             if self._pending:
-                self.clock = self._pending[0].arrival_time
+                self.clock = self._pending[0].effective_arrival_time
                 if obs is not None:
                     obs.tracer.end(self.clock, outcome="idle_until_arrival")
+                return True
+            if faults is not None and self._resolve_starvation(faults, obs):
                 return True
             raise RuntimeError("scheduler starved with no pending arrivals")
 
@@ -361,8 +409,14 @@ class ServingEngine:
             obs.tracer.begin("perfmodel.iteration_cost", self.clock,
                              cat="perfmodel")
         duration, components = self._iteration_cost(
-            batch, want_components=obs is not None
+            batch,
+            want_components=obs is not None
+            or (faults is not None and faults.needs_components),
         )
+        if faults is not None:
+            # price degraded links / lost devices / reduced top-k through
+            # the component breakdown (no-op while the cluster is healthy)
+            duration = faults.adjust(duration, components)
         t_start = self.clock
         if obs is not None:
             obs.tracer.end(self.clock, phase=batch.phase, seconds=duration)
@@ -421,6 +475,39 @@ class ServingEngine:
         if obs is not None:
             self._observe_iteration(obs, batch, duration)
         return True
+
+    def _resolve_starvation(self, faults: "FaultInjector",
+                            obs: "Instrumentation | None") -> bool:
+        """Starved under an armed fault schedule: idle-advance to the next
+        fault/heal that may unblock the pool, or fail the requests that can
+        never fit.  Returns True when the run can make progress again
+        (including by draining doomed work), False for a genuine livelock.
+        """
+        next_time = faults.next_event_time(self.clock)
+        if next_time is not None:
+            # a future heal may release the reservation blocking admission
+            self.clock = next_time
+            if obs is not None:
+                obs.tracer.end(self.clock, outcome="idle_until_fault_event")
+            return True
+        doomed = self.scheduler.never_schedulable()
+        if doomed:
+            for req in doomed:
+                self.scheduler.evict(req)
+                req.fail(
+                    "insufficient KV capacity: the fault reservation leaves "
+                    f"room for {self.kv.available_blocks} blocks but the "
+                    f"request needs {self.kv.blocks_needed(req.prefill_target)}"
+                )
+            self.log.record(Event(
+                self.clock, EventType.FAIL,
+                tuple(r.request_id for r in doomed),
+                detail="never schedulable under permanent KV reservation",
+            ))
+            if obs is not None:
+                obs.tracer.end(self.clock, outcome="failed_unschedulable")
+            return True
+        return False
 
     def _emit_component_spans(self, obs: "Instrumentation", phase: str,
                               components: dict[str, float],
@@ -513,7 +600,8 @@ class ServingEngine:
                 ).observe(itl)
 
     def run(self, max_iterations: int = 10_000_000) -> ServingResult:
-        """Run until every submitted request finishes."""
+        """Run until every submitted request is terminal (finished, or —
+        under fault injection — failed with a recorded reason)."""
         iterations = 0
         while self.step():
             iterations += 1

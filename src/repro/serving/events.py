@@ -19,6 +19,14 @@ class EventType(enum.Enum):
     DECODE = "decode"
     PREEMPTION = "preemption"
     FINISH = "finish"
+    FAULT = "fault"
+    """A fault-schedule event was applied to the deployment."""
+    RECOVERY = "recovery"
+    """A transient fault healed (device replaced, link restored, ...)."""
+    RETRY = "retry"
+    """Requests killed by a fault were resubmitted with backoff."""
+    FAIL = "fail"
+    """Requests were terminally failed with a recorded reason."""
 
 
 @dataclass(frozen=True)
@@ -31,6 +39,8 @@ class Event:
     num_tokens: int = 0
     duration: float = 0.0
     kv_utilization: float = 0.0
+    detail: str = ""
+    """Free-form annotation: fault kind/target, failure reason, ..."""
 
 
 @dataclass

@@ -45,6 +45,12 @@ class PagedKVCache:
         self.block_size = block_size
         self._free: list[int] = list(range(num_blocks - 1, -1, -1))
         self._tables: dict[int, BlockTable] = {}
+        self.reserved_blocks = 0
+        """Blocks withheld from allocation (fault injection: a lost
+        device's share of the pool, or a transient pressure spike).  The
+        reservation is logical — already-allocated blocks stay valid, but
+        new allocations only see ``available_blocks``.  Always 0 outside
+        fault experiments, so the default path is untouched."""
         self.obs: Instrumentation | None = None
         """Optional observability handle (set by the owning engine); when
         active, allocate/append/free emit spans at the simulated time the
@@ -83,8 +89,30 @@ class PagedKVCache:
         return self.num_blocks - self.free_blocks
 
     @property
+    def available_blocks(self) -> int:
+        """Free blocks net of the fault reservation (what allocation and
+        growth may actually consume)."""
+        return max(0, self.free_blocks - self.reserved_blocks)
+
+    @property
     def utilization(self) -> float:
         return self.used_blocks / self.num_blocks
+
+    def reserve(self, num_blocks: int) -> None:
+        """Withhold ``num_blocks`` more blocks from future allocation (the
+        reservation may exceed what is currently free; in-use blocks drain
+        into it as sequences free)."""
+        if num_blocks < 0:
+            raise ValueError("num_blocks must be non-negative")
+        self.reserved_blocks += num_blocks
+
+    def release_reserved(self, num_blocks: int) -> None:
+        """Return previously reserved blocks to the allocatable pool."""
+        if num_blocks < 0 or num_blocks > self.reserved_blocks:
+            raise ValueError(
+                f"cannot release {num_blocks} blocks: {self.reserved_blocks} reserved"
+            )
+        self.reserved_blocks -= num_blocks
 
     def blocks_needed(self, num_tokens: int) -> int:
         return math.ceil(num_tokens / self.block_size)
@@ -92,7 +120,7 @@ class PagedKVCache:
     def can_allocate(self, num_tokens: int, watermark_blocks: int = 0) -> bool:
         """Whether a new sequence of ``num_tokens`` fits, keeping a reserve
         of ``watermark_blocks`` free (vLLM's anti-thrash watermark)."""
-        return self.blocks_needed(num_tokens) + watermark_blocks <= self.free_blocks
+        return self.blocks_needed(num_tokens) + watermark_blocks <= self.available_blocks
 
     def has_sequence(self, seq_id: int) -> bool:
         return seq_id in self._tables
@@ -124,9 +152,10 @@ class PagedKVCache:
         if num_tokens <= 0:
             raise ValueError("num_tokens must be positive")
         need = self.blocks_needed(num_tokens)
-        if need > self.free_blocks:
+        if need > self.available_blocks:
             raise MemoryError(
-                f"KV pool exhausted: need {need} blocks, {self.free_blocks} free"
+                f"KV pool exhausted: need {need} blocks, "
+                f"{self.available_blocks} available"
             )
         blocks = [self._take_free_block() for _ in range(need)]
         self._tables[seq_id] = BlockTable(blocks=blocks, num_tokens=num_tokens)
@@ -136,7 +165,7 @@ class PagedKVCache:
         table = self._table(seq_id)
         free_slots = table.slots(self.block_size) - table.num_tokens
         extra = max(0, num_new_tokens - free_slots)
-        return self.blocks_needed(extra) <= self.free_blocks if extra else True
+        return self.blocks_needed(extra) <= self.available_blocks if extra else True
 
     def append_slots(self, seq_id: int, num_new_tokens: int = 1) -> None:
         """Grow a sequence by ``num_new_tokens`` slots (decode step or
@@ -147,10 +176,10 @@ class PagedKVCache:
         free_slots = table.slots(self.block_size) - table.num_tokens
         extra_tokens = max(0, num_new_tokens - free_slots)
         need = self.blocks_needed(extra_tokens)
-        if need > self.free_blocks:
+        if need > self.available_blocks:
             raise MemoryError(
                 f"KV pool exhausted appending to seq {seq_id}: need {need} "
-                f"blocks, {self.free_blocks} free"
+                f"blocks, {self.available_blocks} available"
             )
         for _ in range(need):
             table.blocks.append(self._take_free_block())
@@ -168,3 +197,4 @@ class PagedKVCache:
     def reset(self) -> None:
         self._free = list(range(self.num_blocks - 1, -1, -1))
         self._tables.clear()
+        self.reserved_blocks = 0

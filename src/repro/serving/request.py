@@ -37,6 +37,10 @@ class RequestState(enum.Enum):
     RUNNING = "running"
     PREEMPTED = "preempted"
     FINISHED = "finished"
+    FAILED = "failed"
+    """Terminal failure: the request was abandoned with a recorded
+    ``failure_reason`` (retry budget exhausted, unrecoverable fault, or a
+    shape that can never be scheduled)."""
 
 
 @dataclass
@@ -65,6 +69,13 @@ class Request:
     first_token_time: float | None = None
     finish_time: float | None = None
     num_preemptions: int = 0
+    fault_retries: int = 0
+    """Times this request was killed by a fault and resubmitted."""
+    retry_time: float | None = None
+    """Simulated time at which the current retry re-enters admission
+    (None before the first fault); ``arrival_time`` keeps the original
+    arrival so E2E latency includes the outage."""
+    failure_reason: str | None = None
 
     def __post_init__(self) -> None:
         if self.prompt_tokens <= 0:
@@ -81,8 +92,18 @@ class Request:
 
     @property
     def prefill_target(self) -> int:
-        """KV slots that must be filled before decoding can (re)start."""
-        return self.prompt_tokens + self.generated_tokens
+        """KV slots that must be filled before decoding can (re)start.
+
+        Fresh requests prefill the prompt.  After a recompute preemption
+        the generated prefix is re-prefilled too — except the newest
+        sampled token, whose KV slot the next decode step appends (the
+        steady-state invariant is ``kv_tokens == prompt + generated - 1``;
+        prefilling that slot as well would leave the sequence one slot
+        ahead of token accounting for the rest of its life).
+        """
+        if self.generated_tokens == 0:
+            return self.prompt_tokens
+        return self.prompt_tokens + self.generated_tokens - 1
 
     @property
     def remaining_prefill(self) -> int:
@@ -100,6 +121,21 @@ class Request:
     @property
     def is_finished(self) -> bool:
         return self.state is RequestState.FINISHED
+
+    @property
+    def is_failed(self) -> bool:
+        return self.state is RequestState.FAILED
+
+    @property
+    def is_terminal(self) -> bool:
+        """Finished successfully or failed with a recorded reason."""
+        return self.state in (RequestState.FINISHED, RequestState.FAILED)
+
+    @property
+    def effective_arrival_time(self) -> float:
+        """When the request (re-)enters admission: the retry time after a
+        fault kill, the original arrival otherwise."""
+        return self.arrival_time if self.retry_time is None else self.retry_time
 
     # -- metric views ---------------------------------------------------- #
 
@@ -122,3 +158,24 @@ class Request:
         self.kv_tokens = 0
         self.state = RequestState.PREEMPTED
         self.num_preemptions += 1
+
+    def reset_for_retry(self, retry_time: float) -> None:
+        """Fault kill + retry: generation restarts from scratch at
+        ``retry_time`` (client-side resubmission semantics).  TTFT/E2E stay
+        anchored to the original ``arrival_time``, so latency metrics price
+        the outage."""
+        self.kv_tokens = 0
+        self.generated_tokens = 0
+        self.first_scheduled_time = None
+        self.first_token_time = None
+        self.state = RequestState.WAITING
+        self.fault_retries += 1
+        self.retry_time = retry_time
+
+    def fail(self, reason: str) -> None:
+        """Terminal failure with a recorded reason (never silent)."""
+        if not reason:
+            raise ValueError("a failure needs a non-empty reason")
+        self.kv_tokens = 0
+        self.state = RequestState.FAILED
+        self.failure_reason = reason

@@ -131,20 +131,35 @@ class Scheduler:
     def _schedule_prefill(self) -> ScheduledBatch:
         batch: list[Request] = []
         tokens = 0
-        while self.waiting:
-            req = self.waiting[0]
+        # FCFS scan with one exception: once the queue head cannot be
+        # admitted (KV pressure), requests that already HOLD their
+        # allocation — chunked-prefill continuations requeued behind a
+        # preempted head — may still continue, since they need no new
+        # blocks.  Strict head-blocking here deadlocks: the preempted head
+        # cannot allocate precisely because the continuations behind it
+        # hold the blocks it is waiting for, and with nothing running the
+        # engine starves (latent bug surfaced by the chaos invariant
+        # suite).  When nothing is allocation-blocked the scan is
+        # identical to plain FCFS.
+        blocked = False
+        scheduled: list[Request] = []
+        for req in self.waiting:
+            holds_allocation = self.kv.has_sequence(req.request_id)
+            if blocked and not holds_allocation:
+                continue
             take = self._prefill_tokens_for(req)
             if batch and tokens + take > self.config.max_num_batched_tokens:
                 break
             if len(self.running) + len(batch) + 1 > self.config.max_num_seqs:
                 break
-            if not self.kv.has_sequence(req.request_id):
+            if not holds_allocation:
                 # admit: the whole prompt's KV must fit (vLLM allocates the
                 # full prompt at admission even under chunked prefill)
                 if not self.kv.can_allocate(
                     req.prefill_target, self.config.watermark_blocks
                 ):
-                    break
+                    blocked = True
+                    continue
                 if req.prompt_block_hashes and hasattr(self.kv, "allocate_with_prefix"):
                     cached = self.kv.allocate_with_prefix(
                         req.request_id, req.prefill_target,
@@ -156,7 +171,7 @@ class Scheduler:
                     take = self._prefill_tokens_for(req)
                 else:
                     self.kv.allocate(req.request_id, req.prefill_target)
-            self.waiting.popleft()
+            scheduled.append(req)
             req.state = RequestState.RUNNING
             obs = self.obs
             if obs is not None and obs.active and req.first_scheduled_time is None:
@@ -172,6 +187,9 @@ class Scheduler:
             tokens += take
             if not self.config.enable_chunked_prefill and tokens >= self.config.max_num_batched_tokens:
                 break
+        if scheduled:
+            taken = set(map(id, scheduled))
+            self.waiting = deque(r for r in self.waiting if id(r) not in taken)
         return ScheduledBatch(phase="prefill", requests=batch, num_tokens=tokens)
 
     def _schedule_decode(self) -> ScheduledBatch:
@@ -242,3 +260,33 @@ class Scheduler:
             req.state = RequestState.FINISHED
             self.kv.free(req.request_id)
             self.running.remove(req)
+
+    # ------------------------------------------------------------------ #
+    # fault-injection support
+    # ------------------------------------------------------------------ #
+
+    def evict(self, req: Request) -> None:
+        """Forcibly remove ``req`` from the scheduler (fault kill),
+        releasing any KV it holds.  The caller decides what happens to the
+        request next (retry resubmission or terminal failure)."""
+        if any(r is req for r in self.running):
+            self.running = [r for r in self.running if r is not req]
+        elif any(r is req for r in self.waiting):
+            self.waiting = deque(r for r in self.waiting if r is not req)
+        if self.kv.has_sequence(req.request_id):
+            self.kv.free(req.request_id)
+
+    def never_schedulable(self) -> list[Request]:
+        """Waiting requests that cannot be admitted even by an otherwise
+        empty pool (shape vs. ``num_blocks`` net of the fault reservation
+        and watermark) — candidates for fail-with-reason instead of an
+        engine livelock."""
+        usable = self.kv.num_blocks - self.kv.reserved_blocks \
+            - self.config.watermark_blocks
+        doomed = []
+        for req in self.waiting:
+            if self.kv.has_sequence(req.request_id):
+                continue  # holds its allocation; always resumable
+            if self.kv.blocks_needed(req.prefill_target) > usable:
+                doomed.append(req)
+        return doomed

@@ -1,0 +1,51 @@
+"""Reusable invariant-checking harness for engine runs.
+
+Wraps :mod:`repro.faults.invariants` into a drop-in replacement for
+``engine.run()`` that audits the engine between every iteration, so the
+property-based suites (healthy and chaos) share one checked drain loop.
+"""
+
+from __future__ import annotations
+
+from repro.faults.invariants import (
+    InvariantViolation,
+    check_engine_invariants,
+    check_final_invariants,
+    run_digest,
+)
+from repro.serving.engine import ServingEngine, ServingResult
+
+__all__ = [
+    "InvariantViolation",
+    "check_engine_invariants",
+    "check_final_invariants",
+    "run_digest",
+    "drain_checked",
+]
+
+
+def drain_checked(engine: ServingEngine,
+                  max_iterations: int = 100_000) -> ServingResult:
+    """Run ``engine`` to drain, auditing every invariant along the way.
+
+    Equivalent to ``engine.run()`` except :func:`check_engine_invariants`
+    runs between every pair of iterations and
+    :func:`check_final_invariants` at drain.  Raises
+    :class:`InvariantViolation` on the first breach.
+    """
+    check_engine_invariants(engine)
+    prev_clock = engine.clock
+    iterations = 0
+    while engine.step():
+        check_engine_invariants(engine, prev_clock)
+        prev_clock = engine.clock
+        iterations += 1
+        if iterations > max_iterations:
+            raise AssertionError(
+                f"engine did not drain within {max_iterations} iterations"
+            )
+    # the engine is drained: run() performs zero further steps and just
+    # assembles the ServingResult (and fires run-end observability)
+    result = engine.run()
+    check_final_invariants(result, engine)
+    return result

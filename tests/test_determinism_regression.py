@@ -1,0 +1,71 @@
+"""Determinism regression: same inputs must produce bit-identical outputs.
+
+Two layers, matching the two reproducibility gates the repo ships:
+
+* **experiment fingerprints** — running a registered experiment twice in
+  one process must yield identical sim metrics, table digests, and
+  structure (wall metrics are excluded: they measure the machine, not
+  the model, and legitimately vary between runs).
+* **chaos digests** — a fault-injected serving run replayed with the
+  same workload seed and fault seed must be bit-identical down to the
+  event log (``run_digest`` hashes every float via ``float.hex``).
+
+These are the in-tree counterparts of ``repro bench --check`` and
+``repro chaos --smoke``: cross-*run* drift is caught by the recorded
+BENCH baselines; cross-*call* nondeterminism (unordered dicts, shared
+RNG state, time-dependent code) is caught here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import run_experiment
+from repro.obs.fingerprint import fingerprint_result
+
+# One figure-family experiment and one extension experiment, both cheap
+# (<1 s each) — enough to cover the perf-model and serving-sim paths.
+EXPERIMENTS = ("fig5", "ext_resilience")
+
+
+def _gated_view(result) -> dict:
+    """Fingerprint dict minus wall-clock metrics (machine-dependent)."""
+    fp = fingerprint_result(result).to_dict()
+    fp.pop("wall", None)
+    return fp
+
+
+@pytest.mark.parametrize("exp_id", EXPERIMENTS)
+def test_experiment_fingerprint_is_call_stable(exp_id):
+    first = _gated_view(run_experiment(exp_id))
+    second = _gated_view(run_experiment(exp_id))
+    assert first == second
+
+
+@pytest.mark.parametrize("exp_id", EXPERIMENTS)
+def test_experiment_fingerprint_has_gateable_content(exp_id):
+    """An empty fingerprint would make the identity test vacuous."""
+    fp = _gated_view(run_experiment(exp_id))
+    assert fp["sim"]
+    assert fp["digests"]
+    assert all(info["rows"] > 0 for info in fp["structure"].values())
+
+
+class TestChaosReplay:
+    def _run(self):
+        from repro.faults.harness import ChaosConfig, chaos_serving_run
+
+        config = ChaosConfig(num_requests=8, input_tokens=128,
+                             output_tokens=16, kv_pool_tokens=16_384,
+                             fault_seed=7, fault_rate=3.0, horizon_s=2.0,
+                             num_devices=4, ep=4, replicas=2)
+        return chaos_serving_run(config)
+
+    def test_same_seed_chaos_run_is_bit_identical(self):
+        from repro.faults.invariants import run_digest
+
+        first = self._run()
+        second = self._run()
+        assert first.schedule.events == second.schedule.events
+        assert run_digest(first.result) == run_digest(second.result)
+        assert first.summary == second.summary

@@ -129,3 +129,34 @@ class TestHarness:
         fp8_rmse = np.mean([r.mean_logit_rmse for r in results["fp8"]])
         int4_rmse = np.mean([r.mean_logit_rmse for r in results["int4"]])
         assert fp8_rmse < int4_rmse
+
+
+class TestDegradedTopkAccuracy:
+    def test_anchored_at_native_topk(self):
+        from repro.evals.accuracy import degraded_topk_accuracy
+
+        model = get_model("OLMoE-1B-7B")
+        assert degraded_topk_accuracy(model, model.moe.top_k) == \
+            pytest.approx(average_accuracy("OLMoE-1B-7B"))
+
+    def test_monotone_in_topk(self):
+        from repro.evals.accuracy import degraded_topk_accuracy
+
+        model = get_model("OLMoE-1B-7B")
+        accs = [degraded_topk_accuracy(model, k)
+                for k in range(model.moe.top_k, 0, -1)]
+        assert all(a > b for a, b in zip(accs, accs[1:]))
+
+    def test_rejects_dense_models_and_bad_k(self):
+        from repro.evals.accuracy import degraded_topk_accuracy
+
+        model = get_model("OLMoE-1B-7B")
+        with pytest.raises(ValueError):
+            degraded_topk_accuracy(model, 0)
+        with pytest.raises(ValueError):
+            degraded_topk_accuracy(model, model.moe.top_k + 1)
+        import dataclasses
+
+        dense = dataclasses.replace(model, moe=None, dense_ffn_dim=1024)
+        with pytest.raises(ValueError):
+            degraded_topk_accuracy(dense, 1)

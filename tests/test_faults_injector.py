@@ -1,0 +1,208 @@
+"""Unit tests for repro.faults.injector — health model and pricing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults.harness import ChaosConfig, build_chaos_engine
+from repro.faults.injector import ClusterHealth, FaultDomain, FaultInjector
+from repro.faults.policies import DegradePolicy, RetryPolicy
+from repro.faults.schedule import FaultEvent, FaultKind, FaultSchedule
+from repro.parallel.expert_parallel import replicated_round_robin_placement
+from repro.serving.events import EventType
+
+
+def _engine(schedule, **config):
+    base = dict(num_requests=8, input_tokens=128, output_tokens=16,
+                kv_pool_tokens=16_384, fault_rate=0.0)
+    base.update(config)
+    return build_chaos_engine(ChaosConfig(**base), schedule=schedule)
+
+
+def _schedule(*events):
+    return FaultSchedule(events=tuple(events))
+
+
+class TestFaultDomain:
+    def test_defaults(self):
+        domain = FaultDomain()
+        assert domain.num_devices == 1 and domain.ep == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultDomain(num_devices=0)
+        with pytest.raises(ValueError):
+            FaultDomain(top_k=-1)
+        placement = replicated_round_robin_placement(8, 4, replicas=2)
+        with pytest.raises(ValueError):
+            FaultDomain(ep=2, placement=placement)  # placement spans 4
+        FaultDomain(ep=4, placement=placement)
+
+
+class TestClusterHealth:
+    def test_surviving_and_degraded(self):
+        health = ClusterHealth(num_devices=4)
+        assert health.num_surviving == 4
+        assert not health.is_degraded
+        health.lost_devices.add(1)
+        assert health.num_surviving == 3
+        assert health.is_degraded
+        summary = health.summary()
+        assert summary["lost_devices"] == [1]
+        assert summary["num_surviving"] == 3
+
+
+class TestInjectorLifecycle:
+    def test_unarmed_schedule_is_inactive(self):
+        injector = FaultInjector(FaultSchedule())
+        assert not injector.active
+
+    def test_device_loss_reserves_and_heal_releases(self):
+        event = FaultEvent(time=0.01, kind=FaultKind.DEVICE_LOSS, target=2,
+                           duration=0.1)
+        engine, injector = _engine(_schedule(event), num_devices=4)
+        share = engine.kv.num_blocks // 4
+        engine.run()
+        assert injector.counts["faults_applied"] == 1
+        assert injector.counts["recoveries"] == 1
+        assert engine.kv.reserved_blocks == 0
+        assert injector.health.lost_devices == set()
+        fault_events = engine.log.of_type(EventType.FAULT)
+        assert len(fault_events) == 1
+        assert "device 2 lost" in fault_events[0].detail
+        assert share > 0
+
+    def test_overlapping_losses_of_one_device_heal_once_each(self):
+        """Two overlapping transient losses of the same device: it stays
+        lost until BOTH heal (refcounted, not toggled)."""
+        first = FaultEvent(time=0.01, kind=FaultKind.DEVICE_LOSS, target=1,
+                           duration=0.30)
+        second = FaultEvent(time=0.05, kind=FaultKind.DEVICE_LOSS, target=1,
+                            duration=0.10)
+        engine, injector = _engine(_schedule(first, second), num_devices=4,
+                                   output_tokens=64)
+        engine.run()
+        assert injector.counts["faults_applied"] == 2
+        assert injector.counts["recoveries"] == 2
+        assert injector.health.lost_devices == set()
+
+    def test_link_degrade_composes_by_max(self):
+        slow = FaultEvent(time=0.01, kind=FaultKind.LINK_DEGRADE,
+                          magnitude=4.0, duration=5.0)
+        slower = FaultEvent(time=0.02, kind=FaultKind.LINK_DEGRADE,
+                            magnitude=8.0, duration=0.05)
+        engine, injector = _engine(_schedule(slow, slower))
+        injector.advance_to(0.03, engine)
+        assert injector.health.link_slowdown == 8.0
+        injector.advance_to(0.08, engine)  # the 8x event heals
+        assert injector.health.link_slowdown == 4.0
+
+    def test_kv_pressure_fraction_tracks_reservations(self):
+        spike = FaultEvent(time=0.01, kind=FaultKind.KV_PRESSURE,
+                           magnitude=0.25, duration=0.05)
+        engine, injector = _engine(_schedule(spike))
+        injector.advance_to(0.02, engine)
+        assert injector.health.kv_pressure_fraction == pytest.approx(
+            int(0.25 * engine.kv.num_blocks) / engine.kv.num_blocks)
+        injector.advance_to(0.1, engine)
+        assert injector.health.kv_pressure_fraction == 0.0
+        assert engine.kv.reserved_blocks == 0
+
+    def test_heal_applies_before_fault_at_a_time_tie(self):
+        """A fault landing exactly when another heals must see the healed
+        state — deterministic tie-breaking, not insertion order."""
+        first = FaultEvent(time=0.01, kind=FaultKind.LINK_DEGRADE,
+                           magnitude=8.0, duration=0.04)
+        second = FaultEvent(time=0.05, kind=FaultKind.LINK_DEGRADE,
+                            magnitude=2.0, duration=1.0)
+        engine, injector = _engine(_schedule(first, second))
+        injector.advance_to(0.05, engine)
+        assert injector.health.link_slowdown == 2.0
+
+
+class TestPricing:
+    def test_healthy_adjust_is_identity(self):
+        engine, injector = _engine(_schedule(FaultEvent(
+            time=99.0, kind=FaultKind.DEVICE_LOSS)))
+        assert not injector.needs_components
+        assert injector.adjust(1.25, None) == 1.25
+        comps = {"attention": 0.5, "interconnect": 0.25}
+        assert injector.adjust(0.75, dict(comps)) == 0.75
+
+    def test_link_slowdown_prices_the_interconnect_share(self):
+        engine, injector = _engine(_schedule(FaultEvent(
+            time=0.01, kind=FaultKind.LINK_DEGRADE, magnitude=4.0,
+            duration=10.0)))
+        injector.advance_to(0.02, engine)
+        assert injector.needs_components
+        comps = {"attention": 0.5, "interconnect": 0.2}
+        adjusted = injector.adjust(0.7, comps)
+        assert adjusted == pytest.approx(0.5 + 0.2 * 4.0)
+        assert comps["interconnect"] == pytest.approx(0.8)
+        assert comps["attention"] == 0.5  # compute untouched by link faults
+
+    def test_device_loss_squeezes_compute_onto_survivors(self):
+        engine, injector = _engine(_schedule(FaultEvent(
+            time=0.01, kind=FaultKind.DEVICE_LOSS, target=0, duration=10.0)),
+            num_devices=4)
+        injector.advance_to(0.02, engine)
+        comps = {"attention": 0.3, "expert_ffn": 0.3, "overhead": 0.1}
+        adjusted = injector.adjust(0.7, comps)
+        # 4 devices' work on 3 survivors: compute scales 4/3, overhead not
+        assert comps["attention"] == pytest.approx(0.4)
+        assert comps["expert_ffn"] == pytest.approx(0.4)
+        assert comps["overhead"] == 0.1
+        assert adjusted == pytest.approx(0.9)
+
+    def test_degraded_topk_discounts_experts_and_dispatch(self):
+        schedule = _schedule(FaultEvent(
+            time=0.01, kind=FaultKind.EXPERT_SHARD_LOSS, target=1,
+            duration=10.0))
+        engine, injector = _engine(schedule, replicas=1, ep=4)
+        injector.advance_to(0.02, engine)
+        full_k = injector.domain.top_k
+        assert injector.health.effective_top_k == full_k - 1
+        scale = (full_k - 1) / full_k
+        comps = {"expert_ffn": 0.4, "interconnect": 0.2, "attention": 0.3}
+        injector.adjust(0.9, comps)
+        assert comps["expert_ffn"] == pytest.approx(0.4 * scale)
+        assert comps["interconnect"] == pytest.approx(0.2 * scale)
+        assert comps["attention"] == 0.3
+
+
+class TestRecoveryIntegration:
+    def test_killed_requests_reroute_through_the_policy(self):
+        event = FaultEvent(time=0.02, kind=FaultKind.DEVICE_LOSS, target=0,
+                           duration=0.05)
+        engine, injector = _engine(_schedule(event), num_devices=4,
+                                   arrival_interval=0.0)
+        result = engine.run()
+        assert injector.counts["requests_killed"] > 0
+        assert injector.counts["retries"] == injector.counts["requests_killed"]
+        assert result.availability == 1.0  # everyone retried to completion
+        retried = [r for r in result.requests if r.fault_retries]
+        assert retried
+        # victims are pinned by request_id % num_devices
+        assert all(r.request_id % 4 == 0 for r in retried)
+        assert engine.log.of_type(EventType.RETRY)
+
+    def test_summary_merges_counts_and_health(self):
+        engine, injector = _engine(_schedule(FaultEvent(
+            time=0.01, kind=FaultKind.LINK_DEGRADE, magnitude=2.0)))
+        engine.run()
+        summary = injector.summary()
+        assert summary["faults_applied"] == 1
+        assert summary["health"]["link_slowdown"] == 2.0
+
+
+class TestDefaultOff:
+    def test_no_injector_and_unarmed_injector_are_bit_identical(self):
+        from repro.faults.invariants import run_digest
+
+        cfg = ChaosConfig(num_requests=8, input_tokens=128, output_tokens=16,
+                          kv_pool_tokens=16_384, fault_rate=0.0)
+        engine_unarmed, _ = build_chaos_engine(cfg)
+        engine_bare, _ = build_chaos_engine(cfg)
+        engine_bare.faults = None
+        assert run_digest(engine_unarmed.run()) == run_digest(engine_bare.run())

@@ -1,0 +1,83 @@
+"""Unit tests for repro.faults.policies — recovery and degradation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.policies import (
+    DegradePolicy,
+    FailFastPolicy,
+    RecoveryDecision,
+    RetryPolicy,
+)
+from repro.serving.request import Request, SamplingParams
+
+
+def _request(fault_retries: int = 0) -> Request:
+    req = Request(request_id=0, prompt_tokens=16,
+                  sampling=SamplingParams(max_tokens=4))
+    req.fault_retries = fault_retries
+    return req
+
+
+class TestRecoveryDecision:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RecoveryDecision(action="shrug")
+        with pytest.raises(ValueError):
+            RecoveryDecision(action="fail")  # a fail needs a reason
+        RecoveryDecision(action="retry", retry_at=1.0)
+        RecoveryDecision(action="fail", reason="device lost")
+
+
+class TestRetryPolicy:
+    def test_backoff_is_capped_exponential(self):
+        policy = RetryPolicy(base_delay_s=0.1, multiplier=2.0, max_delay_s=0.3)
+        assert policy.backoff_s(0) == pytest.approx(0.1)
+        assert policy.backoff_s(1) == pytest.approx(0.2)
+        assert policy.backoff_s(2) == pytest.approx(0.3)  # capped
+        assert policy.backoff_s(10) == pytest.approx(0.3)
+
+    def test_retry_until_budget_exhausted(self):
+        policy = RetryPolicy(max_retries=2, base_delay_s=0.05)
+        d0 = policy.on_request_killed(_request(0), 1.0, "device 0 lost")
+        assert d0.action == "retry"
+        assert d0.retry_at == pytest.approx(1.05)
+        d1 = policy.on_request_killed(_request(1), 2.0, "device 0 lost")
+        assert d1.action == "retry"
+        assert d1.retry_at == pytest.approx(2.1)
+        d2 = policy.on_request_killed(_request(2), 3.0, "device 0 lost")
+        assert d2.action == "fail"
+        assert "retry budget exhausted after 2 attempts" in d2.reason
+        assert "device 0 lost" in d2.reason
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+
+
+class TestFailFastPolicy:
+    def test_always_fails_with_the_fault_reason(self):
+        decision = FailFastPolicy().on_request_killed(
+            _request(), 1.0, "EP rank 2 lost")
+        assert decision.action == "fail"
+        assert decision.reason == "EP rank 2 lost"
+
+
+class TestDegradePolicy:
+    def test_steps_down_to_floor(self):
+        policy = DegradePolicy(min_top_k=2, step=3)
+        assert policy.degraded_top_k(8) == 5
+        assert policy.degraded_top_k(5) == 2
+        assert policy.degraded_top_k(2) == 2  # never below the floor
+        assert policy.degraded_top_k(1) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DegradePolicy(min_top_k=0)
+        with pytest.raises(ValueError):
+            DegradePolicy(step=0)

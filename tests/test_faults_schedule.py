@@ -1,0 +1,135 @@
+"""Unit tests for repro.faults.schedule — seeded fault schedules."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.faults.schedule import (
+    PERMANENT,
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+)
+
+
+class TestFaultEvent:
+    def test_heal_time_and_permanence(self):
+        e = FaultEvent(time=1.0, kind=FaultKind.DEVICE_LOSS, duration=0.5)
+        assert e.heal_time == 1.5
+        assert not e.is_permanent
+        p = FaultEvent(time=1.0, kind=FaultKind.DEVICE_LOSS)
+        assert p.is_permanent
+        assert math.isinf(p.heal_time)
+        assert "permanent" in p.describe()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultEvent(time=-1.0, kind=FaultKind.DEVICE_LOSS)
+        with pytest.raises(ValueError):
+            FaultEvent(time=0.0, kind=FaultKind.DEVICE_LOSS, duration=0.0)
+        with pytest.raises(ValueError):
+            FaultEvent(time=0.0, kind=FaultKind.LINK_DEGRADE, magnitude=0.5)
+        with pytest.raises(ValueError):
+            FaultEvent(time=0.0, kind=FaultKind.KV_PRESSURE, magnitude=1.5)
+        with pytest.raises(ValueError):
+            FaultEvent(time=0.0, kind=FaultKind.KV_PRESSURE, magnitude=0.0)
+
+
+class TestFaultSchedule:
+    def test_events_are_time_sorted(self):
+        late = FaultEvent(time=2.0, kind=FaultKind.DEVICE_LOSS)
+        early = FaultEvent(time=1.0, kind=FaultKind.KV_PRESSURE,
+                           magnitude=0.5)
+        schedule = FaultSchedule(events=(late, early))
+        assert [e.time for e in schedule] == [1.0, 2.0]
+
+    def test_is_armed(self):
+        assert not FaultSchedule().is_armed
+        assert FaultSchedule(events=(FaultEvent(
+            time=0.0, kind=FaultKind.DEVICE_LOSS),)).is_armed
+
+    def test_events_between_is_half_open(self):
+        e = FaultEvent(time=1.0, kind=FaultKind.DEVICE_LOSS)
+        schedule = FaultSchedule(events=(e,))
+        assert schedule.events_between(0.0, 1.0) == [e]
+        assert schedule.events_between(1.0, 2.0) == []  # t0 exclusive
+        assert schedule.events_between(0.0, 0.999) == []
+
+    def test_next_event_time_includes_heals(self):
+        e = FaultEvent(time=1.0, kind=FaultKind.DEVICE_LOSS, duration=0.5)
+        schedule = FaultSchedule(events=(e,))
+        assert schedule.next_event_time(0.0) == 1.0
+        assert schedule.next_event_time(1.0) == 1.5  # the heal
+        assert schedule.next_event_time(1.5) is None
+
+    def test_next_event_time_skips_permanent_heals(self):
+        e = FaultEvent(time=1.0, kind=FaultKind.DEVICE_LOSS)
+        assert FaultSchedule(events=(e,)).next_event_time(1.0) is None
+
+
+class TestGenerate:
+    def test_same_seed_is_identical(self):
+        a = FaultSchedule.generate(seed=3, horizon_s=10.0, rate_per_s=5.0,
+                                   num_targets=4)
+        b = FaultSchedule.generate(seed=3, horizon_s=10.0, rate_per_s=5.0,
+                                   num_targets=4)
+        assert a.events == b.events
+        assert a.seed == 3
+
+    def test_different_seeds_differ(self):
+        a = FaultSchedule.generate(seed=3, horizon_s=10.0, rate_per_s=5.0)
+        b = FaultSchedule.generate(seed=4, horizon_s=10.0, rate_per_s=5.0)
+        assert a.events != b.events
+
+    def test_events_stay_inside_horizon(self):
+        schedule = FaultSchedule.generate(seed=0, horizon_s=5.0,
+                                          rate_per_s=8.0, num_targets=4)
+        assert schedule.is_armed
+        assert all(0 < e.time <= 5.0 for e in schedule)
+        assert all(0 <= e.target < 4 for e in schedule)
+
+    def test_rate_zero_is_unarmed(self):
+        schedule = FaultSchedule.generate(seed=0, horizon_s=5.0,
+                                          rate_per_s=0.0)
+        assert not schedule.is_armed
+
+    def test_magnitudes_respect_kind_contracts(self):
+        schedule = FaultSchedule.generate(seed=1, horizon_s=50.0,
+                                          rate_per_s=4.0)
+        kinds = {e.kind for e in schedule}
+        assert kinds == set(FaultKind)  # long horizon hits every kind
+        for e in schedule:
+            if e.kind is FaultKind.LINK_DEGRADE:
+                assert e.magnitude >= 1.0
+            elif e.kind is FaultKind.KV_PRESSURE:
+                assert 0 < e.magnitude <= 0.9
+
+    def test_permanent_fraction_extremes(self):
+        none = FaultSchedule.generate(seed=0, horizon_s=20.0, rate_per_s=3.0,
+                                      permanent_fraction=0.0)
+        assert not any(e.is_permanent for e in none)
+        every = FaultSchedule.generate(seed=0, horizon_s=20.0, rate_per_s=3.0,
+                                       permanent_fraction=1.0)
+        assert all(e.is_permanent for e in every)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultSchedule.generate(seed=0, horizon_s=0.0, rate_per_s=1.0)
+        with pytest.raises(ValueError):
+            FaultSchedule.generate(seed=0, horizon_s=1.0, rate_per_s=-1.0)
+        with pytest.raises(ValueError):
+            FaultSchedule.generate(seed=0, horizon_s=1.0, rate_per_s=1.0,
+                                   num_targets=0)
+        with pytest.raises(ValueError):
+            FaultSchedule.generate(seed=0, horizon_s=1.0, rate_per_s=1.0,
+                                   mix={FaultKind.DEVICE_LOSS: 0.0})
+
+    def test_describe_lists_events(self):
+        schedule = FaultSchedule.generate(seed=2, horizon_s=4.0,
+                                          rate_per_s=2.0)
+        text = schedule.describe()
+        assert "seed 2" in text
+        assert len(text.splitlines()) == len(schedule) + 1
+        assert FaultSchedule().describe() == "no faults scheduled"

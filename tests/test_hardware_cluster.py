@@ -69,3 +69,15 @@ class TestHierarchicalAllToAll:
     def test_ep_dispatch_validation(self, cluster):
         with pytest.raises(ValueError):
             cluster.ep_dispatch_time(0, 4096, 2, 8)
+
+
+class TestDegradedInterNode:
+    def test_slowdown_stretches_cross_node_collectives(self, cluster):
+        degraded = cluster.with_degraded_inter_node(4.0)
+        assert degraded.inter_node.link_bandwidth_gbps == pytest.approx(
+            cluster.inter_node.link_bandwidth_gbps / 4.0)
+        healthy = cluster.all_to_all_time(1e8, 32)
+        slow = degraded.all_to_all_time(1e8, 32)
+        assert slow > healthy
+        # intra-node collectives never touch the degraded fabric
+        assert degraded.all_to_all_time(1e8, 8) == cluster.all_to_all_time(1e8, 8)

@@ -83,3 +83,35 @@ class TestMissingInterconnect:
     def test_collective_on_linkless_device(self, no_link_hw):
         with pytest.raises(ValueError):
             allreduce_time(1e6, 2, no_link_hw)
+
+
+class TestDegradedInterconnect:
+    def test_divides_bandwidth_and_tags_the_name(self):
+        from repro.hardware.interconnect import degrade_interconnect
+
+        link = require_interconnect(H100_SXM)
+        slow = degrade_interconnect(link, 8.0)
+        assert slow.link_bandwidth_gbps == pytest.approx(
+            link.link_bandwidth_gbps / 8.0)
+        assert slow.latency_us == link.latency_us
+        assert slow.name.endswith("-degraded8x")
+
+    def test_identity_slowdown_keeps_bandwidth(self):
+        from repro.hardware.interconnect import degrade_interconnect
+
+        link = require_interconnect(H100_SXM)
+        assert degrade_interconnect(link, 1.0).link_bandwidth_gbps == \
+            link.link_bandwidth_gbps
+
+    def test_rejects_speedups(self):
+        from repro.hardware.interconnect import degrade_interconnect
+
+        with pytest.raises(ValueError):
+            degrade_interconnect(require_interconnect(H100_SXM), 0.5)
+
+    def test_pcie_fallback_is_about_8x_below_nvlink(self):
+        from repro.hardware.interconnect import PCIE_GEN5_X16
+
+        nvlink = require_interconnect(H100_SXM)
+        ratio = nvlink.link_bandwidth_gbps / PCIE_GEN5_X16.link_bandwidth_gbps
+        assert 6.0 < ratio < 10.0

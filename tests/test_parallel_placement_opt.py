@@ -85,3 +85,75 @@ class TestEndToEnd:
         cmp = compare_placements(loads, 8)
         assert cmp["default_imbalance"] > 1.15  # the skew is real
         assert cmp["optimized_imbalance"] < 1.05  # and fixable
+
+
+class TestSurvivingImbalance:
+    def _placement(self, replicas=2):
+        from repro.parallel.expert_parallel import (
+            replicated_round_robin_placement,
+        )
+
+        return replicated_round_robin_placement(8, 4, replicas=replicas)
+
+    def test_healthy_uniform_loads_are_balanced(self):
+        from repro.parallel.placement_opt import surviving_imbalance
+
+        imbalance, lost = surviving_imbalance(
+            self._placement(), np.ones(8), set())
+        assert imbalance == pytest.approx(1.0)
+        assert lost == []
+
+    def test_losing_a_device_skews_survivors(self):
+        from repro.parallel.placement_opt import surviving_imbalance
+
+        imbalance, lost = surviving_imbalance(
+            self._placement(), np.ones(8), {0})
+        assert imbalance > 1.0
+        assert lost == []  # replicas cover the loss
+
+    def test_single_copy_loss_names_the_lost_experts(self):
+        from repro.parallel.placement_opt import surviving_imbalance
+
+        placement = self._placement(replicas=1)
+        _, lost = surviving_imbalance(placement, np.ones(8), {1})
+        assert lost == placement.experts_on_device(1)
+
+    def test_no_survivors_is_infinite(self):
+        from repro.parallel.placement_opt import surviving_imbalance
+
+        imbalance, _ = surviving_imbalance(
+            self._placement(), np.ones(8), {0, 1, 2, 3})
+        assert imbalance == np.inf
+
+    def test_zero_load_is_neutral(self):
+        from repro.parallel.placement_opt import surviving_imbalance
+
+        imbalance, _ = surviving_imbalance(
+            self._placement(), np.zeros(8), {0})
+        assert imbalance == 1.0
+
+    def test_validation(self):
+        from repro.parallel.placement_opt import surviving_imbalance
+
+        with pytest.raises(ValueError):
+            surviving_imbalance(self._placement(), np.ones(7), set())
+        with pytest.raises(ValueError):
+            surviving_imbalance(self._placement(),
+                                np.array([1.0] * 7 + [-1.0]), set())
+
+
+class TestReplicatedBalancedPlacement:
+    def test_balances_each_replica_pass(self):
+        from repro.parallel.placement_opt import (
+            placement_imbalance,
+            replicated_balanced_placement,
+        )
+
+        rng = np.random.default_rng(0)
+        loads = rng.exponential(1.0, size=16)
+        placement = replicated_balanced_placement(loads, 4, replicas=2)
+        assert placement.replication_factor == 2
+        for devices in placement.devices_of_expert:
+            assert len(set(devices)) == 2
+        # the primary pass is the plain LPT placement: well balanced
+        assert placement_imbalance(placement.primary(), loads) < 1.2

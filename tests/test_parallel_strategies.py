@@ -123,3 +123,57 @@ class TestExpertParallel:
         small, _ = simulate_ep_imbalance(MIXTRAL_8X7B.moe, 4, 8, 64, rng)
         large, _ = simulate_ep_imbalance(MIXTRAL_8X7B.moe, 4, 512, 64, rng)
         assert large < small
+
+
+class TestReplicatedPlacement:
+    def test_round_robin_replicas_land_on_distinct_devices(self):
+        from repro.parallel.expert_parallel import (
+            replicated_round_robin_placement,
+        )
+
+        placement = replicated_round_robin_placement(8, 4, replicas=2)
+        assert placement.num_experts == 8
+        assert placement.replication_factor == 2
+        for devices in placement.devices_of_expert:
+            assert len(set(devices)) == len(devices) == 2
+
+    def test_primary_matches_unreplicated_round_robin(self):
+        from repro.parallel.expert_parallel import (
+            replicated_round_robin_placement,
+        )
+
+        placement = replicated_round_robin_placement(8, 4, replicas=2)
+        assert placement.primary().device_of_expert == \
+            round_robin_placement(8, 4).device_of_expert
+
+    def test_surviving_and_lost_experts(self):
+        from repro.parallel.expert_parallel import (
+            replicated_round_robin_placement,
+        )
+
+        two = replicated_round_robin_placement(8, 4, replicas=2)
+        assert two.lost_experts({0}) == []  # every expert has a replica
+        one = replicated_round_robin_placement(8, 4, replicas=1)
+        lost = one.lost_experts({0})
+        assert lost == one.experts_on_device(0)
+        assert all(not s for e, s in
+                   enumerate(one.surviving_replicas({0})) if e in lost)
+
+    def test_validation(self):
+        from repro.parallel.expert_parallel import (
+            ReplicatedExpertPlacement,
+            replicated_round_robin_placement,
+        )
+
+        with pytest.raises(ValueError):
+            replicated_round_robin_placement(8, 4, replicas=0)
+        with pytest.raises(ValueError):
+            replicated_round_robin_placement(8, 4, replicas=5)
+        with pytest.raises(ValueError):
+            ReplicatedExpertPlacement(devices_of_expert=((),), num_devices=2)
+        with pytest.raises(ValueError):
+            ReplicatedExpertPlacement(devices_of_expert=((0, 0),),
+                                      num_devices=2)
+        with pytest.raises(ValueError):
+            ReplicatedExpertPlacement(devices_of_expert=((0, 7),),
+                                      num_devices=2)

@@ -33,14 +33,16 @@ class TestRequest:
 
     def test_recompute_preemption_refills_generated(self):
         """After a recompute preemption the generated prefix must be
-        re-prefilled (vLLM semantics)."""
+        re-prefilled (vLLM semantics) — except the newest sampled token,
+        whose KV slot the next decode step appends (steady state is
+        ``kv_tokens == prompt + generated - 1``)."""
         r = Request(1, 100, SamplingParams(max_tokens=50))
-        r.kv_tokens = 110
+        r.kv_tokens = 109
         r.generated_tokens = 10
         r.reset_for_recompute()
         assert r.state is RequestState.PREEMPTED
         assert r.kv_tokens == 0
-        assert r.remaining_prefill == 110
+        assert r.remaining_prefill == 109
         assert r.num_preemptions == 1
 
     def test_metric_views(self):
