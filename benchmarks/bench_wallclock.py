@@ -1,0 +1,105 @@
+"""Bench: end-to-end experiment-suite wall clock under the parallel runner.
+
+Times one full pass over every registered experiment through
+:func:`repro.runner.iter_experiments` and records the result into
+``BENCH_wallclock.json`` via the fingerprint *wall* channel — wall metrics
+never gate exactly (they vary with the machine), so this file is a flight
+recorder for suite cost, not a drift gate.  The determinism contract it
+does assert every run: results come back in the registry's fixed order and
+every experiment succeeds.
+
+Environment knobs:
+
+``REPRO_BENCH_JOBS``
+    Worker processes (default ``min(4, cpu_count)`` — a single-core host
+    gains nothing from a pool, it only pays fork overhead).
+``REPRO_BENCH_RECORD=1``
+    Append the measurement to ``BENCH_wallclock.json`` (same switch the
+    rest of the benchmark harness uses).
+``REPRO_WALLCLOCK_BASELINE=<seconds>``
+    Serial pre-fast-path suite cost to compare against.  When unset, the
+    last recorded ``baseline_serial_s`` is reused, falling back to the sum
+    of the committed per-experiment ``runtime_s`` wall metrics.
+``REPRO_WALLCLOCK_GATE=1``
+    Additionally assert ``speedup_vs_baseline >= 3`` — the fast-path
+    target at ``--jobs 4``.  Opt-in because it needs >= 4 cores and a
+    recorded baseline from the same host to be meaningful.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import time
+
+from repro.core.experiment import ExperimentResult
+from repro.core.registry import list_experiments
+from repro.obs.fingerprint import Fingerprint
+from repro.obs.regress import BaselineStore
+from repro.runner import iter_experiments
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SPEEDUP_TARGET = 3.0
+
+
+def _jobs() -> int:
+    env = os.environ.get("REPRO_BENCH_JOBS", "").strip()
+    if env:
+        return max(1, int(env))
+    return min(4, os.cpu_count() or 1)
+
+
+def _baseline_serial_s(store: BaselineStore, exp_ids: list[str]) -> float:
+    env = os.environ.get("REPRO_WALLCLOCK_BASELINE", "").strip()
+    if env:
+        return float(env)
+    prior = store.latest_fingerprint("wallclock")
+    if prior is not None and prior.wall.get("baseline_serial_s", 0.0) > 0:
+        return prior.wall["baseline_serial_s"]
+    total = 0.0
+    for exp_id in exp_ids:
+        fp = store.latest_fingerprint(exp_id)
+        if fp is not None:
+            total += fp.wall.get("runtime_s", 0.0)
+    return total
+
+
+def test_suite_wallclock():
+    exp_ids = list_experiments()
+    jobs = _jobs()
+
+    start = time.perf_counter()
+    outcomes = list(iter_experiments(exp_ids, jobs=jobs,
+                                     return_exceptions=True,
+                                     baseline_dir=REPO_ROOT))
+    suite_wall_s = time.perf_counter() - start
+
+    # the determinism half of the contract: fixed merge order, no failures
+    assert [eid for eid, _ in outcomes] == exp_ids
+    failed = [(eid, out) for eid, out in outcomes
+              if not isinstance(out, ExperimentResult)]
+    assert not failed, f"experiments failed under the runner: {failed}"
+
+    store = BaselineStore(REPO_ROOT)
+    baseline_serial_s = _baseline_serial_s(store, exp_ids)
+    speedup = baseline_serial_s / suite_wall_s if suite_wall_s > 0 else 0.0
+
+    fp = Fingerprint(exp_id="wallclock", wall={
+        "suite_wall_s": suite_wall_s,
+        "baseline_serial_s": baseline_serial_s,
+        "speedup_vs_baseline": speedup,
+        "jobs": float(jobs),
+        "cpus": float(os.cpu_count() or 1),
+        "num_experiments": float(len(exp_ids)),
+    })
+    print(f"\nsuite: {len(exp_ids)} experiments in {suite_wall_s:.2f}s "
+          f"at --jobs {jobs} ({os.cpu_count()} cpus); serial baseline "
+          f"{baseline_serial_s:.2f}s -> {speedup:.2f}x")
+    if os.environ.get("REPRO_BENCH_RECORD"):
+        store.record(fp, note=f"suite wallclock, jobs={jobs}")
+    if os.environ.get("REPRO_WALLCLOCK_GATE"):
+        assert speedup >= SPEEDUP_TARGET, (
+            f"suite speedup {speedup:.2f}x is below the {SPEEDUP_TARGET}x "
+            f"fast-path target (wall {suite_wall_s:.2f}s vs baseline "
+            f"{baseline_serial_s:.2f}s)"
+        )

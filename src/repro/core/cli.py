@@ -3,13 +3,13 @@
 Usage::
 
     repro list
-    repro run fig05 [--out results/]
-    repro run-all [--out results/]
-    repro summary [--out report.md]
+    repro run fig05[,fig06,...] [--out results/] [--jobs N] [--no-vectorize]
+    repro run-all [--out results/] [--jobs N]
+    repro summary [--out report.md] [--jobs N]
     repro trace [model-or-experiment] [--out trace.json]
     repro metrics [model] [--json]
     repro bench --record [--figs fig05,fig06] [--note "..."]
-    repro bench --check [--wall]
+    repro bench --check [--wall] [--jobs N]
     repro bench --trend [--out trend.md]
     repro profile [model-or-experiment] [--out profile.folded]
     repro chaos [--fault-seed N] [--fault-rate R] [--policy retry|failfast]
@@ -36,6 +36,7 @@ flamegraph tooling.  See ``docs/observability.md`` and
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 
@@ -50,6 +51,13 @@ from repro.core.report import (
 __all__ = ["main"]
 
 
+def _apply_fastpath_flags(args: argparse.Namespace) -> None:
+    """Export fast-path escape hatches to the environment so they reach
+    both this process and any ``--jobs`` pool workers."""
+    if getattr(args, "no_vectorize", False):
+        os.environ["REPRO_NO_VECTORIZE"] = "1"
+
+
 def _cmd_list(_: argparse.Namespace) -> int:
     for exp_id in list_experiments():
         print(exp_id)
@@ -57,23 +65,29 @@ def _cmd_list(_: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    result = run_experiment(args.exp_id)
-    if args.out:
-        path = write_report(result, args.out)
-        print(f"wrote {path}")
-    else:
-        print(render_markdown(result))
+    from repro.runner import iter_experiments
+
+    _apply_fastpath_flags(args)
+    exp_ids = [e.strip() for e in args.exp_id.split(",") if e.strip()]
+    for _, result in iter_experiments(exp_ids, jobs=args.jobs):
+        if args.out:
+            path = write_report(result, args.out)
+            print(f"wrote {path}")
+        else:
+            print(render_markdown(result))
     return 0
 
 
 def _cmd_run_all(args: argparse.Namespace) -> int:
+    from repro.runner import iter_experiments
+
+    _apply_fastpath_flags(args)
     failures = []
-    for exp_id in list_experiments():
-        try:
-            result = run_experiment(exp_id)
-        except Exception as exc:  # noqa: BLE001 - report and continue
-            failures.append((exp_id, exc))
-            print(f"[FAIL] {exp_id}: {exc}", file=sys.stderr)
+    for exp_id, result in iter_experiments(list_experiments(), jobs=args.jobs,
+                                           return_exceptions=True):
+        if isinstance(result, Exception):
+            failures.append((exp_id, result))
+            print(f"[FAIL] {exp_id}: {result}", file=sys.stderr)
             continue
         if args.out:
             path = write_report(result, args.out)
@@ -84,7 +98,10 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
 
 
 def _cmd_summary(args: argparse.Namespace) -> int:
-    results = [run_experiment(exp_id) for exp_id in list_experiments()]
+    from repro.runner import run_experiments
+
+    _apply_fastpath_flags(args)
+    results = run_experiments(list_experiments(), jobs=args.jobs)
     text = render_summary(results)
     if args.out:
         path = pathlib.Path(args.out)
@@ -94,6 +111,20 @@ def _cmd_summary(args: argparse.Namespace) -> int:
     else:
         print(text)
     return 0
+
+
+def _add_runner_args(parser: argparse.ArgumentParser) -> None:
+    from repro.runner import default_jobs
+
+    parser.add_argument("--jobs", type=int, default=default_jobs(),
+                        help="worker processes to fan experiments across "
+                             "(default $REPRO_JOBS or 1; results merge in a "
+                             "fixed order, so output is byte-identical for "
+                             "any value)")
+    parser.add_argument("--no-vectorize", action="store_true",
+                        help="disable the vectorized sweep fast path "
+                             "(exported as REPRO_NO_VECTORIZE so pool "
+                             "workers inherit it)")
 
 
 def _add_workload_args(parser: argparse.ArgumentParser) -> None:
@@ -185,8 +216,13 @@ def _bench_ids(args: argparse.Namespace, store) -> list[str]:
     if args.figs:
         return [f.strip() for f in args.figs.split(",") if f.strip()]
     if args.check or args.trend:
-        # gate / chart whatever has a recorded baseline
+        # gate / chart whatever has a recorded baseline; "wallclock" is the
+        # suite-timing pseudo-baseline written by benchmarks/bench_wallclock
+        # — it has no experiment behind it, so record/check skip it (the
+        # trend report still charts its trajectory)
         known = store.known_ids()
+        if not args.trend:
+            known = [eid for eid in known if eid != "wallclock"]
         if known:
             return known
     return list_experiments()
@@ -222,10 +258,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(text)
         return 0
 
+    from repro.runner import iter_experiments
+
+    _apply_fastpath_flags(args)
     failures = 0
     all_drifts = []
-    for exp_id in ids:
-        result = run_experiment(exp_id)
+    for exp_id, result in iter_experiments(ids, jobs=args.jobs,
+                                           baseline_dir=args.dir):
         fp = result.fingerprint()
         if args.record:
             path = store.record(fp, note=args.note)
@@ -273,7 +312,10 @@ def _render_trend(store, ids: list[str]) -> str:
         charted += 1
         sims = [r["fingerprint"].get("sim", {}).get("sim_time_total_s")
                 for r in records]
-        walls = [r["fingerprint"].get("wall", {}).get("runtime_s")
+        # the wallclock pseudo-baseline records the whole suite's wall
+        # as suite_wall_s; chart it in the same column
+        walls = [r["fingerprint"].get("wall", {}).get("runtime_s",
+                 r["fingerprint"].get("wall", {}).get("suite_wall_s"))
                  for r in records]
         fmt = lambda xs: " → ".join(
             "?" if x is None else f"{x:.4g}" for x in xs[-6:])
@@ -392,19 +434,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_list = sub.add_parser("list", help="list experiment ids")
     p_list.set_defaults(func=_cmd_list)
 
-    p_run = sub.add_parser("run", help="run one experiment")
-    p_run.add_argument("exp_id", help="experiment id (see `list`)")
+    p_run = sub.add_parser("run", help="run one or more experiments")
+    p_run.add_argument("exp_id",
+                       help="experiment id, or comma-separated ids "
+                            "(see `list`)")
     p_run.add_argument("--out", help="directory for markdown/CSV output")
+    _add_runner_args(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_all = sub.add_parser("run-all", help="run every experiment")
     p_all.add_argument("--out", help="directory for markdown/CSV output")
+    _add_runner_args(p_all)
     p_all.set_defaults(func=_cmd_run_all)
 
     p_sum = sub.add_parser(
         "summary", help="run everything into one markdown report"
     )
     p_sum.add_argument("--out", help="output markdown file")
+    _add_runner_args(p_sum)
     p_sum.set_defaults(func=_cmd_summary)
 
     p_trace = sub.add_parser(
@@ -462,6 +509,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="skip the disabled-instrumentation overhead "
                               "gate during --check")
     p_bench.add_argument("--out", help="write the --trend report here")
+    _add_runner_args(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
 
     p_chaos = sub.add_parser(

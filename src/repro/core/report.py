@@ -52,6 +52,15 @@ def render_profile_report(report) -> str:
                  f"over {report.result.num_requests} requests "
                  f"(makespan {report.result.makespan:.6f}s).")
     lines.append("")
+    hits = report.obs.metrics.gauge("stepcache_hits").value
+    misses = report.obs.metrics.gauge("stepcache_misses").value
+    lookups = hits + misses
+    if lookups:
+        lines.append(
+            f"Step-cache: {hits:.0f} hits / {misses:.0f} misses "
+            f"({hits / lookups:.1%} hit rate) — repeated step shapes "
+            "repriced from the memo table, not the roofline.")
+        lines.append("")
     lines.append("### Per-phase × per-component time")
     lines.append("")
     lines.append(report.table().to_markdown())

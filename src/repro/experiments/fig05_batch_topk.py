@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
-from repro.core.experiment import ExperimentResult, sweep
+import itertools
+
+from repro.core.experiment import ExperimentResult
 from repro.core.registry import experiment
 from repro.core.results import ResultTable
-from repro.experiments.common import perf_model
+from repro.experiments.common import metrics_rows, perf_model
 from repro.models.zoo import get_model
 
 MODELS = ("DeepSeek-V2-Lite", "Qwen1.5-MoE-A2.7B")
@@ -31,17 +33,25 @@ def run() -> ExperimentResult:
         ("model", "batch", "top_k", "throughput_tok_s", "fits"),
     )
 
-    def point(model: str, batch: int, top_k: int) -> dict:
+    # one deployment per (model, top_k); the batch axis is evaluated
+    # vectorized in a single pass.  Rows land in a dict first because the
+    # recorded table order is model -> batch -> top_k (batch is *not* the
+    # innermost sweep axis) and digests are order-sensitive.
+    cells: dict[tuple[str, int, int], dict] = {}
+    for model in MODELS:
         cfg = get_model(model)
-        variant = cfg.with_moe(cfg.moe.with_top_k(top_k))
-        pm = perf_model(variant)
-        m = pm.generate(batch, IO_TOKENS, IO_TOKENS, check_memory=False)
-        return {
-            "throughput_tok_s": m.throughput_tok_s,
-            "fits": pm.fits(batch, 2 * IO_TOKENS),
-        }
-
-    sweep(table, {"model": MODELS, "batch": BATCHES, "top_k": TOPKS}, point)
+        for top_k in TOPKS:
+            variant = cfg.with_moe(cfg.moe.with_top_k(top_k))
+            pm = perf_model(variant)
+            rows = metrics_rows(pm, [(b, IO_TOKENS, IO_TOKENS) for b in BATCHES])
+            for batch, row in zip(BATCHES, rows):
+                cells[(model, batch, top_k)] = {
+                    "throughput_tok_s": row["throughput_tok_s"],
+                    "fits": row["fits"],
+                }
+    for model, batch, top_k in itertools.product(MODELS, BATCHES, TOPKS):
+        table.add(model=model, batch=batch, top_k=top_k,
+                  **cells[(model, batch, top_k)])
     result.tables.append(table)
 
     from repro.core.charts import line_chart

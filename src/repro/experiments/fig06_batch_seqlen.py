@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-from repro.core.experiment import ExperimentResult, sweep
+from repro.core.experiment import ExperimentResult
 from repro.core.registry import experiment
 from repro.core.results import ResultTable
-from repro.experiments.common import perf_model
+from repro.experiments.common import metrics_rows, perf_model
 from repro.models.zoo import get_model
 from repro.workloads.generator import PAPER_SEQUENCE_LENGTHS
 
@@ -30,19 +30,16 @@ def run() -> ExperimentResult:
         ("model", "batch", "io_tokens", "throughput_tok_s", "fits"),
     )
 
-    def point(model: str, batch: int, io_tokens: int) -> dict:
+    # one deployment per model; the whole (batch, io_tokens) grid is one
+    # vectorized axis, emitted in the original sweep's product order
+    for model in MODELS:
         pm = perf_model(get_model(model))
-        m = pm.generate(batch, io_tokens, io_tokens, check_memory=False)
-        return {
-            "throughput_tok_s": m.throughput_tok_s,
-            "fits": pm.fits(batch, 2 * io_tokens),
-        }
-
-    sweep(
-        table,
-        {"model": MODELS, "batch": BATCHES, "io_tokens": PAPER_SEQUENCE_LENGTHS},
-        point,
-    )
+        grid = [(b, io) for b in BATCHES for io in PAPER_SEQUENCE_LENGTHS]
+        rows = metrics_rows(pm, [(b, io, io) for b, io in grid])
+        for (batch, io_tokens), row in zip(grid, rows):
+            table.add(model=model, batch=batch, io_tokens=io_tokens,
+                      throughput_tok_s=row["throughput_tok_s"],
+                      fits=row["fits"])
     result.tables.append(table)
 
     from repro.core.charts import line_chart

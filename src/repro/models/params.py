@@ -9,6 +9,7 @@ per token, i.e. top-k routed experts only).
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 
 from repro.models.config import AttentionConfig, AttentionKind, ModelConfig, VisionConfig
@@ -145,6 +146,7 @@ class ParamBreakdown:
         return out
 
 
+@functools.lru_cache(maxsize=None)
 def attention_params(cfg: AttentionConfig, hidden_size: int) -> int:
     """Weight parameters of one attention block (no biases).
 
@@ -175,6 +177,7 @@ def _ffn_params(hidden_size: int, ffn_dim: int, gated: bool) -> int:
     return n_mats * hidden_size * ffn_dim
 
 
+@functools.lru_cache(maxsize=None)
 def vision_tower_params(cfg: VisionConfig) -> int:
     """Approximate ViT tower parameters: per-layer attention + (non-gated) MLP
     + patch embedding + position embedding."""
@@ -186,6 +189,7 @@ def vision_tower_params(cfg: VisionConfig) -> int:
     return cfg.num_layers * per_layer + patch_embed + pos_embed
 
 
+@functools.lru_cache(maxsize=None)
 def layer_params(model: ModelConfig, layer_idx: int) -> LayerParams:
     """Per-component parameter counts of decoder layer ``layer_idx``."""
     is_moe = model.is_moe_layer(layer_idx)
@@ -220,6 +224,7 @@ def layer_params(model: ModelConfig, layer_idx: int) -> LayerParams:
     )
 
 
+@functools.lru_cache(maxsize=None)
 def model_params(model: ModelConfig) -> ParamBreakdown:
     """Full parameter breakdown for ``model`` (Table 1 / Fig. 1 source)."""
     layers = tuple(layer_params(model, i) for i in range(model.num_layers))

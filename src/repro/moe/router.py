@@ -157,6 +157,24 @@ class TopKRouter:
                 observer(result)
         return result
 
+    def route_counts(self, x: np.ndarray) -> np.ndarray:
+        """Per-expert token counts of the top-k decision for ``x``.
+
+        Bit-identical to ``route(x).expert_counts()`` — counts depend only
+        on *which* experts win, so the softmax, combine weights and
+        within-top-k ordering are skipped (the argpartition that fixes the
+        winning set is the same call :func:`top_k_indices` makes).  Falls
+        back to the full path when observers are subscribed so telemetry
+        still sees complete :class:`RoutingResult` objects.
+        """
+        if self._observers:
+            return self.route(x).expert_counts()
+        logits = self.logits(x)
+        part = np.argpartition(-logits, self.top_k - 1, axis=-1)
+        return np.bincount(
+            part[..., : self.top_k].ravel(), minlength=self.num_experts
+        )
+
     def z_loss(self, x: np.ndarray) -> float:
         """Router z-loss: mean squared logsumexp of the logits."""
         logits = self.logits(x)

@@ -201,7 +201,7 @@ class EngineRoutingProbe:
         hidden = self.routers[0].hidden_size
         x = self._rng.normal(size=(routed, hidden)).astype(np.float32)
         for layer_idx, router in enumerate(self.routers):
-            counts = router.route(x).expert_counts()
+            counts = router.route_counts(x)
             if scale != 1.0:
                 counts = np.round(counts * scale).astype(np.int64)
             self.telemetry.record_counts(layer_idx, counts)

@@ -49,6 +49,7 @@ class _Setup:
     plan: ParallelPlan
     quant: QuantConfig
     fused_moe: bool
+    mla_native: bool = False
 
 
 class InferencePerfModel:
@@ -64,7 +65,7 @@ class InferencePerfModel:
         mla_native: bool = False,
         instrumentation: "Instrumentation | None" = None,
     ) -> None:
-        self.setup = _Setup(model, hardware, plan, quant, fused_moe)
+        self.setup = _Setup(model, hardware, plan, quant, fused_moe, mla_native)
         self.steps = StepModel(model, hardware, plan, quant, fused_moe,
                                mla_native=mla_native)
         self.memory = MemoryModel(model, hardware, plan, quant,

@@ -64,6 +64,11 @@ class MemoryModel:
         self.quant = quant
         self.mla_native = mla_native
         self._params = model_params(model)
+        # both per-device figures are pure in the constructor arguments
+        # and probed once per sweep point / scheduler admission check, so
+        # they memoize lazily (never invalidated — the model is immutable)
+        self._weight_bytes: float | None = None
+        self._kv_bytes_per_token: float | None = None
 
     # ------------------------------------------------------------------ #
 
@@ -75,17 +80,22 @@ class MemoryModel:
         over ``tp``.  EP placement redistributes experts but keeps the same
         per-device total (E/ep experts each sharded tp/ep-ways).
         """
+        if self._weight_bytes is not None:
+            return self._weight_bytes
         p = self._params
         layer_total = sum(lp.total for lp in p.layers)
         per_stage_layers = layer_total / self.plan.pp / self.plan.tp
         embed = (p.embedding + p.lm_head + p.final_norm) / self.plan.tp
         vision = p.vision_tower  # vision tower is replicated on rank 0's stage
-        return (per_stage_layers + embed + vision) * self.quant.weight_bytes
+        self._weight_bytes = (per_stage_layers + embed + vision) * self.quant.weight_bytes
+        return self._weight_bytes
 
     def kv_bytes_per_token_per_device(self) -> float:
         """KV-cache bytes one context token costs on one device (all of the
         device's layers).  GQA (and materialised-MLA) KV heads shard across
         TP; a native-MLA compressed latent is replicated across TP ranks."""
+        if self._kv_bytes_per_token is not None:
+            return self._kv_bytes_per_token
         att = self.model.attention
         entries = att.kv_entries_per_token(self.mla_native)
         if att.kind is AttentionKind.MLA and self.mla_native:
@@ -93,7 +103,8 @@ class MemoryModel:
         else:
             shard = min(self.plan.tp, att.num_kv_heads)
         layers_per_stage = self.model.num_layers / self.plan.pp
-        return layers_per_stage * entries / shard * self.quant.kv_bytes
+        self._kv_bytes_per_token = layers_per_stage * entries / shard * self.quant.kv_bytes
+        return self._kv_bytes_per_token
 
     def kv_cache_bytes(self, batch: int, seq_len: int) -> float:
         """KV bytes for ``batch`` sequences of ``seq_len`` context tokens

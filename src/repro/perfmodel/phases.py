@@ -23,6 +23,7 @@ from repro.hardware.spec import HardwareSpec
 from repro.models.config import AttentionKind, ModelConfig
 from repro.optim.quantization import FP16_CONFIG, QuantConfig
 from repro.parallel.plan import SINGLE_DEVICE, ParallelPlan
+from repro.perfmodel import stepcache as _stepcache
 from repro.perfmodel.flops import (
     ComponentCost,
     attention_core_cost,
@@ -116,6 +117,15 @@ class StepModel:
         self.quant = quant
         self.fused_moe = fused_moe
         self.mla_native = mla_native
+        # intern the frozen setup once: per-step cache keys are flat tuples.
+        # the concrete class is part of the setup — subclasses override
+        # kernel-time methods (e.g. ablation variants) and must not share
+        # entries with the base model.
+        self._cache = _stepcache.GLOBAL
+        self._setup_id = self._cache.setup_id(_stepcache.freeze((
+            type(self).__module__, type(self).__qualname__,
+            model, hardware, plan, quant, fused_moe, mla_native,
+        )))
 
     # ------------------------------------------------------------------ #
     # kernel-time helpers
@@ -256,11 +266,35 @@ class StepModel:
             Context length whose KV cache is read per sequence.
         phase:
             ``"prefill"`` or ``"decode"`` (labelling + logits count).
+
+        Results are memoized through :mod:`repro.perfmodel.stepcache`:
+        repeated shapes return the *same* :class:`PhaseBreakdown` object,
+        so callers must treat it as immutable (copy before editing).
         """
         if phase not in ("prefill", "decode"):
             raise ValueError(f"phase must be 'prefill' or 'decode', got {phase!r}")
         if num_tokens <= 0 or batch <= 0:
             raise ValueError("num_tokens and batch must be positive")
+        cache = self._cache
+        if not cache.enabled:
+            return self._compute_step_breakdown(
+                num_tokens, batch, kv_len, phase, attended_len)
+        key = (self._setup_id, num_tokens, batch, kv_len, phase, attended_len)
+        bd = cache.get(key)
+        if bd is None:
+            bd = self._compute_step_breakdown(
+                num_tokens, batch, kv_len, phase, attended_len)
+            cache.put(key, bd)
+        return bd
+
+    def _compute_step_breakdown(
+        self,
+        num_tokens: float,
+        batch: float,
+        kv_len: float,
+        phase: str,
+        attended_len: float | None,
+    ) -> PhaseBreakdown:
         m = float(num_tokens)
         hw, plan, quant = self.hardware, self.plan, self.quant
         bd = PhaseBreakdown(phase=phase)
@@ -331,6 +365,10 @@ class StepModel:
             num_tokens=batch, batch=batch, kv_len=context_len, phase="decode"
         )
         return bd.total
+
+    def cache_stats(self) -> _stepcache.CacheStats:
+        """Hit/miss counters of the step cache this model routes through."""
+        return self._cache.stats
 
     def vision_encode_time(self, num_images: int) -> float:
         """Seconds to encode ``num_images`` through the vision tower (VLMs).

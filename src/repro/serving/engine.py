@@ -43,6 +43,13 @@ class ServingResult:
     kv_hit_rate: float = 0.0
     """Prefix-cache hit rate (0 when prefix caching is disabled)."""
 
+    # latency-value lists are immutable once the engine has drained, so
+    # the percentile accessors memoize them (p50+p99+mean would otherwise
+    # each rescan ``requests``); nothing ever invalidates these
+    _ttft_cache: list[float] | None = field(default=None, init=False, repr=False)
+    _e2e_cache: list[float] | None = field(default=None, init=False, repr=False)
+    _itl_cache: list[float] | None = field(default=None, init=False, repr=False)
+
     @property
     def num_requests(self) -> int:
         return len(self.requests)
@@ -84,16 +91,20 @@ class ServingResult:
         return sum(r.generated_tokens for r in self.requests) / self.makespan
 
     def _ttft_values(self) -> list[float]:
-        vals = [r.ttft for r in self.requests if r.ttft is not None]
-        if not vals:
-            raise ValueError("no request produced a first token")
-        return vals
+        if self._ttft_cache is None:
+            vals = [r.ttft for r in self.requests if r.ttft is not None]
+            if not vals:
+                raise ValueError("no request produced a first token")
+            self._ttft_cache = vals
+        return self._ttft_cache
 
     def _e2e_values(self) -> list[float]:
-        vals = [r.e2e_latency for r in self.requests if r.e2e_latency is not None]
-        if not vals:
-            raise ValueError("no request finished")
-        return vals
+        if self._e2e_cache is None:
+            vals = [r.e2e_latency for r in self.requests if r.e2e_latency is not None]
+            if not vals:
+                raise ValueError("no request finished")
+            self._e2e_cache = vals
+        return self._e2e_cache
 
     def mean_ttft(self) -> float:
         return float(np.mean(self._ttft_values()))
@@ -119,13 +130,15 @@ class ServingResult:
         return (r.e2e_latency - r.ttft) / (r.generated_tokens - 1)
 
     def _itl_values(self) -> list[float]:
-        vals = [itl for r in self.requests
-                if (itl := self._mean_itl(r)) is not None]
-        if not vals:
-            raise ValueError(
-                "no request generated a second token (ITL undefined)"
-            )
-        return vals
+        if self._itl_cache is None:
+            vals = [itl for r in self.requests
+                    if (itl := self._mean_itl(r)) is not None]
+            if not vals:
+                raise ValueError(
+                    "no request generated a second token (ITL undefined)"
+                )
+            self._itl_cache = vals
+        return self._itl_cache
 
     @property
     def p50_itl(self) -> float:
@@ -245,6 +258,10 @@ class ServingEngine:
         self.faults = fault_injector
         """Optional fault injector; ``None`` (or an unarmed schedule)
         leaves the engine's behaviour bit-identical to the default."""
+        stats = perf_model.steps.cache_stats()
+        self._stepcache_at_start = (stats.hits, stats.misses)
+        """Step-cache counter snapshot; ``run()`` reports the run's own
+        hit/miss delta through the metrics registry."""
 
     def _active_obs(self) -> "Instrumentation | None":
         obs = self.obs
@@ -343,21 +360,32 @@ class ServingEngine:
     def _components_of(bd, vision: float) -> dict[str, float]:
         """Profiler component taxonomy from a :class:`PhaseBreakdown`:
         the router is carved out of the expert FFN, collectives map to
-        ``interconnect``; zero components are dropped."""
-        router = bd.subcomponents.get("router", 0.0)
-        comps = {
-            "attention": bd.components.get("attention", 0.0),
-            "router": router,
-            "expert_ffn": bd.components.get("moe_ffn", 0.0) - router,
-            "dense_ffn": bd.components.get("dense_ffn", 0.0),
-            "embedding": bd.components.get("embedding", 0.0),
-            "lm_head": bd.components.get("lm_head", 0.0),
-            "interconnect": bd.comm,
-            "pipeline": bd.pipeline,
-            "overhead": bd.overhead,
-            "vision_encode": vision,
-        }
-        return {k: v for k, v in comps.items() if v > 0}
+        ``interconnect``; zero components are dropped.
+
+        The taxonomy of a breakdown never changes, and step-cached
+        breakdowns recur across iterations, so the vision-free dict is
+        built once and memoized on ``bd``.  Callers get a fresh copy each
+        time because the fault injector scales components in place."""
+        comps = bd.__dict__.get("_serving_components")
+        if comps is None:
+            router = bd.subcomponents.get("router", 0.0)
+            comps = {
+                "attention": bd.components.get("attention", 0.0),
+                "router": router,
+                "expert_ffn": bd.components.get("moe_ffn", 0.0) - router,
+                "dense_ffn": bd.components.get("dense_ffn", 0.0),
+                "embedding": bd.components.get("embedding", 0.0),
+                "lm_head": bd.components.get("lm_head", 0.0),
+                "interconnect": bd.comm,
+                "pipeline": bd.pipeline,
+                "overhead": bd.overhead,
+            }
+            comps = {k: v for k, v in comps.items() if v > 0}
+            bd.__dict__["_serving_components"] = comps
+        out = dict(comps)
+        if vision > 0:
+            out["vision_encode"] = vision
+        return out
 
     def step(self) -> bool:
         """Run one engine iteration; returns False when nothing remains."""
@@ -620,6 +648,14 @@ class ServingEngine:
             obs.metrics.gauge(
                 "engine_throughput_tok_s", "prompt+generated tokens per second"
             ).set(result.throughput_tok_s)
+            stats = self.perf.steps.cache_stats()
+            h0, m0 = self._stepcache_at_start
+            obs.metrics.gauge(
+                "stepcache_hits", "step-cache hits since engine construction"
+            ).set(stats.hits - h0)
+            obs.metrics.gauge(
+                "stepcache_misses", "step-cache misses since engine construction"
+            ).set(stats.misses - m0)
             if obs.alerts is not None:
                 obs.alerts.on_run_end(self, result)
         return result

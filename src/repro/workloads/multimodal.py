@@ -142,7 +142,7 @@ def run_activation_study(
         n = min(chunk, remaining)
         x = rng.normal(size=(n, router_hidden)).astype(np.float32)
         for slot, router in enumerate(routers):
-            counts = router.route(x).expert_counts()
+            counts = router.route_counts(x)
             tracker.record_counts(slot, np.round(counts * scale).astype(np.int64))
         remaining -= n
     tracker.tokens_seen = total_tokens

@@ -93,7 +93,8 @@ class TestCLIFailureHandling:
                 boom()
             return real_run(exp_id)
 
-        monkeypatch.setattr(cli, "run_experiment", run)
+        # run-all executes through the runner's (serial, jobs=1) loop
+        monkeypatch.setattr("repro.runner.run_experiment", run)
         rc = cli.main(["run-all", "--out", str(tmp_path)])
         assert rc == 1
         err = capsys.readouterr().err

@@ -1,0 +1,46 @@
+"""Regression tests: cached derived-parameter helpers equal the raw math.
+
+``repro.models.params`` memoizes its pure counting helpers with
+``functools.lru_cache`` and ``MemoryModel`` memoizes its per-deployment
+byte constants; both are exact caches over frozen inputs, so every cached
+value must equal a fresh uncached computation across the whole model zoo.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.gpus import H100_SXM
+from repro.models.params import layer_params, model_params
+from repro.models.zoo import ALL_MODELS, get_model
+from repro.perfmodel.memory import MemoryModel
+
+
+@pytest.mark.parametrize("name", sorted(ALL_MODELS))
+def test_model_params_cached_equals_uncached(name):
+    model = get_model(name)
+    cached = model_params(model)
+    uncached = model_params.__wrapped__(model)
+    assert cached == uncached
+    # a second call returns the memo, not a recomputation
+    assert model_params(model) is cached
+
+
+@pytest.mark.parametrize("name", sorted(ALL_MODELS))
+def test_layer_params_cached_equals_uncached(name):
+    model = get_model(name)
+    for layer_idx in (0, model.num_layers - 1):
+        assert (layer_params(model, layer_idx)
+                == layer_params.__wrapped__(model, layer_idx))
+
+
+@pytest.mark.parametrize("name", sorted(ALL_MODELS))
+def test_memory_model_memo_consistency(name):
+    mm = MemoryModel(get_model(name), H100_SXM)
+    fresh = MemoryModel(get_model(name), H100_SXM)
+    # first call populates the memo; repeats return the identical float
+    w = mm.weight_bytes_per_device()
+    kv = mm.kv_bytes_per_token_per_device()
+    assert mm.weight_bytes_per_device() == w == fresh.weight_bytes_per_device()
+    assert (mm.kv_bytes_per_token_per_device() == kv
+            == fresh.kv_bytes_per_token_per_device())

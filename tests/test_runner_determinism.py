@@ -1,0 +1,83 @@
+"""Determinism tests for the multiprocessing experiment runner.
+
+The contract: for any ``--jobs`` value, the merged result stream — and
+everything derived from it (fingerprints, table digests) — is byte-stable.
+Wall metrics are excluded; they are the only thing allowed to change.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.experiment import ExperimentResult
+from repro.runner import default_jobs, iter_experiments, run_experiments
+
+# one vectorized sweep, one table-driven summary, one chaos/engine run —
+# the three result families the suite produces
+REPRESENTATIVE = ["fig5", "table1", "ext_resilience"]
+
+
+def _gated_fingerprint(result: ExperimentResult) -> str:
+    data = result.fingerprint().to_dict()
+    data.pop("wall")  # wall clock legitimately differs between runs
+    return json.dumps(data, sort_keys=True)
+
+
+class TestByteStability:
+    def test_jobs1_vs_jobs4_fingerprints_identical(self):
+        serial = run_experiments(REPRESENTATIVE, jobs=1)
+        pooled = run_experiments(REPRESENTATIVE, jobs=4)
+        for a, b in zip(serial, pooled):
+            assert _gated_fingerprint(a) == _gated_fingerprint(b)
+
+    def test_chaos_replay_identical_across_processes(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.faults.harness import ChaosConfig, chaos_run_digest
+        from repro.runner import _pool_context
+
+        config = ChaosConfig(num_requests=8, horizon_s=2.0)
+        parent = chaos_run_digest(config)
+        with ProcessPoolExecutor(max_workers=2,
+                                 mp_context=_pool_context()) as pool:
+            workers = [pool.submit(chaos_run_digest, config).result()
+                       for _ in range(2)]
+        assert workers == [parent, parent]
+
+
+class TestMergeSemantics:
+    def test_results_yield_in_input_order(self):
+        ids = ["table1", "fig5", "ext_resilience"]  # not registry order
+        seen = [eid for eid, _ in iter_experiments(ids, jobs=2)]
+        assert seen == ids
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_experiments(["fig5", "no_such_experiment"], jobs=2)
+
+    def test_return_exceptions_isolates_failures(self):
+        outcomes = run_experiments(["no_such_experiment", "table1"], jobs=2,
+                                   return_exceptions=True)
+        assert isinstance(outcomes[0], KeyError)
+        assert isinstance(outcomes[1], ExperimentResult)
+
+    def test_serial_path_matches_pool_outcome_types(self):
+        serial = run_experiments(["table1"], jobs=1)
+        assert isinstance(serial[0], ExperimentResult)
+        assert serial[0].exp_id == "table1"
+
+
+class TestDefaultJobs:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "6")
+        assert default_jobs() == 6
+
+    def test_garbage_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        assert default_jobs() == 1
+
+    def test_unset_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_jobs() == 1

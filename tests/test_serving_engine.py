@@ -238,3 +238,29 @@ class TestSLOMetrics:
             res.slo_attainment(0.0)
         with pytest.raises(ValueError):
             res.slo_attainment(1.0, itl_slo_s=0.0)
+
+
+class TestResultValueCaches:
+    """ServingResult memoizes its percentile source lists after drain."""
+
+    def test_ttft_values_cached_and_consistent(self, olmoe_pm):
+        _, res = serve_static_batch(olmoe_pm, 4, 128, 8)
+        first = res._ttft_values()
+        assert res._ttft_values() is first  # memoized list, not a rebuild
+        assert res.p50_ttft() == res.p50_ttft()
+
+    def test_all_value_caches_match_requests(self, olmoe_pm):
+        _, res = serve_static_batch(olmoe_pm, 4, 128, 8)
+        assert res._e2e_values() is res._e2e_values()
+        assert res._itl_values() is res._itl_values()
+        assert len(res._ttft_values()) == len(res.requests)
+
+    def test_empty_result_still_raises(self, olmoe_pm):
+        from repro.serving.engine import ServingResult
+        from repro.serving.events import EventLog
+
+        empty = ServingResult(requests=[], makespan=0.0, log=EventLog())
+        with pytest.raises(ValueError):
+            empty._ttft_values()
+        with pytest.raises(ValueError):
+            empty._ttft_values()  # failure is not cached either
