@@ -14,6 +14,8 @@ Usage::
     repro profile [model-or-experiment] [--out profile.folded]
     repro chaos [--fault-seed N] [--fault-rate R] [--policy retry|failfast]
     repro chaos --smoke
+    repro lint [--check] [--rules DET,UNIT,PAR,REG] [--json]
+    repro lint --update-parity | --update-baseline | --list-rules
 
 (``repro`` and ``moe-inference-bench`` are the same entry point.)
 
@@ -29,8 +31,11 @@ Prometheus text exposition format.  ``bench`` maintains the
 ``BENCH_<figure>.json`` fingerprint baselines and gates drift
 (non-zero exit on ``--check`` failure); ``profile`` attributes a run's
 simulated time per phase × component and writes a folded-stack file for
-flamegraph tooling.  See ``docs/observability.md`` and
-``docs/regression.md``.
+flamegraph tooling.  ``lint`` statically proves the simulator's
+invariants (determinism, unit consistency, scalar↔vectorized fast-path
+parity, registry drift) — the review-time complement to the dynamic
+gates.  See ``docs/observability.md``, ``docs/regression.md`` and
+``docs/lint.md``.
 """
 
 from __future__ import annotations
@@ -564,6 +569,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="hypothetical component speedup priced by the "
                              "advice table (default 0.10)")
     p_prof.set_defaults(func=_cmd_profile)
+
+    from repro.lint.cli import add_lint_parser
+
+    add_lint_parser(sub)
 
     return parser
 

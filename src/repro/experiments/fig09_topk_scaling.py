@@ -36,7 +36,7 @@ def run() -> ExperimentResult:
     # monotonicity check across the whole feasible grid
     violations = 0
     combos = {(r["ffn_dim"], r["num_experts"]) for r in table}
-    for f, e in combos:
+    for f, e in sorted(combos):
         thr = [r["throughput_tok_s"] for r in table
                if r["ffn_dim"] == f and r["num_experts"] == e
                and r["throughput_tok_s"] is not None]

@@ -444,19 +444,19 @@ class FaultInjector:
                 or (self.domain.top_k > 0
                     and health.effective_top_k != self.domain.top_k))
 
-    def adjust(self, duration: float,
+    def adjust(self, duration_s: float,
                components: dict[str, float] | None) -> float:
         """Re-price one iteration under the current degraded health.
 
         ``components`` (the perf model's per-component decomposition of
-        ``duration``) is scaled in place — interconnect rides the degraded
+        ``duration_s``) is scaled in place — interconnect rides the degraded
         link, compute components squeeze onto the surviving devices, and
         the expert FFN additionally pays the rerouting imbalance (or gets
         cheaper under reduced top-k).  Returns the adjusted duration; the
-        unattributed remainder of ``duration`` is preserved as-is.
+        unattributed remainder of ``duration_s`` is preserved as-is.
         """
         if components is None or not self.needs_components:
-            return duration
+            return duration_s
         health = self.health
         compute_scale = 1.0
         if health.lost_devices and health.num_surviving > 0:
@@ -478,7 +478,7 @@ class FaultInjector:
             if mult != 1.0:
                 components[name] = value * mult
                 extra += value * (mult - 1.0)
-        return duration + extra
+        return duration_s + extra
 
     # ------------------------------------------------------------------ #
 

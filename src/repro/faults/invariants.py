@@ -224,7 +224,7 @@ def run_digest(result: "ServingResult") -> str:
     for e in result.log.events:
         h.update(repr((
             _hex(e.time), e.type.value, e.request_ids, e.num_tokens,
-            _hex(e.duration), _hex(e.kv_utilization), e.detail,
+            _hex(e.duration_s), _hex(e.kv_utilization), e.detail,
         )).encode())
     for r in sorted(result.requests, key=lambda r: r.request_id):
         h.update(repr((

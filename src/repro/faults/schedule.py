@@ -41,7 +41,7 @@ class FaultKind(enum.Enum):
 class FaultEvent:
     """One scheduled fault.
 
-    ``time`` and ``duration`` are simulated seconds.  ``target`` selects
+    ``time`` and ``duration_s`` are simulated seconds.  ``target`` selects
     the device / EP rank the fault lands on (interpreted modulo the
     deployment's size by the injector; ignored for ``KV_PRESSURE``).
     ``magnitude`` is kind-specific: the bandwidth-slowdown factor for
@@ -51,14 +51,14 @@ class FaultEvent:
 
     time: float
     kind: FaultKind
-    duration: float = PERMANENT
+    duration_s: float = PERMANENT
     target: int = 0
     magnitude: float = 1.0
 
     def __post_init__(self) -> None:
         if self.time < 0:
             raise ValueError("fault time must be non-negative")
-        if self.duration <= 0:
+        if self.duration_s <= 0:
             raise ValueError("fault duration must be positive")
         if self.target < 0:
             raise ValueError("fault target must be non-negative")
@@ -69,11 +69,11 @@ class FaultEvent:
 
     @property
     def heal_time(self) -> float:
-        return self.time + self.duration
+        return self.time + self.duration_s
 
     @property
     def is_permanent(self) -> bool:
-        return math.isinf(self.duration)
+        return math.isinf(self.duration_s)
 
     def describe(self) -> str:
         heal = "permanent" if self.is_permanent else f"heals @{self.heal_time:.3f}s"
@@ -182,7 +182,7 @@ class FaultSchedule:
                 if t > horizon_s:
                     break
                 permanent = bool(rng.random() < permanent_fraction)
-                duration = PERMANENT if permanent else \
+                duration_s = PERMANENT if permanent else \
                     max(1e-3, float(rng.exponential(mean_duration_s)))
                 magnitude = 1.0
                 if kind is FaultKind.LINK_DEGRADE:
@@ -193,7 +193,7 @@ class FaultSchedule:
                 events.append(FaultEvent(
                     time=t,
                     kind=kind,
-                    duration=duration,
+                    duration_s=duration_s,
                     target=int(rng.integers(num_targets)),
                     magnitude=magnitude,
                 ))

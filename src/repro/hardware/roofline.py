@@ -5,7 +5,7 @@ device memory, and the datatype its math runs in.  Execution time is the
 roofline maximum of the compute time and the memory time, plus the kernel
 launch overhead:
 
-    t = max( flops / (peak_flops * eff_c),  bytes / (bw * eff_m) ) + launch
+    t = max( flops / (peak_flops_per_s * eff_c),  bytes / (bw * eff_m) ) + launch
 
 ``eff_c`` is not constant: real tensor cores lose utilization when the
 token dimension of a GEMM is small (decode steps are GEMV-like) or when
@@ -87,7 +87,7 @@ def kernel_time(cost: KernelCost, hw: HardwareSpec, efficiency: float | None = N
         raise ValueError("efficiency must be positive")
     if cost.dtype in ("fp8_e4m3", "int8", "int4"):
         eff *= hw.quant_gemm_derate
-    t_compute = cost.flops / (hw.peak_flops(cost.dtype) * eff) if cost.flops else 0.0
+    t_compute = cost.flops / (hw.peak_flops_per_s(cost.dtype) * eff) if cost.flops else 0.0
     t_memory = cost.bytes / hw.mem_bytes_per_s if cost.bytes else 0.0
     return max(t_compute, t_memory) + cost.launches * hw.kernel_launch_us * 1e-6
 
@@ -105,7 +105,7 @@ def is_memory_bound(cost: KernelCost, hw: HardwareSpec,
     eff = hw.max_gemm_efficiency if efficiency is None else efficiency
     if cost.dtype in ("fp8_e4m3", "int8", "int4"):
         eff *= hw.quant_gemm_derate
-    t_compute = cost.flops / (hw.peak_flops(cost.dtype) * eff) if cost.flops else 0.0
+    t_compute = cost.flops / (hw.peak_flops_per_s(cost.dtype) * eff) if cost.flops else 0.0
     t_memory = cost.bytes / hw.mem_bytes_per_s if cost.bytes else 0.0
     return t_memory >= t_compute
 

@@ -102,7 +102,7 @@ class HardwareSpec:
         if self.max_devices <= 0:
             raise ValueError("max_devices must be positive")
 
-    def peak_flops(self, dtype_name: str) -> float:
+    def peak_flops_per_s(self, dtype_name: str) -> float:
         """Peak FLOP/s (not TFLOP/s) for the given dtype.
 
         Unknown dtypes fall back to fp16 peak scaled by the dtype's

@@ -1,0 +1,77 @@
+"""Violation reporters: reviewer-facing text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import collections
+import json
+from typing import Iterable
+
+from repro.lint.core import Violation, all_rules
+
+__all__ = ["render_text", "render_json", "JSON_SCHEMA_VERSION"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def _summary(violations: list[Violation]) -> dict:
+    by_rule: dict[str, int] = collections.Counter(v.rule for v in violations)
+    by_severity: dict[str, int] = collections.Counter(
+        v.severity for v in violations)
+    return {
+        "total": len(violations),
+        "by_rule": dict(sorted(by_rule.items())),
+        "by_severity": dict(sorted(by_severity.items())),
+    }
+
+
+def render_text(violations: Iterable[Violation],
+                new_keys: set[str] | None = None) -> str:
+    """One line per violation; ``new_keys`` (from a baseline diff) marks
+    which findings are new since the committed baseline."""
+    violations = list(violations)
+    if not violations:
+        return "simlint: clean — 0 violations"
+    lines = []
+    for v in violations:
+        tag = ""
+        if new_keys is not None:
+            tag = " [NEW]" if v.key() in new_keys else " [baselined]"
+        lines.append(v.format() + tag)
+    s = _summary(violations)
+    sev = ", ".join(f"{n} {k}" for k, n in sorted(s["by_severity"].items()))
+    lines.append(f"simlint: {s['total']} violation(s) ({sev}) across "
+                 f"{len(s['by_rule'])} rule(s)")
+    return "\n".join(lines)
+
+
+def render_json(violations: Iterable[Violation],
+                new_keys: set[str] | None = None) -> str:
+    """Stable JSON document (schema asserted by tests/test_lint_engine)."""
+    violations = list(violations)
+    doc = {
+        "version": JSON_SCHEMA_VERSION,
+        "violations": [
+            {
+                "rule": v.rule,
+                "severity": v.severity,
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "message": v.message,
+                "key": v.key(),
+                **({"new": v.key() in new_keys} if new_keys is not None else {}),
+            }
+            for v in violations
+        ],
+        "summary": _summary(violations),
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def render_rule_catalog() -> str:
+    """``--list-rules`` output: the rule catalog as a markdown table."""
+    lines = ["| id | name | severity | description |", "|---|---|---|---|"]
+    for rule in all_rules():
+        lines.append(f"| {rule.id} | {rule.name} | {rule.severity} | "
+                     f"{rule.description} |")
+    return "\n".join(lines)

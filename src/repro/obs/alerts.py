@@ -260,7 +260,7 @@ def _event_to_dict(event: Event) -> dict[str, Any]:
         "type": event.type.value,
         "request_ids": list(event.request_ids),
         "num_tokens": event.num_tokens,
-        "duration": event.duration,
+        "duration_s": event.duration_s,
         "kv_utilization": event.kv_utilization,
     }
 

@@ -59,7 +59,7 @@ def _phase_utilization(pm: InferencePerfModel, num_tokens: int, batch: int,
 
     active = model_params(pm.model).active
     flops = 2.0 * num_tokens * active / pm.setup.plan.num_devices
-    peak = pm.setup.hardware.peak_flops(pm.setup.quant.compute_dtype_name)
+    peak = pm.setup.hardware.peak_flops_per_s(pm.setup.quant.compute_dtype_name)
     return float(min(1.0, flops / (peak * bd.total)))
 
 

@@ -33,10 +33,10 @@ RUNTIME_OVERHEAD_GB = 1.5
 class MemoryBreakdown:
     """Per-device memory footprint, in bytes."""
 
-    weights: float
-    kv_cache: float
-    activations: float
-    overhead: float
+    weights: float  # simlint: unit=bytes
+    kv_cache: float  # simlint: unit=bytes
+    activations: float  # simlint: unit=bytes
+    overhead: float  # simlint: unit=bytes
 
     @property
     def total(self) -> float:

@@ -52,9 +52,9 @@ class PhaseBreakdown:
 
     phase: str
     components: dict[str, float] = field(default_factory=dict)
-    comm: float = 0.0
-    pipeline: float = 0.0
-    overhead: float = 0.0
+    comm: float = 0.0  # simlint: unit=s
+    pipeline: float = 0.0  # simlint: unit=s
+    overhead: float = 0.0  # simlint: unit=s
     subcomponents: dict[str, float] = field(default_factory=dict)
     """Finer-grained attribution *overlapping* ``components`` (e.g. the
     router's share of ``moe_ffn``) — excluded from :attr:`total`, consumed

@@ -100,7 +100,7 @@ class VectorizedStepModel:
             eff = hw.max_gemm_efficiency
         if dtype in _QUANT_DTYPES:
             eff = eff * hw.quant_gemm_derate
-        t_compute = 0.0 if flops is None else flops / (hw.peak_flops(dtype) * eff)
+        t_compute = 0.0 if flops is None else flops / (hw.peak_flops_per_s(dtype) * eff)
         t_memory = bytes_ / hw.mem_bytes_per_s
         launch = launches * hw.kernel_launch_us * 1e-6
         return np.maximum(t_compute, t_memory) + launch

@@ -436,7 +436,7 @@ class ServingEngine:
         if obs is not None:
             obs.tracer.begin("perfmodel.iteration_cost", self.clock,
                              cat="perfmodel")
-        duration, components = self._iteration_cost(
+        duration_s, components = self._iteration_cost(
             batch,
             want_components=obs is not None
             or (faults is not None and faults.needs_components),
@@ -444,11 +444,11 @@ class ServingEngine:
         if faults is not None:
             # price degraded links / lost devices / reduced top-k through
             # the component breakdown (no-op while the cluster is healthy)
-            duration = faults.adjust(duration, components)
+            duration_s = faults.adjust(duration_s, components)
         t_start = self.clock
         if obs is not None:
-            obs.tracer.end(self.clock, phase=batch.phase, seconds=duration)
-        self.clock += duration
+            obs.tracer.end(self.clock, phase=batch.phase, seconds=duration_s)
+        self.clock += duration_s
         if obs is not None:
             obs.now = self.clock
             obs.tracer.begin(f"engine.{batch.phase}", t_start, cat=batch.phase,
@@ -468,7 +468,7 @@ class ServingEngine:
         if batch.phase == "prefill":
             for req in batch.requests:
                 if req.first_scheduled_time is None:
-                    req.first_scheduled_time = self.clock - duration
+                    req.first_scheduled_time = self.clock - duration_s
             self.scheduler.on_prefill_done(batch)
             for req in batch.requests:
                 if not req.is_prefill_pending and req.first_token_time is None:
@@ -482,7 +482,7 @@ class ServingEngine:
             self.log.record(Event(
                 self.clock, EventType.PREFILL,
                 tuple(r.request_id for r in batch.requests),
-                num_tokens=batch.num_tokens, duration=duration,
+                num_tokens=batch.num_tokens, duration_s=duration_s,
                 kv_utilization=self.kv.utilization,
             ))
             self._finish_completed(batch.requests)
@@ -496,12 +496,12 @@ class ServingEngine:
             self.log.record(Event(
                 self.clock, EventType.DECODE,
                 tuple(r.request_id for r in batch.requests),
-                num_tokens=batch.num_tokens, duration=duration,
+                num_tokens=batch.num_tokens, duration_s=duration_s,
                 kv_utilization=self.kv.utilization,
             ))
             self._complete(finished)
         if obs is not None:
-            self._observe_iteration(obs, batch, duration)
+            self._observe_iteration(obs, batch, duration_s)
         return True
 
     def _resolve_starvation(self, faults: "FaultInjector",
@@ -558,7 +558,7 @@ class ServingEngine:
         tracer.end(self.clock, track="components")
 
     def _observe_iteration(self, obs: "Instrumentation",
-                           batch: ScheduledBatch, duration: float) -> None:
+                           batch: ScheduledBatch, duration_s: float) -> None:
         """Close the phase/step spans and update per-iteration metrics."""
         tracer = obs.tracer
         tracer.end(self.clock)  # engine.<phase>
@@ -577,7 +577,7 @@ class ServingEngine:
         ).inc(batch.num_tokens)
         obs.metrics.histogram(
             "step_time_seconds", "simulated iteration duration", labels=phase
-        ).observe(duration)
+        ).observe(duration_s)
         if obs.routing is not None:
             obs.routing.on_tokens(batch.num_tokens)
         if obs.alerts is not None:

@@ -37,7 +37,7 @@ class Event:
     type: EventType
     request_ids: tuple[int, ...] = ()
     num_tokens: int = 0
-    duration: float = 0.0
+    duration_s: float = 0.0
     kv_utilization: float = 0.0
     detail: str = ""
     """Free-form annotation: fault kind/target, failure reason, ..."""
@@ -65,7 +65,7 @@ class EventLog:
 
     def _index(self, event: Event) -> None:
         self._by_type[event.type].append(event)
-        self._total_busy += event.duration
+        self._total_busy += event.duration_s
         if event.kv_utilization > self._peak_kv:
             self._peak_kv = event.kv_utilization
 

@@ -26,8 +26,8 @@ class TestEventLog:
 
     def test_busy_time_and_peak_utilization(self):
         log = EventLog()
-        log.record(Event(1.0, EventType.PREFILL, duration=0.5, kv_utilization=0.2))
-        log.record(Event(2.0, EventType.DECODE, duration=0.25, kv_utilization=0.6))
+        log.record(Event(1.0, EventType.PREFILL, duration_s=0.5, kv_utilization=0.2))
+        log.record(Event(2.0, EventType.DECODE, duration_s=0.25, kv_utilization=0.6))
         assert log.total_busy_time() == pytest.approx(0.75)
         assert log.peak_kv_utilization() == pytest.approx(0.6)
         assert log.num_iterations == 2

@@ -60,7 +60,7 @@ class TestInjectorLifecycle:
 
     def test_device_loss_reserves_and_heal_releases(self):
         event = FaultEvent(time=0.01, kind=FaultKind.DEVICE_LOSS, target=2,
-                           duration=0.1)
+                           duration_s=0.1)
         engine, injector = _engine(_schedule(event), num_devices=4)
         share = engine.kv.num_blocks // 4
         engine.run()
@@ -77,9 +77,9 @@ class TestInjectorLifecycle:
         """Two overlapping transient losses of the same device: it stays
         lost until BOTH heal (refcounted, not toggled)."""
         first = FaultEvent(time=0.01, kind=FaultKind.DEVICE_LOSS, target=1,
-                           duration=0.30)
+                           duration_s=0.30)
         second = FaultEvent(time=0.05, kind=FaultKind.DEVICE_LOSS, target=1,
-                            duration=0.10)
+                            duration_s=0.10)
         engine, injector = _engine(_schedule(first, second), num_devices=4,
                                    output_tokens=64)
         engine.run()
@@ -89,9 +89,9 @@ class TestInjectorLifecycle:
 
     def test_link_degrade_composes_by_max(self):
         slow = FaultEvent(time=0.01, kind=FaultKind.LINK_DEGRADE,
-                          magnitude=4.0, duration=5.0)
+                          magnitude=4.0, duration_s=5.0)
         slower = FaultEvent(time=0.02, kind=FaultKind.LINK_DEGRADE,
-                            magnitude=8.0, duration=0.05)
+                            magnitude=8.0, duration_s=0.05)
         engine, injector = _engine(_schedule(slow, slower))
         injector.advance_to(0.03, engine)
         assert injector.health.link_slowdown == 8.0
@@ -100,7 +100,7 @@ class TestInjectorLifecycle:
 
     def test_kv_pressure_fraction_tracks_reservations(self):
         spike = FaultEvent(time=0.01, kind=FaultKind.KV_PRESSURE,
-                           magnitude=0.25, duration=0.05)
+                           magnitude=0.25, duration_s=0.05)
         engine, injector = _engine(_schedule(spike))
         injector.advance_to(0.02, engine)
         assert injector.health.kv_pressure_fraction == pytest.approx(
@@ -113,9 +113,9 @@ class TestInjectorLifecycle:
         """A fault landing exactly when another heals must see the healed
         state — deterministic tie-breaking, not insertion order."""
         first = FaultEvent(time=0.01, kind=FaultKind.LINK_DEGRADE,
-                           magnitude=8.0, duration=0.04)
+                           magnitude=8.0, duration_s=0.04)
         second = FaultEvent(time=0.05, kind=FaultKind.LINK_DEGRADE,
-                            magnitude=2.0, duration=1.0)
+                            magnitude=2.0, duration_s=1.0)
         engine, injector = _engine(_schedule(first, second))
         injector.advance_to(0.05, engine)
         assert injector.health.link_slowdown == 2.0
@@ -133,7 +133,7 @@ class TestPricing:
     def test_link_slowdown_prices_the_interconnect_share(self):
         engine, injector = _engine(_schedule(FaultEvent(
             time=0.01, kind=FaultKind.LINK_DEGRADE, magnitude=4.0,
-            duration=10.0)))
+            duration_s=10.0)))
         injector.advance_to(0.02, engine)
         assert injector.needs_components
         comps = {"attention": 0.5, "interconnect": 0.2}
@@ -144,7 +144,7 @@ class TestPricing:
 
     def test_device_loss_squeezes_compute_onto_survivors(self):
         engine, injector = _engine(_schedule(FaultEvent(
-            time=0.01, kind=FaultKind.DEVICE_LOSS, target=0, duration=10.0)),
+            time=0.01, kind=FaultKind.DEVICE_LOSS, target=0, duration_s=10.0)),
             num_devices=4)
         injector.advance_to(0.02, engine)
         comps = {"attention": 0.3, "expert_ffn": 0.3, "overhead": 0.1}
@@ -158,7 +158,7 @@ class TestPricing:
     def test_degraded_topk_discounts_experts_and_dispatch(self):
         schedule = _schedule(FaultEvent(
             time=0.01, kind=FaultKind.EXPERT_SHARD_LOSS, target=1,
-            duration=10.0))
+            duration_s=10.0))
         engine, injector = _engine(schedule, replicas=1, ep=4)
         injector.advance_to(0.02, engine)
         full_k = injector.domain.top_k
@@ -174,7 +174,7 @@ class TestPricing:
 class TestRecoveryIntegration:
     def test_killed_requests_reroute_through_the_policy(self):
         event = FaultEvent(time=0.02, kind=FaultKind.DEVICE_LOSS, target=0,
-                           duration=0.05)
+                           duration_s=0.05)
         engine, injector = _engine(_schedule(event), num_devices=4,
                                    arrival_interval=0.0)
         result = engine.run()

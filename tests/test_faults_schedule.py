@@ -16,7 +16,7 @@ from repro.faults.schedule import (
 
 class TestFaultEvent:
     def test_heal_time_and_permanence(self):
-        e = FaultEvent(time=1.0, kind=FaultKind.DEVICE_LOSS, duration=0.5)
+        e = FaultEvent(time=1.0, kind=FaultKind.DEVICE_LOSS, duration_s=0.5)
         assert e.heal_time == 1.5
         assert not e.is_permanent
         p = FaultEvent(time=1.0, kind=FaultKind.DEVICE_LOSS)
@@ -28,7 +28,7 @@ class TestFaultEvent:
         with pytest.raises(ValueError):
             FaultEvent(time=-1.0, kind=FaultKind.DEVICE_LOSS)
         with pytest.raises(ValueError):
-            FaultEvent(time=0.0, kind=FaultKind.DEVICE_LOSS, duration=0.0)
+            FaultEvent(time=0.0, kind=FaultKind.DEVICE_LOSS, duration_s=0.0)
         with pytest.raises(ValueError):
             FaultEvent(time=0.0, kind=FaultKind.LINK_DEGRADE, magnitude=0.5)
         with pytest.raises(ValueError):
@@ -58,7 +58,7 @@ class TestFaultSchedule:
         assert schedule.events_between(0.0, 0.999) == []
 
     def test_next_event_time_includes_heals(self):
-        e = FaultEvent(time=1.0, kind=FaultKind.DEVICE_LOSS, duration=0.5)
+        e = FaultEvent(time=1.0, kind=FaultKind.DEVICE_LOSS, duration_s=0.5)
         schedule = FaultSchedule(events=(e,))
         assert schedule.next_event_time(0.0) == 1.0
         assert schedule.next_event_time(1.0) == 1.5  # the heal

@@ -10,14 +10,14 @@ from repro.hardware.spec import HardwareSpec, InterconnectSpec
 
 class TestHardwareSpec:
     def test_peak_flops_lookup(self):
-        assert H100_SXM.peak_flops("fp16") == pytest.approx(989.4e12)
-        assert H100_SXM.peak_flops("fp8_e4m3") == pytest.approx(1978.9e12)
+        assert H100_SXM.peak_flops_per_s("fp16") == pytest.approx(989.4e12)
+        assert H100_SXM.peak_flops_per_s("fp8_e4m3") == pytest.approx(1978.9e12)
 
     def test_peak_flops_fallback_scaling(self):
         hw = HardwareSpec(name="x", peak_tflops={"fp16": 100.0},
                           memory_gb=16, mem_bandwidth_gbps=1000)
-        assert hw.peak_flops("int8") == pytest.approx(200e12)
-        assert hw.peak_flops("fp32") == pytest.approx(50e12)
+        assert hw.peak_flops_per_s("int8") == pytest.approx(200e12)
+        assert hw.peak_flops_per_s("fp32") == pytest.approx(50e12)
 
     def test_mem_bytes_per_s_includes_efficiency(self):
         assert H100_SXM.mem_bytes_per_s == pytest.approx(3350e9 * 0.80)

@@ -213,7 +213,7 @@ class TestDirectedFaultScenarios:
     def test_transient_kv_pressure_heals_and_run_completes(self):
         schedule = FaultSchedule(events=(FaultEvent(
             time=0.001, kind=FaultKind.KV_PRESSURE, magnitude=0.9,
-            duration=0.2,
+            duration_s=0.2,
         ),))
         engine, injector = build_chaos_engine(
             _chaos_config(kv_pool_tokens=2048, num_requests=6,
@@ -229,7 +229,7 @@ class TestDirectedFaultScenarios:
         retry budget and fail with the originating fault in the reason."""
         events = tuple(FaultEvent(
             time=0.01 + 0.4 * i, kind=FaultKind.DEVICE_LOSS, target=0,
-            duration=0.35,
+            duration_s=0.35,
         ) for i in range(8))
         engine, _ = build_chaos_engine(
             _chaos_config(num_requests=8, output_tokens=256,

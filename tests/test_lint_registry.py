@@ -1,0 +1,132 @@
+"""REG0xx rules: experiments <-> baselines <-> docs <-> CLI drift."""
+
+import pathlib
+import textwrap
+
+from repro.lint.core import LintProject, get_rule
+from repro.lint.registry import (
+    PSEUDO_BASELINES,
+    bench_baseline_ids,
+    registered_experiment_ids,
+)
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+_CLI = '''
+"""Usage:
+
+    repro bench [--check]
+    repro lint [--check]
+"""
+
+
+def build_parser(sub):
+    sub.add_parser("bench")
+    sub.add_parser("lint")
+'''
+
+
+def _project(tmp_path, *, experiments=("figx",), baselines=("figx",),
+             documented=("figx",), cli: str = _CLI) -> LintProject:
+    exp_dir = tmp_path / "src/repro/experiments"
+    exp_dir.mkdir(parents=True)
+    for i, exp_id in enumerate(experiments):
+        (exp_dir / f"exp{i}.py").write_text(textwrap.dedent(f"""
+            @experiment("{exp_id}")
+            def run():
+                pass
+        """))
+    for bid in baselines:
+        (tmp_path / f"BENCH_{bid}.json").write_text("{}\n")
+    (tmp_path / "EXPERIMENTS.md").write_text(
+        "| id | verdict |\n|---|---|\n"
+        + "".join(f"| {d} | reproduced |\n" for d in documented))
+    cli_path = tmp_path / "src/repro/core/cli.py"
+    cli_path.parent.mkdir(parents=True)
+    cli_path.write_text(cli)
+    return LintProject(tmp_path)
+
+
+def _run(rule_id: str, project: LintProject):
+    return list(get_rule(rule_id).run(project))
+
+
+class TestParsers:
+    def test_decorators_parsed_statically(self, tmp_path):
+        project = _project(tmp_path, experiments=("figx", "figy"),
+                           baselines=("figx", "figy"),
+                           documented=("figx", "figy"))
+        ids = registered_experiment_ids(project)
+        assert set(ids) == {"figx", "figy"}
+        path, line = ids["figx"]
+        assert path.startswith("src/repro/experiments/")
+
+    def test_bench_files_globbed(self, tmp_path):
+        project = _project(tmp_path, baselines=("figx", "wallclock"))
+        assert set(bench_baseline_ids(project)) == {"figx", "wallclock"}
+
+
+class TestBaselineCoverage:
+    def test_clean_when_every_experiment_has_a_baseline(self, tmp_path):
+        assert _run("REG001", _project(tmp_path)) == []
+
+    def test_missing_baseline_flagged(self, tmp_path):
+        vs = _run("REG001", _project(tmp_path, baselines=()))
+        assert len(vs) == 1
+        assert "BENCH_figx.json" in vs[0].message
+        assert "--record" in vs[0].message
+
+
+class TestStaleBaseline:
+    def test_stale_bench_file_flagged(self, tmp_path):
+        vs = _run("REG002", _project(tmp_path, baselines=("figx", "ghost")))
+        assert len(vs) == 1
+        assert vs[0].path == "BENCH_ghost.json"
+
+    def test_pseudo_baselines_exempt(self, tmp_path):
+        project = _project(tmp_path,
+                           baselines=("figx",) + tuple(PSEUDO_BASELINES))
+        assert _run("REG002", project) == []
+
+
+class TestExperimentsDoc:
+    def test_undocumented_experiment_flagged(self, tmp_path):
+        vs = _run("REG003", _project(tmp_path, documented=()))
+        assert len(vs) == 1
+        assert "EXPERIMENTS.md" in vs[0].message
+
+    def test_word_boundary_match(self, tmp_path):
+        # "figx10" in the doc must not satisfy experiment "figx"
+        vs = _run("REG003", _project(tmp_path, documented=("figx10",)))
+        assert len(vs) == 1
+
+    def test_missing_doc_file_flagged(self, tmp_path):
+        project = _project(tmp_path)
+        (tmp_path / "EXPERIMENTS.md").unlink()
+        vs = _run("REG003", project)
+        assert any("missing" in v.message for v in vs)
+
+
+class TestCliDoc:
+    def test_documented_subcommands_clean(self, tmp_path):
+        assert _run("REG004", _project(tmp_path)) == []
+
+    def test_undocumented_subcommand_flagged(self, tmp_path):
+        cli = _CLI.replace('    repro lint [--check]\n', '')
+        vs = _run("REG004", _project(tmp_path, cli=cli))
+        assert len(vs) == 1
+        assert "'lint'" in vs[0].message
+
+
+class TestRepoIsDriftFree:
+    def test_real_registry_clean(self):
+        project = LintProject(REPO)
+        for rule_id in ("REG001", "REG002", "REG003", "REG004"):
+            assert _run(rule_id, project) == [], rule_id
+
+    def test_real_repo_has_experiments_and_baselines(self):
+        project = LintProject(REPO)
+        ids = registered_experiment_ids(project)
+        baselines = bench_baseline_ids(project)
+        assert len(ids) >= 20
+        assert set(ids) <= set(baselines)

@@ -1,0 +1,129 @@
+"""UNIT0xx rules: suffix-inferred dimensional analysis."""
+
+import textwrap
+
+from repro.lint.core import get_rule, lint_source
+from repro.lint.units import AMBIGUOUS_NAMES, SUFFIX_UNITS
+
+REL = "src/repro/perfmodel/fixture.py"
+
+
+def _src(text: str) -> str:
+    return textwrap.dedent(text).lstrip("\n")
+
+
+def _lint(rule_id: str, text: str, rel: str = REL):
+    return lint_source(_src(text), get_rule(rule_id), rel=rel)
+
+
+class TestMixedUnits:
+    def test_seconds_plus_microseconds(self):
+        vs = _lint("UNIT001", """
+            def f(t_s, overhead_us):
+                return t_s + overhead_us
+        """)
+        assert len(vs) == 1
+        assert "'s'" in vs[0].message and "'us'" in vs[0].message
+
+    def test_conversion_clears_the_mix(self):
+        assert _lint("UNIT001", """
+            def f(t_s, overhead_us):
+                return t_s + overhead_us * 1e-6
+        """) == []
+
+    def test_min_max_join_mixing(self):
+        vs = _lint("UNIT001", """
+            def f(t_s, size_bytes):
+                return max(t_s, size_bytes)
+        """)
+        assert len(vs) == 1
+
+    def test_comparison_mixing(self):
+        vs = _lint("UNIT001", """
+            def f(kv_bytes, budget_gb):
+                return kv_bytes > budget_gb
+        """)
+        assert len(vs) == 1
+
+    def test_assignment_target_suffix_checked(self):
+        vs = _lint("UNIT001", """
+            def f(weights_bytes):
+                total_gb = weights_bytes + weights_bytes
+                return total_gb
+        """)
+        assert len(vs) == 1
+
+    def test_division_produces_rate_not_mismatch(self):
+        assert _lint("UNIT001", """
+            def f(size_bytes, t_s):
+                return size_bytes / t_s
+        """) == []
+
+    def test_unit_declaration_joins_inference(self):
+        vs = _lint("UNIT001", """
+            comm = 0.0  # simlint: unit=s
+
+            def f(overhead_us):
+                return comm + overhead_us
+        """)
+        assert len(vs) == 1
+
+    def test_out_of_scope_path_skipped(self):
+        assert _lint("UNIT001", """
+            def f(t_s, overhead_us):
+                return t_s + overhead_us
+        """, rel="src/repro/serving/engine.py") == []
+
+    def test_suppression(self):
+        assert _lint("UNIT001", """
+            def f(t_s, overhead_us):
+                return t_s + overhead_us  # simlint: disable=UNIT001
+        """) == []
+
+
+class TestReturnUnit:
+    def test_flags_wrong_return_unit(self):
+        vs = _lint("UNIT002", """
+            def budget_bytes(pool_gb):
+                return pool_gb + pool_gb
+        """)
+        assert len(vs) == 1
+        assert "'bytes'" in vs[0].message
+
+    def test_matching_return_clean(self):
+        assert _lint("UNIT002", """
+            def budget_bytes(pool_bytes):
+                return pool_bytes + pool_bytes
+        """) == []
+
+    def test_time_suffix_means_seconds(self):
+        vs = _lint("UNIT002", """
+            def kernel_time(latency_us):
+                return latency_us
+        """)
+        assert len(vs) == 1
+
+
+class TestAmbiguousName:
+    def test_flags_bare_assign_and_param(self):
+        vs = _lint("UNIT003", """
+            def f(latency):
+                bw = 3.35
+                return latency / bw
+        """)
+        assert len(vs) == 2
+        assert vs[0].severity == "warning"
+
+    def test_suffixed_names_clean(self):
+        assert _lint("UNIT003", """
+            def f(latency_s):
+                bw_gbps = 3.35
+                return latency_s / bw_gbps
+        """) == []
+
+    def test_every_ambiguous_name_has_no_suffix_unit(self):
+        # the normalization targets must themselves be unit-less, or the
+        # two rules would fight over the same name
+        suffixes = tuple(s for s, _ in SUFFIX_UNITS)
+        for name in AMBIGUOUS_NAMES:
+            assert not name.endswith(suffixes)

@@ -104,7 +104,7 @@ class TestRules:
         rule = EmptyPercentileRule()
         # iterations happened but nothing ever finished
         engine.log.record(Event(0.1, EventType.DECODE, (0,), num_tokens=1,
-                                duration=0.1))
+                                duration_s=0.1))
         result = ServingResult(requests=[], makespan=0.1, log=engine.log)
         alert = rule.check_end(engine, result)
         assert alert is not None and "percentile" in alert.message

@@ -89,7 +89,7 @@ class TestDisableModeIdentity:
         return (
             result.makespan,
             result.kv_hit_rate,
-            tuple((e.time, e.type, e.request_ids, e.num_tokens, e.duration,
+            tuple((e.time, e.type, e.request_ids, e.num_tokens, e.duration_s,
                    e.kv_utilization) for e in result.log.events),
             tuple((r.request_id, r.first_scheduled_time, r.first_token_time,
                    r.finish_time, r.generated_tokens, r.num_preemptions)

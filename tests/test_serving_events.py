@@ -50,9 +50,9 @@ class TestEventLogIndices:
     def test_count_and_of_type_track_record(self):
         log = EventLog()
         log.record(ev(0.0, EventType.ARRIVAL))
-        log.record(ev(0.1, EventType.PREFILL, duration=0.1))
-        log.record(ev(0.2, EventType.DECODE, duration=0.05))
-        log.record(ev(0.3, EventType.DECODE, duration=0.05))
+        log.record(ev(0.1, EventType.PREFILL, duration_s=0.1))
+        log.record(ev(0.2, EventType.DECODE, duration_s=0.05))
+        log.record(ev(0.3, EventType.DECODE, duration_s=0.05))
         assert log.count(EventType.DECODE) == 2
         assert [e.time for e in log.of_type(EventType.DECODE)] == [0.2, 0.3]
         assert log.num_iterations == 3
@@ -73,8 +73,8 @@ class TestEventLogIndices:
 
     def test_post_init_indexes_preexisting_events(self):
         events = [
-            ev(0.0, EventType.PREFILL, duration=0.1, kv_utilization=0.5),
-            ev(0.1, EventType.DECODE, duration=0.2, kv_utilization=0.3),
+            ev(0.0, EventType.PREFILL, duration_s=0.1, kv_utilization=0.5),
+            ev(0.1, EventType.DECODE, duration_s=0.2, kv_utilization=0.3),
         ]
         log = EventLog(events=events)
         assert log.count(EventType.PREFILL) == 1
