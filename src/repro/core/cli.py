@@ -7,7 +7,10 @@ Usage::
     repro run-all [--out results/] [--jobs N]
     repro summary [--out report.md] [--jobs N]
     repro trace [model-or-experiment] [--out trace.json]
+    repro trace [model] [--poisson RATE] [--request ID] [--match REGEX]
+    repro trace [model] --timeline REQUEST_ID
     repro metrics [model] [--json]
+    repro slo [--check] [--out report.json] [--bundle-dir DIR]
     repro bench --record [--figs fig05,fig06] [--note "..."]
     repro bench --check [--wall] [--jobs N]
     repro bench --trend [--out trend.md]
@@ -26,8 +29,15 @@ two digests are bit-identical and that every simulator invariant held —
 the CI determinism gate.  ``trace`` records a reference serving run (or a
 registered experiment)
 under full instrumentation and writes Chrome Trace Event JSON for
-Perfetto / ``chrome://tracing``; ``metrics`` prints the run's metrics in
-Prometheus text exposition format.  ``bench`` maintains the
+Perfetto / ``chrome://tracing`` — ``--poisson RATE`` swaps in the
+``ext_serving_load`` Poisson workload, ``--request``/``--match`` filter
+the exported events, and ``--timeline`` prints one request's causal
+lifecycle table (see :mod:`repro.obs.reqtrace`); ``metrics`` prints the
+run's metrics in Prometheus text exposition format.  ``slo`` runs the
+canonical fault-storm scenario with SLO burn-rate paging armed and
+reports error-budget burn; ``--check`` replays it and asserts the report
+is byte-identical with at least one burn alert fired (the SLO
+determinism gate).  ``bench`` maintains the
 ``BENCH_<figure>.json`` fingerprint baselines and gates drift
 (non-zero exit on ``--check`` failure); ``profile`` attributes a run's
 simulated time per phase × component and writes a folded-stack file for
@@ -143,8 +153,33 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
                         help="seconds between request arrivals (default 0: burst)")
 
 
+def _write_filtered_trace(obs, out: pathlib.Path,
+                          request_id: int | None,
+                          match: str | None) -> int:
+    """Write the run's Chrome trace — engine tracks merged with the
+    per-request tracks — through the ``--request``/``--match`` filters.
+    Returns the number of events written."""
+    import json
+
+    from repro.obs.trace import filter_trace_events
+
+    events = obs.tracer.events
+    if obs.reqtrace is not None:
+        events = events + obs.reqtrace.chrome_events()
+    if request_id is not None or match is not None:
+        events = filter_trace_events(events, request_id=request_id,
+                                     match=match)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps({
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs"},
+    }))
+    return len(events)
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from repro.obs.harness import traced_serving_run
+    from repro.obs.harness import poisson_serving_run, traced_serving_run
     from repro.obs.instrument import Instrumentation
 
     out = pathlib.Path(args.out)
@@ -160,16 +195,38 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(render_time_breakdown(obs.tracer.span_totals("experiment")))
         return 0
 
-    result, obs = traced_serving_run(
-        args.target,
-        num_requests=args.requests,
-        input_tokens=args.input_tokens,
-        output_tokens=args.output_tokens,
-        arrival_interval=args.arrival_interval,
-        with_routing=not args.no_routing,
-    )
-    obs.tracer.write(out)
-    print(f"wrote {out} ({obs.tracer.num_events} events)")
+    if args.poisson is not None:
+        from repro.models.zoo import get_model
+
+        model = get_model(args.target)
+        obs = Instrumentation.on(
+            model=None if args.no_routing else model)
+        result = poisson_serving_run(
+            arrival_rate_rps=args.poisson,
+            num_requests=args.requests,
+            model_name=args.target,
+            instrumentation=obs,
+        )
+    else:
+        result, obs = traced_serving_run(
+            args.target,
+            num_requests=args.requests,
+            input_tokens=args.input_tokens,
+            output_tokens=args.output_tokens,
+            arrival_interval=args.arrival_interval,
+            with_routing=not args.no_routing,
+        )
+    if args.timeline is not None:
+        try:
+            print(obs.reqtrace.render_timeline(args.timeline))
+        except KeyError:
+            print(f"no trace recorded for request {args.timeline} "
+                  f"(run had {result.num_requests} requests)",
+                  file=sys.stderr)
+            return 1
+        return 0
+    num_events = _write_filtered_trace(obs, out, args.request, args.match)
+    print(f"wrote {out} ({num_events} events)")
     print(f"{args.target}: {result.num_requests} requests, "
           f"makespan {result.makespan:.4f}s, "
           f"throughput {result.throughput_tok_s:,.0f} tok/s, "
@@ -394,6 +451,63 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_slo(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.slo import SLO, fault_storm_config, run_slo_scenario
+
+    slos = None
+    if args.spec:
+        slos = [SLO.parse(spec) for spec in args.spec]
+    config = fault_storm_config()
+    if args.fault_seed is not None:
+        import dataclasses
+
+        config = dataclasses.replace(config, fault_seed=args.fault_seed)
+    kwargs = dict(config=config, hour_s=args.hour_s,
+                  out_dir=args.bundle_dir)
+    if slos is not None:
+        kwargs["slos"] = slos
+    report = run_slo_scenario(**kwargs)
+
+    print(f"SLO scenario '{report['scenario']}' "
+          f"(1 wall hour = {report['hour_s']:g} simulated s):")
+    for budget in report["budgets"]:
+        print(f"  {budget['objective']}: attainment "
+              f"{budget['attainment']:.4f}, "
+              f"{budget['bad']}/{budget['total']} bad, "
+              f"budget consumed {budget['budget_consumed']:.2f}x")
+    if report["alerts"]:
+        for alert in report["alerts"]:
+            print(f"  [page] {alert['rule']} at t={alert['time']:.4f}s: "
+                  f"{alert['message']}")
+    else:
+        print("  no burn-rate alerts fired")
+    for bundle in report["bundles"]:
+        print(f"  flight-recorder bundle: {bundle}")
+
+    if args.out:
+        path = pathlib.Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+
+    if args.check:
+        replay = run_slo_scenario(**kwargs)
+        blob = json.dumps(report, sort_keys=True)
+        if blob != json.dumps(replay, sort_keys=True):
+            print("[FAIL] SLO replay diverged from the first run",
+                  file=sys.stderr)
+            return 1
+        if not report["alerts"]:
+            print("[FAIL] fault-storm scenario fired no burn-rate alert",
+                  file=sys.stderr)
+            return 1
+        print(f"[ok] replay byte-identical, {len(report['alerts'])} "
+              "burn-rate alert(s) fired deterministically")
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.core.report import render_profile_report
     from repro.obs.instrument import Instrumentation
@@ -475,6 +589,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write Prometheus metrics to this path")
     p_trace.add_argument("--no-routing", action="store_true",
                          help="disable the expert-routing probe")
+    p_trace.add_argument("--poisson", type=float, metavar="RATE",
+                         help="use the ext_serving_load Poisson workload "
+                              "at RATE requests/s instead of the "
+                              "fixed-shape burst")
+    p_trace.add_argument("--request", type=int, metavar="ID",
+                         help="keep only events belonging to this "
+                              "request id")
+    p_trace.add_argument("--match", metavar="REGEX",
+                         help="keep only events whose span name matches "
+                              "this regex")
+    p_trace.add_argument("--timeline", type=int, metavar="ID",
+                         help="print the causal lifecycle timeline of one "
+                              "request instead of writing a trace")
     p_trace.set_defaults(func=_cmd_trace)
 
     p_metrics = sub.add_parser(
@@ -550,6 +677,30 @@ def build_parser() -> argparse.ArgumentParser:
                          help="replay with the same seeds and assert "
                               "bit-identical digests + invariants (CI gate)")
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_slo = sub.add_parser(
+        "slo",
+        help="run the fault-storm scenario with SLO burn-rate paging "
+             "armed and report error-budget burn",
+    )
+    p_slo.add_argument("--spec", action="append", metavar="SPEC",
+                       help="declarative SLO, repeatable (e.g. "
+                            "'p99 ttft < 0.5s', 'availability >= 99.9%%'; "
+                            "default: the canonical pair)")
+    p_slo.add_argument("--hour-s", type=float, default=1.0,
+                       help="simulated seconds standing in for one wall "
+                            "hour in the SRE burn windows (default 1.0)")
+    p_slo.add_argument("--fault-seed", type=int, default=None,
+                       help="override the storm's fault-schedule seed")
+    p_slo.add_argument("--bundle-dir",
+                       help="dump flight-recorder bundles here when a "
+                            "burn alert fires")
+    p_slo.add_argument("--out", help="write the JSON report here")
+    p_slo.add_argument("--check", action="store_true",
+                       help="replay the scenario and assert the report is "
+                            "byte-identical with >=1 burn alert fired "
+                            "(CI gate)")
+    p_slo.set_defaults(func=_cmd_slo)
 
     p_prof = sub.add_parser(
         "profile",

@@ -52,8 +52,8 @@ def render_profile_report(report) -> str:
                  f"over {report.result.num_requests} requests "
                  f"(makespan {report.result.makespan:.6f}s).")
     lines.append("")
-    hits = report.obs.metrics.gauge("stepcache_hits").value
-    misses = report.obs.metrics.gauge("stepcache_misses").value
+    hits = report.obs.metrics.gauge("stepcache_hits_total").value
+    misses = report.obs.metrics.gauge("stepcache_misses_total").value
     lookups = hits + misses
     if lookups:
         lines.append(

@@ -25,6 +25,7 @@ from repro.experiments import (  # noqa: F401  (imports register experiments)
     fig17_llm_frontier,
     fig18_vlm_frontier,
     resilience,
+    slo,
     table1_architectures,
 )
 

@@ -1,0 +1,135 @@
+"""Extension experiment: SLO error-budget burn under load and faults.
+
+The paper reports raw TTFT/ITL/E2E curves; operators run serving against
+*objectives* — MoE-CAP argues cost/performance must be judged by delivered
+service quality.  ``ext_slo`` scores the canonical objectives (``p99 ttft
+< 0.5s``, ``availability >= 99.9%``, :data:`repro.obs.slo.DEFAULT_SLOS`)
+over two sweeps: offered load on a healthy deployment (the
+``ext_serving_load`` workload), and fault-storm intensity on the chaos
+deployment.  Each point reports budget consumption and how many SRE
+multi-window burn-rate pages fired — all on the simulated clock, so every
+cell is deterministic and fingerprint-gated.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.experiment import ExperimentResult, sweep
+from repro.core.registry import experiment
+from repro.core.results import ResultTable
+from repro.faults.harness import chaos_serving_run
+from repro.obs.alerts import AlertMonitor
+from repro.obs.harness import poisson_serving_run
+from repro.obs.instrument import Instrumentation
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    SLO,
+    SloTracker,
+    fault_storm_config,
+    sre_burn_rules,
+)
+from repro.obs.trace import SpanTracer
+
+LOAD_SLOS = (SLO.parse("p99 ttft < 0.015s"), DEFAULT_SLOS[1])
+"""Objectives for the healthy load sweep.  This deployment serves TTFTs
+of 8-30ms, so the chaos-scenario 0.5s objective never burns under pure
+queueing; 15ms separates the unloaded knee from saturation."""
+
+
+def _lean_slo_obs(slos=DEFAULT_SLOS) -> Instrumentation:
+    """Instrumentation carrying only the SLO machinery: tracer disabled
+    and no per-request tracer, so sweep points stay cheap while budgets
+    and burn-rate paging still see every terminal request."""
+    tracker = SloTracker(slos)
+    monitor = AlertMonitor(rules=sre_burn_rules(slos))
+    obs = Instrumentation(tracer=SpanTracer(enabled=False), alerts=monitor,
+                          slo=tracker)
+    tracker.align_buckets(obs.metrics)
+    return obs
+
+
+def _budget_columns(obs: Instrumentation, makespan: float) -> dict:
+    budgets = {b["slo"]: b
+               for b in obs.slo.report(makespan)["budgets"]}
+    return {
+        "ttft_attainment": budgets["ttft_p99"]["attainment"],
+        "ttft_budget_consumed": budgets["ttft_p99"]["budget_consumed"],
+        "availability": budgets["availability"]["attainment"],
+        "avail_budget_consumed": budgets["availability"]["budget_consumed"],
+        "burn_alerts": len(obs.alerts.fired),
+    }
+
+
+@experiment("ext_slo")
+def run_slo() -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="ext_slo",
+        title="Extension: SLO error-budget burn vs load and fault storms",
+        paper_claim=(
+            "(extension) The paper reports raw latency curves; operators "
+            "budget against SLOs — attainment and burn-rate paging are "
+            "the serving-quality view of the same runs."
+        ),
+    )
+
+    load_table = ResultTable(
+        "budget burn vs offered load",
+        ("arrival_rate_rps", "ttft_attainment", "ttft_budget_consumed",
+         "availability", "avail_budget_consumed", "burn_alerts"),
+    )
+
+    def load_point(arrival_rate_rps: float) -> dict:
+        obs = _lean_slo_obs(LOAD_SLOS)
+        res = poisson_serving_run(
+            arrival_rate_rps=arrival_rate_rps, num_requests=120,
+            instrumentation=obs,
+        )
+        return _budget_columns(obs, res.makespan)
+
+    sweep(load_table, {"arrival_rate_rps": (2.0, 8.0, 32.0, 128.0)},
+          load_point)
+    result.tables.append(load_table)
+
+    storm_table = ResultTable(
+        "budget burn vs fault-storm intensity",
+        ("fault_rate_per_s", "ttft_attainment", "ttft_budget_consumed",
+         "availability", "avail_budget_consumed", "burn_alerts",
+         "fault_retries"),
+    )
+    storm_base = fault_storm_config()
+
+    def storm_point(fault_rate_per_s: float) -> dict:
+        obs = _lean_slo_obs()
+        config = dataclasses.replace(storm_base,
+                                     fault_rate=fault_rate_per_s)
+        run = chaos_serving_run(config, instrumentation=obs)
+        cols = _budget_columns(obs, run.result.makespan)
+        cols["fault_retries"] = run.result.num_fault_retries
+        return cols
+
+    sweep(storm_table, {"fault_rate_per_s": (2.0, 5.0, 8.0)}, storm_point)
+    result.tables.append(storm_table)
+
+    loads = {r["arrival_rate_rps"]: r for r in load_table}
+    result.observe(
+        "On the healthy deployment the TTFT error budget survives low "
+        f"load (consumed {loads[2.0]['ttft_budget_consumed']:.2f}x at "
+        "2 req/s) and is blown through at saturation "
+        f"({loads[128.0]['ttft_budget_consumed']:.2f}x at 128 req/s, "
+        f"{loads[128.0]['burn_alerts']} burn-rate pages) — queueing alone "
+        "exhausts a p99 objective long before requests fail."
+    )
+    storms = {r["fault_rate_per_s"]: r for r in storm_table}
+    result.observe(
+        "Fault storms burn the two budgets differently: at 5 faults/s "
+        f"every kill is retried to completion (availability "
+        f"{storms[5.0]['availability']:.3f}, "
+        f"{storms[5.0]['fault_retries']} retries) yet the TTFT budget is "
+        f"already {storms[5.0]['ttft_budget_consumed']:.1f}x consumed — "
+        "retry backoff lands on first-token latency long before requests "
+        f"fail; at 8 faults/s availability itself collapses to "
+        f"{storms[8.0]['availability']:.3f} and "
+        f"{storms[8.0]['burn_alerts']} burn-rate pages fire."
+    )
+    return result

@@ -388,6 +388,9 @@ class FaultInjector:
         victims = [r for r in engine.in_flight() if pred(r)]
         if not victims:
             return
+        obs = self.obs
+        if obs is not None and not obs.active:
+            obs = None
         retried: list[int] = []
         failed: list[int] = []
         for req in victims:
@@ -395,6 +398,8 @@ class FaultInjector:
             self.counts["requests_killed"] += 1
             if force_fail:
                 self._fail(req, reason, failed)
+                if obs is not None:
+                    self._observe_fail(obs, req, now, reason)
                 continue
             decision = self.policy.on_request_killed(req, now, reason)
             if decision.action == "retry":
@@ -402,8 +407,13 @@ class FaultInjector:
                 engine.requeue(req)
                 retried.append(req.request_id)
                 self.counts["retries"] += 1
+                if obs is not None and obs.reqtrace is not None:
+                    obs.reqtrace.on_fault_kill(req, now, reason,
+                                               decision.retry_at)
             else:
                 self._fail(req, decision.reason, failed)
+                if obs is not None:
+                    self._observe_fail(obs, req, now, decision.reason)
         if retried:
             engine.log.record(Event(now, EventType.RETRY, tuple(retried),
                                     detail=reason))
@@ -427,6 +437,15 @@ class FaultInjector:
         req.fail(reason)
         failed.append(req.request_id)
         self.counts["failures"] += 1
+
+    @staticmethod
+    def _observe_fail(obs, req: Request, now: float, reason: str) -> None:
+        """Report one terminally fault-failed request to the request
+        tracer and the SLO tracker."""
+        if obs.reqtrace is not None:
+            obs.reqtrace.on_fail(req, now, reason=reason)
+        if obs.slo is not None:
+            obs.slo.on_request_terminal(req, now)
 
     # ------------------------------------------------------------------ #
     # duration pricing

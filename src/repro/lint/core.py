@@ -222,7 +222,7 @@ def register_rule(cls: type) -> type:
 
 def _ensure_loaded() -> None:
     # rule modules self-register on import, exactly like the experiments
-    from repro.lint import determinism, parity, registry, units  # noqa: F401
+    from repro.lint import determinism, obs, parity, registry, units  # noqa: F401
 
 
 def all_rules() -> list[Rule]:

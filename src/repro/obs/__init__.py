@@ -19,6 +19,11 @@ On top of the pillars sit the continuous-performance tools:
   export and roofline-backed speedup advice (``repro profile``).
 * :mod:`repro.obs.alerts` — alert rules over live engine state with
   flight-recorder bundles for postmortems.
+* :mod:`repro.obs.reqtrace` — request-scoped causal lifecycle timelines
+  (admit → queue → prefill chunks → decode → preempt/retry → finish),
+  linked to histogram buckets through exemplar trace IDs.
+* :mod:`repro.obs.slo` — declarative SLOs, error-budget accounting and
+  SRE-style multi-window burn-rate alert rules (``repro slo``).
 
 Thread an :class:`Instrumentation` through
 :class:`~repro.serving.engine.ServingEngine` /
@@ -39,9 +44,20 @@ from repro.obs.instrument import Instrumentation
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
+    Exemplar,
     Gauge,
     Histogram,
     MetricsRegistry,
+    buckets_with_edges,
+)
+from repro.obs.reqtrace import RequestTrace, RequestTracer, trace_id_for
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    SLO,
+    BurnRateRule,
+    ErrorBudget,
+    SloTracker,
+    sre_burn_rules,
 )
 from repro.obs.profile import CostProfile, ProfileReport, profile_serving_run
 from repro.obs.regress import (
@@ -61,7 +77,18 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Exemplar",
+    "buckets_with_edges",
     "DEFAULT_LATENCY_BUCKETS",
+    "RequestTrace",
+    "RequestTracer",
+    "trace_id_for",
+    "SLO",
+    "SloTracker",
+    "ErrorBudget",
+    "BurnRateRule",
+    "sre_burn_rules",
+    "DEFAULT_SLOS",
     "RoutingTelemetry",
     "EngineRoutingProbe",
     "Fingerprint",

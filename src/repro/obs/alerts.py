@@ -293,6 +293,9 @@ class FlightRecorder:
             if obs.routing is not None:
                 (bundle / "routing.json").write_text(json.dumps(
                     obs.routing.telemetry.summary(), indent=2) + "\n")
+            if obs.slo is not None:
+                (bundle / "slo.json").write_text(json.dumps(
+                    obs.slo.report(engine.clock), indent=2) + "\n")
         return bundle
 
 

@@ -8,15 +8,23 @@ measure the same thing.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.hardware.gpus import H100_SXM
 from repro.models.zoo import get_model
 from repro.obs.instrument import Instrumentation
 from repro.perfmodel.inference import InferencePerfModel
 from repro.serving.engine import ServingEngine, ServingResult
 from repro.serving.scheduler import SchedulerConfig
-from repro.workloads.generator import FixedShapeWorkload
+from repro.workloads.generator import FixedShapeWorkload, LengthDistribution
+from repro.workloads.traces import poisson_arrivals
 
-__all__ = ["REFERENCE_MODEL", "reference_serving_run", "traced_serving_run"]
+__all__ = [
+    "REFERENCE_MODEL",
+    "reference_serving_run",
+    "traced_serving_run",
+    "poisson_serving_run",
+]
 
 REFERENCE_MODEL = "OLMoE-1B-7B"
 """Default workload model: a MoE model that fits one simulated H100."""
@@ -51,6 +59,35 @@ def reference_serving_run(
     for i, request in enumerate(workload.requests()):
         request.arrival_time = i * arrival_interval
         engine.submit(request)
+    return engine.run()
+
+
+def poisson_serving_run(
+    arrival_rate_rps: float = 8.0,
+    num_requests: int = 120,
+    model_name: str = "OLMoE-1B-7B",
+    seed: int = 11,
+    instrumentation: Instrumentation | None = None,
+) -> ServingResult:
+    """The ``ext_serving_load`` workload, optionally observed.
+
+    Identical deployment, length distribution and seeding to the
+    ``ext_serving_load`` experiment at one arrival rate, so a request id
+    here names the same simulated request as in that experiment's sweep —
+    the workload behind the "follow one request" timeline walkthrough.
+    """
+    rng = np.random.default_rng(seed)
+    model = get_model(model_name)
+    perf = InferencePerfModel(model, H100_SXM,
+                              instrumentation=instrumentation)
+    engine = ServingEngine(
+        perf, scheduler_config=SchedulerConfig(max_num_seqs=128),
+        kv_pool_tokens=262_144, instrumentation=instrumentation,
+    )
+    arrivals = poisson_arrivals(arrival_rate_rps, num_requests, rng)
+    dist = LengthDistribution(mean_input=512, mean_output=128, sigma=0.4)
+    for req in dist.requests(num_requests, rng, arrival_times=arrivals):
+        engine.submit(req)
     return engine.run()
 
 

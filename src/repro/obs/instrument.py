@@ -19,11 +19,13 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.reqtrace import RequestTracer
 from repro.obs.routing import EngineRoutingProbe
 from repro.obs.trace import SpanTracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs.alerts import AlertMonitor
+    from repro.obs.slo import SloTracker
 
 __all__ = ["Instrumentation"]
 
@@ -39,6 +41,14 @@ class Instrumentation:
     """Optional alert rules engine (see :mod:`repro.obs.alerts`): evaluated
     once per engine iteration and at run end; dumps a flight-recorder
     bundle when a rule trips."""
+    reqtrace: RequestTracer | None = None
+    """Optional request-scoped tracer (see :mod:`repro.obs.reqtrace`):
+    records one causal lifecycle timeline per request on the simulated
+    clock."""
+    slo: "SloTracker | None" = None
+    """Optional SLO error-budget tracker (see :mod:`repro.obs.slo`):
+    scores every terminal request against declared objectives so
+    burn-rate alert rules can page."""
     active: bool = True
     """Master switch: instrumented call sites skip every hook when False."""
 
@@ -50,17 +60,26 @@ class Instrumentation:
     @classmethod
     def on(cls, model=None, routing_rng: np.random.Generator | None = None,
            alerts: "AlertMonitor | None" = None,
+           reqtrace: bool = True,
+           slo: "SloTracker | None" = None,
            **probe_kwargs) -> "Instrumentation":
         """Fully-enabled instrumentation.
 
         ``model`` (a :class:`~repro.models.config.ModelConfig` with MoE
         layers) additionally attaches an expert-routing probe; ``alerts``
-        attaches an :class:`~repro.obs.alerts.AlertMonitor`.
+        attaches an :class:`~repro.obs.alerts.AlertMonitor`; ``reqtrace``
+        (default on) attaches a per-request lifecycle tracer; ``slo``
+        attaches an :class:`~repro.obs.slo.SloTracker`, which also pins
+        its latency thresholds onto exact histogram bucket edges.
         """
         routing = None
         if model is not None and getattr(model, "moe", None) is not None:
             routing = EngineRoutingProbe(model, rng=routing_rng, **probe_kwargs)
-        return cls(routing=routing, alerts=alerts)
+        obs = cls(routing=routing, alerts=alerts,
+                  reqtrace=RequestTracer() if reqtrace else None, slo=slo)
+        if slo is not None:
+            slo.align_buckets(obs.metrics)
+        return obs
 
     @classmethod
     def off(cls) -> "Instrumentation":

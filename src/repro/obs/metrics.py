@@ -14,16 +14,19 @@ hot path without holding references.
 from __future__ import annotations
 
 import bisect
+import dataclasses
 import json
 import math
 from typing import Any, Mapping, Sequence
 
 __all__ = [
     "Counter",
+    "Exemplar",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS",
+    "buckets_with_edges",
 ]
 
 DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
@@ -31,6 +34,23 @@ DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
     0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
 )
 """Geometric 1-2.5-5 bucket ladder covering 100µs .. 100s latencies."""
+
+
+def buckets_with_edges(base: Sequence[float],
+                       *edges: float) -> tuple[float, ...]:
+    """``base`` buckets with ``edges`` spliced in as exact upper bounds.
+
+    SLO thresholds must sit *on* a bucket edge: a threshold inside a
+    bucket forces ``quantile()`` to interpolate across the boundary, which
+    misattributes attainment right where burn-rate math is most
+    sensitive.
+    """
+    out = set(float(b) for b in base)
+    for edge in edges:
+        if edge <= 0:
+            raise ValueError(f"bucket edge must be positive, got {edge}")
+        out.add(float(edge))
+    return tuple(sorted(out))
 
 
 def _format_labels(labels: Mapping[str, str]) -> str:
@@ -94,12 +114,36 @@ class Gauge(_Metric):
         self.value -= amount
 
 
+@dataclasses.dataclass(frozen=True)
+class Exemplar:
+    """A trace reference attached to one histogram bucket.
+
+    Prometheus-style exemplars: the last traced observation landing in a
+    bucket pins its trace id, so an outlier bucket (the p99 TTFT bucket,
+    say) links directly to a concrete request's timeline in
+    :mod:`repro.obs.reqtrace`.
+    """
+
+    trace_id: str
+    value: float
+    bucket_le: float
+    """Upper bound of the bucket this exemplar landed in (inf = overflow)."""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"trace_id": self.trace_id, "value": self.value,
+                "le": ("+Inf" if math.isinf(self.bucket_le)
+                       else self.bucket_le)}
+
+
 class Histogram(_Metric):
     """Fixed-bucket histogram (TTFT, ITL, queue-wait, step-time).
 
     Buckets are upper bounds in ascending order; an implicit ``+Inf``
     bucket catches the overflow.  ``quantile`` interpolates linearly inside
     the containing bucket — the same estimate ``histogram_quantile`` gives.
+    Observations may carry a ``trace_id``, recorded as the bucket's
+    :class:`Exemplar` (last writer wins, as in Prometheus client
+    libraries — deterministic because the simulated event order is).
     """
 
     kind = "histogram"
@@ -113,13 +157,55 @@ class Histogram(_Metric):
             raise ValueError("buckets must be non-empty, unique and ascending")
         self.bounds = bounds
         self._counts = [0] * (len(bounds) + 1)  # last = +Inf overflow
+        self._exemplars: dict[int, Exemplar] = {}
         self.sum = 0.0
         self.count = 0
 
-    def observe(self, value: float) -> None:
-        self._counts[bisect.bisect_left(self.bounds, value)] += 1
+    def bucket_index(self, value: float) -> int:
+        """Index of the bucket ``value`` falls in (len(bounds) = overflow)."""
+        return bisect.bisect_left(self.bounds, value)
+
+    def _bucket_le(self, index: int) -> float:
+        return self.bounds[index] if index < len(self.bounds) else math.inf
+
+    def observe(self, value: float, trace_id: str | None = None) -> None:
+        index = self.bucket_index(value)
+        self._counts[index] += 1
+        if trace_id is not None:
+            self._exemplars[index] = Exemplar(
+                trace_id=trace_id, value=value,
+                bucket_le=self._bucket_le(index))
         self.sum += value
         self.count += 1
+
+    def exemplars(self) -> list[Exemplar]:
+        """Recorded exemplars in bucket order."""
+        return [self._exemplars[i] for i in sorted(self._exemplars)]
+
+    def exemplar(self, index: int) -> Exemplar | None:
+        """The exemplar pinned to bucket ``index``, if any observation in
+        that bucket carried a trace id."""
+        return self._exemplars.get(index)
+
+    def bucket_for_quantile(self, q: float) -> int:
+        """Index of the bucket containing the ``q``-quantile sample."""
+        if not (0.0 <= q <= 1.0):
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if self.count == 0:
+            raise ValueError(f"histogram {self.name} is empty")
+        target = max(1, math.ceil(q * self.count))
+        running = 0
+        for i, c in enumerate(self._counts):
+            running += c
+            if running >= target:
+                return i
+        return len(self.bounds)
+
+    def exemplar_for_quantile(self, q: float) -> Exemplar | None:
+        """Exemplar of the bucket holding the ``q``-quantile — the hook
+        from an outlier percentile straight to an offending request's
+        trace id."""
+        return self.exemplar(self.bucket_for_quantile(q))
 
     @property
     def mean(self) -> float:
@@ -158,6 +244,7 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: dict[tuple[str, frozenset], _Metric] = {}
+        self._bucket_overrides: dict[str, tuple[float, ...]] = {}
 
     # ------------------------------------------------------------------ #
     # creation / lookup
@@ -187,8 +274,38 @@ class MetricsRegistry:
     def histogram(self, name: str, help: str = "",
                   buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
                   labels: Mapping[str, str] | None = None) -> Histogram:
+        buckets = self._bucket_overrides.get(name, buckets)
         return self._get_or_create(Histogram, name, help, labels,
                                    buckets=buckets)
+
+    def set_buckets(self, name: str, buckets: Sequence[float]) -> None:
+        """Pin the bucket boundaries every future ``histogram(name, ...)``
+        labelset is created with — instrumented call sites pass only the
+        name, so this is how a caller (the SLO tracker, a test) aligns a
+        threshold exactly on a bucket edge.
+
+        Must run before the first observation: rebucketing a populated
+        histogram would silently redistribute its counts.
+        """
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError("buckets must be non-empty, unique and ascending")
+        for metric in self._metrics.values():
+            if metric.name != name:
+                continue
+            if not isinstance(metric, Histogram):
+                raise TypeError(
+                    f"metric {name!r} is a {metric.kind}, not a histogram")
+            if metric.bounds == bounds:
+                continue
+            if metric.count:
+                raise ValueError(
+                    f"histogram {name!r} already holds {metric.count} "
+                    "observations; set_buckets must run before the first "
+                    "observe()")
+            metric.bounds = bounds
+            metric._counts = [0] * (len(bounds) + 1)
+        self._bucket_overrides[name] = bounds
 
     def __iter__(self):
         return iter(self._metrics.values())
@@ -213,12 +330,16 @@ class MetricsRegistry:
                 lines.append(f"# TYPE {metric.name} {metric.kind}")
             label_str = _format_labels(metric.labels)
             if isinstance(metric, Histogram):
-                for bound, cumulative in metric.bucket_counts():
+                for i, (bound, cumulative) in enumerate(metric.bucket_counts()):
                     le = "+Inf" if math.isinf(bound) else repr(bound)
                     bucket_labels = _format_labels({**metric.labels, "le": le})
-                    lines.append(
-                        f"{metric.name}_bucket{bucket_labels} {cumulative}"
-                    )
+                    line = f"{metric.name}_bucket{bucket_labels} {cumulative}"
+                    exemplar = metric.exemplar(i)
+                    if exemplar is not None:
+                        # OpenMetrics exemplar syntax: `# {labels} value`
+                        line += (f' # {{trace_id="{exemplar.trace_id}"}} '
+                                 f"{exemplar.value}")
+                    lines.append(line)
                 lines.append(f"{metric.name}_sum{label_str} {metric.sum}")
                 lines.append(f"{metric.name}_count{label_str} {metric.count}")
             else:
@@ -240,6 +361,10 @@ class MetricsRegistry:
                     {"le": ("+Inf" if math.isinf(b) else b), "count": c}
                     for b, c in metric.bucket_counts()
                 ]
+                if metric._exemplars:
+                    entry["exemplars"] = [
+                        e.to_dict() for e in metric.exemplars()
+                    ]
             else:
                 entry["value"] = metric.value
             out.append(entry)

@@ -17,11 +17,12 @@ from __future__ import annotations
 
 import json
 import pathlib
+import re
 import time
 from contextlib import contextmanager
 from typing import Any, Iterator
 
-__all__ = ["SpanTracer", "TRACE_PID"]
+__all__ = ["SpanTracer", "TRACE_PID", "filter_trace_events"]
 
 TRACE_PID = 1
 """Single simulated process id used for every track."""
@@ -186,3 +187,55 @@ class SpanTracer:
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(json.dumps(self.to_chrome_trace()))
         return out
+
+
+def filter_trace_events(events: list[dict[str, Any]],
+                        request_id: int | None = None,
+                        match: str | None = None) -> list[dict[str, Any]]:
+    """Filter Chrome Trace events by request id and/or span-name regex.
+
+    B/E span pairs are kept or dropped *as pairs* (matched by per-track
+    nesting order), so the filtered trace still loads in Perfetto with
+    balanced stacks.  ``request_id`` keeps events whose ``args`` carry
+    that ``request_id`` (arrival/preempt/finish instants, per-request
+    tracks from :mod:`repro.obs.reqtrace`); ``match`` keeps events whose
+    name matches the regex.  Thread-name metadata survives only for
+    tracks that still have events.
+    """
+    pattern = re.compile(match) if match is not None else None
+
+    def _wanted(name: str, args: dict[str, Any]) -> bool:
+        if pattern is not None and not pattern.search(name):
+            return False
+        if request_id is not None and args.get("request_id") != request_id:
+            return False
+        return True
+
+    # pair up B/E events per track so a span is judged on its B event
+    keep = [False] * len(events)
+    stacks: dict[int, list[int]] = {}
+    metas: dict[int, int] = {}
+    for i, event in enumerate(events):
+        ph = event.get("ph")
+        tid = event.get("tid", 0)
+        if ph == "M":
+            metas.setdefault(tid, i)
+            continue
+        if ph == "B":
+            stacks.setdefault(tid, []).append(i)
+            keep[i] = _wanted(event.get("name", ""),
+                              event.get("args", {}) or {})
+        elif ph == "E":
+            stack = stacks.get(tid)
+            begin = stack.pop() if stack else None
+            keep[i] = keep[begin] if begin is not None else False
+        else:  # instants, counters
+            keep[i] = _wanted(event.get("name", ""),
+                              event.get("args", {}) or {})
+    out: list[dict[str, Any]] = []
+    live_tids = {e.get("tid", 0) for i, e in enumerate(events) if keep[i]}
+    for tid in sorted(live_tids):
+        if tid in metas:
+            out.append(events[metas[tid]])
+    out.extend(e for i, e in enumerate(events) if keep[i])
+    return out

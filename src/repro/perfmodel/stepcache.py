@@ -23,7 +23,7 @@ model, not once per step.
 Toggles: ``REPRO_NO_STEPCACHE=1`` in the environment disables the global
 cache at import; :func:`configure` flips it at runtime; counters come
 back from :func:`stats` and flow into the ``repro.obs`` metrics registry
-via the serving engine (``stepcache_hits`` / ``stepcache_misses`` gauges).
+via the serving engine (``stepcache_hits_total`` / ``stepcache_misses_total`` gauges).
 """
 
 from __future__ import annotations

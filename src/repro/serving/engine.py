@@ -315,6 +315,8 @@ class ServingEngine:
             if obs is not None:
                 obs.tracer.instant("arrival", self.clock, cat="engine",
                                    request_id=req.request_id)
+                if obs.reqtrace is not None:
+                    obs.reqtrace.on_admit(req, self.clock)
             self.scheduler.add_request(req)
 
     def _iteration_cost(
@@ -469,6 +471,10 @@ class ServingEngine:
             for req in batch.requests:
                 if req.first_scheduled_time is None:
                     req.first_scheduled_time = self.clock - duration_s
+                if obs is not None and obs.reqtrace is not None:
+                    obs.reqtrace.on_prefill(
+                        req, self.clock - duration_s, self.clock,
+                        tokens=self.scheduler._prefill_tokens_for(req))
             self.scheduler.on_prefill_done(batch)
             for req in batch.requests:
                 if not req.is_prefill_pending and req.first_token_time is None:
@@ -476,9 +482,13 @@ class ServingEngine:
                     req.generated_tokens = 1
                     req.first_token_time = self.clock
                     if obs is not None:
+                        trace_id = None
+                        if obs.reqtrace is not None:
+                            trace_id = obs.reqtrace.on_first_token(
+                                req, self.clock)
                         obs.metrics.histogram(
                             "ttft_seconds", "time to first token"
-                        ).observe(req.ttft)
+                        ).observe(req.ttft, trace_id=trace_id)
             self.log.record(Event(
                 self.clock, EventType.PREFILL,
                 tuple(r.request_id for r in batch.requests),
@@ -491,6 +501,9 @@ class ServingEngine:
             for req in batch.requests:
                 req.generated_tokens += 1
                 req.kv_tokens += 1
+                if obs is not None and obs.reqtrace is not None:
+                    obs.reqtrace.on_decode(req, t_start, self.clock,
+                                           batch_size=batch.batch_size)
                 if self._is_done(req):
                     finished.append(req)
             self.log.record(Event(
@@ -527,6 +540,12 @@ class ServingEngine:
                     f"room for {self.kv.available_blocks} blocks but the "
                     f"request needs {self.kv.blocks_needed(req.prefill_target)}"
                 )
+                if obs is not None:
+                    if obs.reqtrace is not None:
+                        obs.reqtrace.on_fail(req, self.clock,
+                                             reason="never_schedulable")
+                    if obs.slo is not None:
+                        obs.slo.on_request_terminal(req, self.clock)
             self.log.record(Event(
                 self.clock, EventType.FAIL,
                 tuple(r.request_id for r in doomed),
@@ -615,17 +634,22 @@ class ServingEngine:
                 continue
             obs.tracer.instant("finish", self.clock, cat="engine",
                                request_id=req.request_id)
+            trace_id = None
+            if obs.reqtrace is not None:
+                trace_id = obs.reqtrace.on_finish(req, self.clock)
+            if obs.slo is not None:
+                obs.slo.on_request_terminal(req, self.clock)
             obs.metrics.counter(
                 "requests_finished_total", "requests served to completion"
             ).inc()
             obs.metrics.histogram(
                 "e2e_latency_seconds", "arrival-to-finish latency"
-            ).observe(req.e2e_latency)
+            ).observe(req.e2e_latency, trace_id=trace_id)
             itl = ServingResult._mean_itl(req)
             if itl is not None:
                 obs.metrics.histogram(
                     "itl_seconds", "mean inter-token latency per request"
-                ).observe(itl)
+                ).observe(itl, trace_id=trace_id)
 
     def run(self, max_iterations: int = 10_000_000) -> ServingResult:
         """Run until every submitted request is terminal (finished, or —
@@ -651,10 +675,10 @@ class ServingEngine:
             stats = self.perf.steps.cache_stats()
             h0, m0 = self._stepcache_at_start
             obs.metrics.gauge(
-                "stepcache_hits", "step-cache hits since engine construction"
+                "stepcache_hits_total", "step-cache hits since engine construction"
             ).set(stats.hits - h0)
             obs.metrics.gauge(
-                "stepcache_misses", "step-cache misses since engine construction"
+                "stepcache_misses_total", "step-cache misses since engine construction"
             ).set(stats.misses - m0)
             if obs.alerts is not None:
                 obs.alerts.on_run_end(self, result)

@@ -239,6 +239,8 @@ class Scheduler:
             ).inc()
             obs.tracer.instant("preempt", obs.now, cat="scheduler",
                                request_id=req.request_id)
+            if obs.reqtrace is not None:
+                obs.reqtrace.on_preempt(req, obs.now)
 
     # ------------------------------------------------------------------ #
 

@@ -1,0 +1,172 @@
+"""OBS0xx rules: metric-name unit suffixes, simulated-clock spans."""
+
+import textwrap
+
+from repro.lint.core import get_rule, lint_source
+from repro.lint.obs import ALLOWED_SUFFIXES
+
+METRICS_REL = "src/repro/obs/fixture.py"
+SERVING_REL = "src/repro/serving/fixture.py"
+FAULTS_REL = "src/repro/faults/fixture.py"
+
+
+def _src(text: str) -> str:
+    return textwrap.dedent(text).lstrip("\n")
+
+
+def _lint(rule_id: str, text: str, rel: str):
+    return lint_source(_src(text), get_rule(rule_id), rel=rel)
+
+
+class TestMetricUnitSuffix:
+    def test_flags_bare_metric_name(self):
+        vs = _lint("OBS001", """
+            def f(obs):
+                obs.metrics.histogram("queue_wait").observe(0.1)
+        """, METRICS_REL)
+        assert len(vs) == 1
+        assert "queue_wait" in vs[0].message
+        assert vs[0].rule == "OBS001"
+
+    def test_unit_vocabulary_suffixes_clean(self):
+        assert _lint("OBS001", """
+            def f(obs):
+                obs.metrics.histogram("ttft_seconds").observe(0.1)
+                obs.metrics.counter("tokens_processed_total").inc()
+                obs.metrics.gauge("engine_throughput_tok_s").set(1.0)
+                obs.metrics.gauge("kv_pool_bytes").set(2.0)
+        """, METRICS_REL) == []
+
+    def test_dimensionless_suffixes_clean(self):
+        assert _lint("OBS001", """
+            def f(registry):
+                registry.gauge("kv_utilization").set(0.5)
+                registry.gauge("cache_hit_ratio").set(0.9)
+                registry.counter("requests_total").inc()
+        """, METRICS_REL) == []
+
+    def test_self_metrics_receiver_checked(self):
+        vs = _lint("OBS001", """
+            class C:
+                def f(self):
+                    self.metrics.counter("preemptions").inc()
+        """, METRICS_REL)
+        assert len(vs) == 1
+
+    def test_tracer_counter_exempt(self):
+        # Chrome trace counter tracks are display series, not registry
+        # metrics; the receiver discrimination must keep them out of scope
+        assert _lint("OBS001", """
+            def f(obs, now):
+                obs.tracer.counter("scheduler_queues", now, waiting=3)
+        """, METRICS_REL) == []
+
+    def test_dynamic_name_skipped(self):
+        assert _lint("OBS001", """
+            def f(obs, name):
+                obs.metrics.counter(name).inc()
+        """, METRICS_REL) == []
+
+    def test_out_of_scope_path_skipped(self):
+        assert _lint("OBS001", """
+            def f(obs):
+                obs.metrics.counter("preemptions").inc()
+        """, rel="benchmarks/bench_fixture.py") == []
+
+    def test_suppression(self):
+        assert _lint("OBS001", """
+            def f(obs):
+                obs.metrics.counter("preemptions").inc()  # simlint: disable=OBS001
+        """, METRICS_REL) == []
+
+    def test_every_allowed_suffix_accepted(self):
+        for suffix in ALLOWED_SUFFIXES:
+            vs = _lint("OBS001", f"""
+                def f(obs):
+                    obs.metrics.gauge("fixture{suffix}").set(1.0)
+            """, METRICS_REL)
+            assert vs == [], f"suffix {suffix} rejected"
+
+
+class TestSimClockSpan:
+    def test_flags_wall_clock_timestamp(self):
+        vs = _lint("OBS002", """
+            import time
+
+            def f(obs, name):
+                obs.tracer.begin(name, time.time())
+        """, SERVING_REL)
+        assert len(vs) == 1
+        assert "host clock" in vs[0].message
+
+    def test_flags_wall_clock_inside_expression(self):
+        vs = _lint("OBS002", """
+            import time
+
+            def f(obs, name, offset_s):
+                obs.tracer.instant(name, time.monotonic() + offset_s)
+        """, FAULTS_REL)
+        assert len(vs) == 1
+
+    def test_flags_literal_timestamp(self):
+        vs = _lint("OBS002", """
+            def f(obs, name):
+                obs.tracer.instant(name, 1.5)
+        """, SERVING_REL)
+        assert len(vs) == 1
+        assert "literal" in vs[0].message
+
+    def test_flags_ts_keyword(self):
+        vs = _lint("OBS002", """
+            import time
+
+            def f(obs, name):
+                obs.tracer.begin(name, ts=time.perf_counter())
+        """, SERVING_REL)
+        assert len(vs) == 1
+
+    def test_flags_wall_span_channel(self):
+        vs = _lint("OBS002", """
+            def f(obs, name):
+                with obs.tracer.wall_span(name):
+                    pass
+        """, SERVING_REL)
+        assert len(vs) == 1
+        assert "wall_span" in vs[0].message
+
+    def test_simulated_clock_clean(self):
+        assert _lint("OBS002", """
+            class Engine:
+                def step(self, obs, duration_s):
+                    obs.tracer.begin("engine.step", self.clock)
+                    obs.tracer.instant("tick", obs.now)
+                    obs.tracer.counter("kv", self.clock + duration_s, used=1)
+        """, SERVING_REL) == []
+
+    def test_out_of_scope_path_skipped(self):
+        # the obs layer itself owns the wall channel (tracer internals,
+        # experiment wall spans); OBS002 only polices the simulated stack
+        assert _lint("OBS002", """
+            import time
+
+            def f(obs, name):
+                obs.tracer.begin(name, time.time())
+                with obs.tracer.wall_span(name):
+                    pass
+        """, rel="src/repro/obs/fixture.py") == []
+
+    def test_suppression(self):
+        assert _lint("OBS002", """
+            def f(obs, name):
+                obs.tracer.instant(name, 1.5)  # simlint: disable=OBS002
+        """, SERVING_REL) == []
+
+
+class TestSelfCheck:
+    def test_repo_is_clean_under_obs_rules(self):
+        import pathlib
+
+        from repro.lint.core import run_lint, select_rules
+
+        root = pathlib.Path(__file__).resolve().parent.parent
+        assert run_lint(root, rules=select_rules("OBS")) == []

@@ -135,7 +135,7 @@ class TestEngineEquivalence:
                                       output_tokens=8).requests():
             engine.submit(req)
         engine.run()
-        hits = obs.metrics.gauge("stepcache_hits").value
-        misses = obs.metrics.gauge("stepcache_misses").value
+        hits = obs.metrics.gauge("stepcache_hits_total").value
+        misses = obs.metrics.gauge("stepcache_misses_total").value
         assert misses > 0
         assert hits >= 0
