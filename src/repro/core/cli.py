@@ -8,8 +8,12 @@ Usage::
     repro summary [--out report.md] [--jobs N]
     repro trace [model-or-experiment] [--out trace.json]
     repro trace [model] [--poisson RATE] [--request ID] [--match REGEX]
+    repro trace [model] [--cluster] [--device ID] [--link NAME]
     repro trace [model] --timeline REQUEST_ID
     repro metrics [model] [--json]
+    repro report [model] [--tp N --ep N --pp N] [--out report.md]
+    repro report --slo-gate [--out report.md] [--html report.html]
+    repro report --bundle DIR | --check
     repro slo [--check] [--out report.json] [--bundle-dir DIR]
     repro bench --record [--figs fig05,fig06] [--note "..."]
     repro bench --check [--wall] [--jobs N]
@@ -31,9 +35,16 @@ registered experiment)
 under full instrumentation and writes Chrome Trace Event JSON for
 Perfetto / ``chrome://tracing`` — ``--poisson RATE`` swaps in the
 ``ext_serving_load`` Poisson workload, ``--request``/``--match`` filter
-the exported events, and ``--timeline`` prints one request's causal
-lifecycle table (see :mod:`repro.obs.reqtrace`); ``metrics`` prints the
-run's metrics in Prometheus text exposition format.  ``slo`` runs the
+the exported events, ``--cluster`` adds per-device occupancy lanes and
+per-link utilization counters (``--device``/``--link`` filter them), and
+``--timeline`` prints one request's causal lifecycle table (see
+:mod:`repro.obs.reqtrace`); ``metrics`` prints the run's metrics in
+Prometheus text exposition format.  ``report`` folds one observed run —
+a clustered Poisson workload, the ``--slo-gate`` fault-storm scenario,
+or an existing flight-recorder ``--bundle`` — into a deterministic
+markdown/HTML run report (device occupancy, interconnect accounting,
+expert heat, MoE-CAP Sparse-MBU/MFU, SLO budgets, alerts); ``--check``
+builds it twice and gates on byte-identical output.  ``slo`` runs the
 canonical fault-storm scenario with SLO burn-rate paging armed and
 reports error-budget burn; ``--check`` replays it and asserts the report
 is byte-identical with at least one burn alert fired (the SLO
@@ -155,10 +166,13 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
 
 def _write_filtered_trace(obs, out: pathlib.Path,
                           request_id: int | None,
-                          match: str | None) -> int:
+                          match: str | None,
+                          device: int | None = None,
+                          link: str | None = None) -> int:
     """Write the run's Chrome trace — engine tracks merged with the
-    per-request tracks — through the ``--request``/``--match`` filters.
-    Returns the number of events written."""
+    per-request and per-device tracks — through the ``--request`` /
+    ``--match`` / ``--device`` / ``--link`` filters.  Returns the number
+    of events written."""
     import json
 
     from repro.obs.trace import filter_trace_events
@@ -166,9 +180,12 @@ def _write_filtered_trace(obs, out: pathlib.Path,
     events = obs.tracer.events
     if obs.reqtrace is not None:
         events = events + obs.reqtrace.chrome_events()
-    if request_id is not None or match is not None:
+    if obs.cluster is not None:
+        events = events + obs.cluster.chrome_events()
+    if request_id is not None or match is not None \
+            or device is not None or link is not None:
         events = filter_trace_events(events, request_id=request_id,
-                                     match=match)
+                                     match=match, device=device, link=link)
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps({
         "traceEvents": events,
@@ -179,7 +196,11 @@ def _write_filtered_trace(obs, out: pathlib.Path,
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from repro.obs.harness import poisson_serving_run, traced_serving_run
+    from repro.obs.harness import (
+        clustered_serving_run,
+        poisson_serving_run,
+        traced_serving_run,
+    )
     from repro.obs.instrument import Instrumentation
 
     out = pathlib.Path(args.out)
@@ -195,7 +216,18 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(render_time_breakdown(obs.tracer.span_totals("experiment")))
         return 0
 
-    if args.poisson is not None:
+    use_cluster = args.cluster or args.device is not None \
+        or args.link is not None
+    if use_cluster:
+        # device/link lanes need cluster telemetry, which needs a
+        # multi-device deployment: the clustered Poisson workload
+        result, obs = clustered_serving_run(
+            model_name=args.target,
+            arrival_rate_rps=args.poisson if args.poisson is not None
+            else 8.0,
+            num_requests=args.requests,
+        )
+    elif args.poisson is not None:
         from repro.models.zoo import get_model
 
         model = get_model(args.target)
@@ -225,7 +257,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 1
         return 0
-    num_events = _write_filtered_trace(obs, out, args.request, args.match)
+    num_events = _write_filtered_trace(obs, out, args.request, args.match,
+                                       device=args.device, link=args.link)
     print(f"wrote {out} ({num_events} events)")
     print(f"{args.target}: {result.num_requests} requests, "
           f"makespan {result.makespan:.4f}s, "
@@ -385,7 +418,32 @@ def _render_trend(store, ids: list[str]) -> str:
                      f"{fmt(walls)} | {records[-1]['recorded_at']} |")
     if charted == 0:
         return "no recorded baselines — run `repro bench --record` first"
+    lines.extend(_render_wallclock_trend(store))
     return "\n".join(lines)
+
+
+def _render_wallclock_trend(store) -> list[str]:
+    """The suite-timing pseudo-baseline (``BENCH_wallclock.json``) as its
+    own trend section, so the perf trajectory renders next to the
+    experiment trends instead of living in a separate report."""
+    records = store.records("wallclock")
+    if not records:
+        return []
+    lines = ["", "## Suite wall clock", "",
+             "| recorded | suite_wall_s | jobs | cpus | "
+             "speedup vs serial baseline |", "|---|---:|---:|---:|---:|"]
+    for record in records[-8:]:
+        wall = record["fingerprint"].get("wall", {})
+        fmt = lambda key: ("?" if wall.get(key) is None
+                           else f"{wall[key]:.4g}")
+        lines.append(
+            f"| {record['recorded_at']} | {fmt('suite_wall_s')} | "
+            f"{fmt('jobs')} | {fmt('cpus')} | "
+            f"{fmt('speedup_vs_baseline')}x |")
+    hidden = len(records) - min(len(records), 8)
+    if hidden > 0:
+        lines.append(f"\n… {hidden} older record(s) elided.")
+    return lines
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -508,6 +566,67 @@ def _cmd_slo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.obs.report import (
+        render_bundle_report,
+        render_run_report,
+        render_scenario_report,
+        report_html,
+    )
+
+    def build() -> str:
+        if args.bundle:
+            return render_bundle_report(args.bundle)
+        if args.slo_gate:
+            from repro.obs.slo import fault_storm_config, run_slo_scenario
+
+            # bundles land in a throwaway dir; only basenames reach the
+            # report, so the output is byte-stable across runs
+            with tempfile.TemporaryDirectory() as tmp:
+                scenario = run_slo_scenario(config=fault_storm_config(),
+                                            out_dir=tmp, cluster=True)
+                return render_scenario_report(scenario,
+                                              bundle_root=pathlib.Path(tmp))
+        from repro.obs.alerts import AlertMonitor
+        from repro.obs.harness import clustered_serving_run
+        from repro.parallel.plan import ParallelPlan
+
+        plan = ParallelPlan(tp=args.tp, ep=args.ep, pp=args.pp)
+        result, obs = clustered_serving_run(
+            model_name=args.model, plan=plan,
+            arrival_rate_rps=args.rate, num_requests=args.requests,
+            seed=args.seed, window_s=args.window_s,
+            alerts=AlertMonitor(),
+        )
+        return render_run_report(
+            result, obs, title=f"Run report: {args.model} ({plan.label})")
+
+    report = build()
+    if args.check:
+        replay = build()
+        if report != replay:
+            print("[FAIL] report replay diverged from the first run",
+                  file=sys.stderr)
+            return 1
+        print(f"[ok] report byte-identical across two seeded runs "
+              f"({len(report)} bytes)")
+    if args.out:
+        path = pathlib.Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(report)
+        print(f"wrote {path}")
+    if args.html:
+        path = pathlib.Path(args.html)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(report_html(report))
+        print(f"wrote {path}")
+    if not args.out and not args.html and not args.check:
+        print(report, end="")
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.core.report import render_profile_report
     from repro.obs.instrument import Instrumentation
@@ -599,6 +718,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--match", metavar="REGEX",
                          help="keep only events whose span name matches "
                               "this regex")
+    p_trace.add_argument("--cluster", action="store_true",
+                         help="run the multi-device clustered workload so "
+                              "the trace carries per-device occupancy "
+                              "lanes and per-link utilization counters")
+    p_trace.add_argument("--device", type=int, metavar="ID",
+                         help="keep only events of this device lane "
+                              "(implies --cluster)")
+    p_trace.add_argument("--link", metavar="NAME",
+                         help="keep only events of this interconnect link "
+                              "(e.g. ep_alltoall; implies --cluster)")
     p_trace.add_argument("--timeline", type=int, metavar="ID",
                          help="print the causal lifecycle timeline of one "
                               "request instead of writing a trace")
@@ -701,6 +830,45 @@ def build_parser() -> argparse.ArgumentParser:
                             "byte-identical with >=1 burn alert fired "
                             "(CI gate)")
     p_slo.set_defaults(func=_cmd_slo)
+
+    p_report = sub.add_parser(
+        "report",
+        help="fold an observed serving run (or a flight-recorder bundle) "
+             "into one deterministic markdown/HTML run report",
+    )
+    p_report.add_argument("model", nargs="?", default="OLMoE-1B-7B",
+                          help="model name for the clustered Poisson "
+                               "workload (default OLMoE-1B-7B)")
+    p_report.add_argument("--tp", type=int, default=4,
+                          help="tensor-parallel degree (default 4)")
+    p_report.add_argument("--ep", type=int, default=4,
+                          help="expert-parallel degree (default 4)")
+    p_report.add_argument("--pp", type=int, default=1,
+                          help="pipeline-parallel degree (default 1)")
+    p_report.add_argument("--rate", type=float, default=8.0,
+                          help="Poisson arrival rate in requests/s "
+                               "(default 8.0)")
+    p_report.add_argument("--requests", type=int, default=48,
+                          help="number of requests (default 48)")
+    p_report.add_argument("--seed", type=int, default=11,
+                          help="workload seed (default 11)")
+    p_report.add_argument("--window-s", type=float, default=0.05,
+                          help="telemetry window length in simulated "
+                               "seconds (default 0.05)")
+    p_report.add_argument("--bundle", metavar="DIR",
+                          help="render a flight-recorder bundle directory "
+                               "instead of running a workload")
+    p_report.add_argument("--slo-gate", action="store_true",
+                          help="run the fault-storm SLO scenario with "
+                               "cluster telemetry armed and fold its "
+                               "bundles into the report (the CI artifact)")
+    p_report.add_argument("--out", help="write the markdown report here")
+    p_report.add_argument("--html",
+                          help="also write an HTML-wrapped copy here")
+    p_report.add_argument("--check", action="store_true",
+                          help="build the report twice and assert the "
+                               "bytes are identical (determinism gate)")
+    p_report.set_defaults(func=_cmd_report)
 
     p_prof = sub.add_parser(
         "profile",

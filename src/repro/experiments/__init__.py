@@ -27,6 +27,7 @@ from repro.experiments import (  # noqa: F401  (imports register experiments)
     resilience,
     slo,
     table1_architectures,
+    utilization,
 )
 
 __all__ = ["common", "hyperparam_grid"]

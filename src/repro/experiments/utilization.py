@@ -1,0 +1,137 @@
+"""Extension experiment: MoE-CAP sparse vs dense utilization gauges.
+
+MoE-CAP (arXiv 2505.11415) observes that the standard MFU/MBU gauges —
+which score an accelerator as if every expert's FLOPs executed and every
+expert's weights streamed each step — systematically overstate how close
+a sparse model runs to its roofline.  ``ext_utilization`` quantifies that
+gap across the MoE zoo with :func:`repro.obs.cluster.step_utilization`:
+for each model and batch size, the dense MFU/MBU counterfactual next to
+the Sparse-MFU/Sparse-MBU correction that counts only activated-expert
+FLOPs and coverage-scaled expert weight traffic.  The divergence is the
+experiment's result: it is largest exactly where MoE serving lives
+(small-batch decode, where a step touches a fraction of the experts).
+"""
+
+from __future__ import annotations
+
+from repro.core.experiment import ExperimentResult, sweep
+from repro.core.registry import experiment
+from repro.core.results import ResultTable
+from repro.hardware.gpus import H100_SXM
+from repro.models.zoo import get_model
+from repro.obs.cluster import step_utilization
+from repro.perfmodel.inference import InferencePerfModel
+
+MODELS = (
+    "OLMoE-1B-7B",
+    "Qwen1.5-MoE-A2.7B",
+    "DeepSeek-V2-Lite",
+    "Mixtral-8x7B",
+    "Qwen3-30B-A3B",
+)
+"""MoE zoo slice spanning expert counts (8-128) and top-k (2-8)."""
+
+DECODE_CTX = 1024
+PREFILL_TOKENS = 2048
+
+
+def _point(model_name: str, batch: int) -> dict:
+    model = get_model(model_name)
+    perf = InferencePerfModel(model, H100_SXM)
+    u = step_utilization(perf.steps, num_tokens=batch, batch=batch,
+                         kv_len=DECODE_CTX, phase="decode")
+    moe = model.moe
+    return {
+        "experts": moe.num_experts,
+        "top_k": moe.top_k,
+        "dense_mfu": round(u["dense_mfu"], 6),
+        "sparse_mfu": round(u["sparse_mfu"], 6),
+        "mfu_overstatement": round(u["dense_mfu"] / u["sparse_mfu"], 3),
+        "dense_mbu": round(u["dense_mbu"], 6),
+        "sparse_mbu": round(u["sparse_mbu"], 6),
+        "mbu_overstatement": round(u["dense_mbu"] / u["sparse_mbu"], 3),
+    }
+
+
+@experiment("ext_utilization")
+def run_utilization() -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="ext_utilization",
+        title="Extension: Sparse-MBU/MFU vs the dense gauges (MoE-CAP)",
+        paper_claim=(
+            "(extension) Dense MFU/MBU assume every expert computes and "
+            "streams each step; MoE-CAP's sparse gauges count only "
+            "activated experts — the dense gauges overstate utilization "
+            "across the MoE zoo, most at small-batch decode."
+        ),
+    )
+
+    decode = ResultTable(
+        "sparse vs dense utilization, decode @ ctx 1024",
+        ("model", "batch", "experts", "top_k",
+         "dense_mfu", "sparse_mfu", "mfu_overstatement",
+         "dense_mbu", "sparse_mbu", "mbu_overstatement"),
+    )
+    sweep(decode, {"model": MODELS, "batch": (1, 16, 64)},
+          lambda model, batch: _point(model, batch))
+    result.tables.append(decode)
+
+    prefill = ResultTable(
+        "sparse vs dense utilization, prefill",
+        ("model", "dense_mfu", "sparse_mfu", "mfu_overstatement",
+         "dense_mbu", "sparse_mbu", "mbu_overstatement"),
+    )
+
+    def prefill_point(model: str) -> dict:
+        m = get_model(model)
+        perf = InferencePerfModel(m, H100_SXM)
+        u = step_utilization(
+            perf.steps, num_tokens=PREFILL_TOKENS, batch=1,
+            kv_len=PREFILL_TOKENS, phase="prefill",
+            attended_len=(PREFILL_TOKENS + 1) / 2.0)
+        return {
+            "dense_mfu": round(u["dense_mfu"], 6),
+            "sparse_mfu": round(u["sparse_mfu"], 6),
+            "mfu_overstatement": round(u["dense_mfu"] / u["sparse_mfu"], 3),
+            "dense_mbu": round(u["dense_mbu"], 6),
+            "sparse_mbu": round(u["sparse_mbu"], 6),
+            "mbu_overstatement": round(u["dense_mbu"] / u["sparse_mbu"], 3),
+        }
+
+    sweep(prefill, {"model": MODELS}, prefill_point)
+    result.tables.append(prefill)
+
+    bs1 = {r["model"]: r for r in decode if r["batch"] == 1}
+    worst = max(bs1.values(), key=lambda r: r["mbu_overstatement"])
+    mildest = min(bs1.values(), key=lambda r: r["mbu_overstatement"])
+    result.observe(
+        "At batch-1 decode the dense gauges overstate bandwidth "
+        f"utilization by {worst['mbu_overstatement']:.1f}x on "
+        f"{worst['model']} ({worst['experts']} experts, top-"
+        f"{worst['top_k']}) and by {mildest['mbu_overstatement']:.1f}x "
+        f"even on {mildest['model']} — a single decode step streams only "
+        "the activated experts' weights, so MBU computed against all "
+        "expert weights misreads an idle fabric as a busy one."
+    )
+    bs64 = {r["model"]: r for r in decode if r["batch"] == 64}
+    olmoe1, olmoe64 = bs1["OLMoE-1B-7B"], bs64["OLMoE-1B-7B"]
+    result.observe(
+        "The gap closes as batching activates more of the expert pool: "
+        f"OLMoE's MBU overstatement falls from "
+        f"{olmoe1['mbu_overstatement']:.1f}x at batch 1 to "
+        f"{olmoe64['mbu_overstatement']:.1f}x at batch 64, while the MFU "
+        f"overstatement stays near {olmoe64['mfu_overstatement']:.1f}x — "
+        "FLOPs scale with top-k regardless of batch, but weight traffic "
+        "saturates once every expert is touched (MoE-CAP's core caveat: "
+        "correct the two gauges separately)."
+    )
+    pf = {r["model"]: r for r in prefill}
+    result.observe(
+        "Prefill at 2048 tokens activates essentially the whole expert "
+        f"pool, so the sparse/dense MBU gap nearly vanishes (OLMoE "
+        f"{pf['OLMoE-1B-7B']['mbu_overstatement']:.2f}x) — but the MFU "
+        f"overstatement persists ({pf['OLMoE-1B-7B']['mfu_overstatement']:.1f}x), "
+        "because top-k routing skips the non-activated experts' FLOPs at "
+        "any batch size."
+    )
+    return result

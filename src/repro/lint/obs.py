@@ -10,7 +10,9 @@ conventions hold everywhere:
   happen: dashboards and burn-rate math cannot tell milliseconds from
   seconds once the name is loose in a time series.
 * **OBS002** — spans emitted inside the simulated serving stack
-  (``repro.serving``, ``repro.faults``) must stamp *simulated* time: the
+  (``repro.serving``, ``repro.faults``, and the cluster-telemetry module
+  that derives device/link timelines from it) must stamp *simulated*
+  time: the
   timestamp argument must be an expression over the engine clock
   (``self.clock``, ``obs.now``, ...), never a wall-clock read and never a
   hard-coded literal, and the tracer's ``wall_span`` channel is off
@@ -130,11 +132,17 @@ class SimClockSpanRule(Rule):
     name = "sim-clock-span"
     severity = "error"
     description = (
-        "span timestamp inside repro.serving/repro.faults must be the "
-        "simulated clock: no wall-clock reads, no hard-coded literals, "
-        "no wall_span channel"
+        "span timestamp inside repro.serving/repro.faults (and the "
+        "cluster telemetry derived from them) must be the simulated "
+        "clock: no wall-clock reads, no hard-coded literals, no "
+        "wall_span channel"
     )
-    include = ("src/repro/serving/", "src/repro/faults/")
+    # obs/cluster.py sits in the obs layer but its device lanes and link
+    # counters are *simulated-time* series — it gets the same clock pin
+    # as the serving stack it mirrors, while the rest of repro.obs keeps
+    # ownership of the wall channel.
+    include = ("src/repro/serving/", "src/repro/faults/",
+               "src/repro/obs/cluster.py")
 
     def check(self, sf: SourceFile) -> Iterator[Violation]:
         aliases = import_aliases(sf.tree)

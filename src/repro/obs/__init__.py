@@ -24,6 +24,13 @@ On top of the pillars sit the continuous-performance tools:
   linked to histogram buckets through exemplar trace IDs.
 * :mod:`repro.obs.slo` — declarative SLOs, error-budget accounting and
   SRE-style multi-window burn-rate alert rules (``repro slo``).
+* :mod:`repro.obs.cluster` — device-and-link telemetry: per-simulated-GPU
+  occupancy lanes, per-link interconnect accounting, expert-heat windows
+  and MoE-CAP Sparse-MFU/MBU gauges (``repro report``, ``repro trace
+  --cluster``).
+* :mod:`repro.obs.report` — the flight-recorder/run-report renderer
+  folding metrics, timelines, heat and SLO budgets into one
+  deterministic markdown/HTML document.
 
 Thread an :class:`Instrumentation` through
 :class:`~repro.serving.engine.ServingEngine` /
@@ -36,8 +43,17 @@ from repro.obs.alerts import (
     Alert,
     AlertMonitor,
     AlertRule,
+    DeviceSaturationRule,
     FlightRecorder,
     default_rules,
+)
+from repro.obs.cluster import (
+    ClusterTelemetry,
+    HeatWindow,
+    LinkSpec,
+    StepShape,
+    step_cost_totals,
+    step_utilization,
 )
 from repro.obs.fingerprint import Fingerprint, fingerprint_result
 from repro.obs.instrument import Instrumentation
@@ -66,6 +82,12 @@ from repro.obs.regress import (
     Tolerance,
     compare_fingerprints,
     measure_disabled_overhead,
+)
+from repro.obs.report import (
+    render_bundle_report,
+    render_run_report,
+    render_scenario_report,
+    report_html,
 )
 from repro.obs.routing import EngineRoutingProbe, RoutingTelemetry
 from repro.obs.trace import SpanTracer
@@ -104,6 +126,17 @@ __all__ = [
     "Alert",
     "AlertRule",
     "AlertMonitor",
+    "DeviceSaturationRule",
     "FlightRecorder",
     "default_rules",
+    "ClusterTelemetry",
+    "StepShape",
+    "LinkSpec",
+    "HeatWindow",
+    "step_cost_totals",
+    "step_utilization",
+    "render_run_report",
+    "render_scenario_report",
+    "render_bundle_report",
+    "report_html",
 ]

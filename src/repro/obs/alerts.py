@@ -50,6 +50,7 @@ __all__ = [
     "EmptyPercentileRule",
     "FaultStormRule",
     "UnrecoverableLossRule",
+    "DeviceSaturationRule",
     "FlightRecorder",
     "AlertMonitor",
     "default_rules",
@@ -244,9 +245,53 @@ class UnrecoverableLossRule(AlertRule):
         )
 
 
+class DeviceSaturationRule(AlertRule):
+    """A cluster interconnect link sustains bytes-based utilization above
+    ``threshold`` for ``min_windows`` consecutive closed windows.
+
+    Requires cluster telemetry (``obs.cluster``); inert otherwise.  A
+    single hot window is batching noise — sustained saturation means the
+    deployment is fabric-bound and the parallel plan (or the link) needs
+    to change.
+    """
+
+    name = "device_saturation"
+
+    def __init__(self, threshold: float = 0.85, min_windows: int = 3) -> None:
+        self.threshold = threshold
+        self.min_windows = min_windows
+
+    def check(self, engine: "ServingEngine") -> Alert | None:
+        obs = engine.obs
+        if obs is None or obs.cluster is None:
+            return None
+        cluster = obs.cluster
+        for name in cluster.links:
+            series = cluster.link_window_utilization(name)
+            if len(series) < self.min_windows:
+                continue
+            tail = series[-self.min_windows:]
+            if min(tail) <= self.threshold:
+                continue
+            return Alert(
+                self.name, engine.clock,
+                f"link '{name}' above {self.threshold:.0%} utilization for "
+                f"{self.min_windows} consecutive "
+                f"{cluster.window_s:g}s windows "
+                f"(last {max(tail):.3f})",
+                {"link": name, "threshold": self.threshold,
+                 "min_windows": self.min_windows,
+                 "window_s": cluster.window_s,
+                 "utilization_tail": [round(u, 6) for u in tail],
+                 "bytes_total": cluster._link_bytes[name]},
+            )
+        return None
+
+
 def default_rules() -> list[AlertRule]:
     return [ExpertImbalanceRule(), PreemptionStormRule(), KvHighWaterRule(),
-            EmptyPercentileRule(), FaultStormRule(), UnrecoverableLossRule()]
+            EmptyPercentileRule(), FaultStormRule(), UnrecoverableLossRule(),
+            DeviceSaturationRule()]
 
 
 # --------------------------------------------------------------------------- #
@@ -296,6 +341,9 @@ class FlightRecorder:
             if obs.slo is not None:
                 (bundle / "slo.json").write_text(json.dumps(
                     obs.slo.report(engine.clock), indent=2) + "\n")
+            if obs.cluster is not None:
+                (bundle / "cluster.json").write_text(json.dumps(
+                    obs.cluster.summary(), indent=2) + "\n")
         return bundle
 
 

@@ -1,0 +1,750 @@
+"""Cluster telemetry: device occupancy, link accounting, expert heat.
+
+The request-side observability (:mod:`repro.obs.trace`,
+:mod:`repro.obs.reqtrace`) answers "where did this request's time go";
+this module answers the *device-side* questions the paper's findings live
+in — is the fleet compute-bound or blocked on collectives, which
+interconnect link is saturating, which experts run hot — plus the
+MoE-CAP (arXiv 2505.11415) correction to utilization metrics:
+
+* **Occupancy** — every engine iteration is split into compute time,
+  comm-blocked time (the interconnect + pipeline share of the component
+  breakdown) and idle gaps, replicated across the deployment's
+  ``plan.num_devices`` lockstep devices and exported as per-device Chrome
+  trace lanes alongside the engine/request lanes.
+* **Link accounting** — per-iteration fabric-crossing bytes of each
+  logical link (EP all-to-all dispatch+combine, TP all-reduce, PP
+  point-to-point, PCIe offload), mirrored byte-for-byte from the phase
+  model's collective formulas and scored against the
+  :class:`~repro.hardware.spec.InterconnectSpec` capacity as per-link
+  utilization gauges and a per-window comm waterfall.  Byte accounting
+  models the *healthy* fabric: fault-injected link degradation stretches
+  collective seconds, not payload bytes.
+* **Expert heat** — closed windows of simulated time accumulate the
+  routing probe's per-expert token load into a Gini / max-over-mean
+  imbalance timeseries, mapped onto devices through a (replication-aware)
+  :mod:`repro.parallel.expert_parallel` placement.
+* **Sparse-MBU / Sparse-MFU** — dense MBU/MFU score a MoE model as if
+  every expert's weights streamed and every expert's FLOPs executed each
+  step; MoE-CAP shows that overstates utilization.  The sparse gauges
+  count only the activated-expert FLOPs and the coverage-scaled weight
+  traffic, reported *alongside* the dense numbers they correct.
+
+Like every hook in :mod:`repro.obs`, the telemetry is default-off
+(``Instrumentation.cluster is None``) and reads engine state without
+writing it, so enabling it cannot perturb simulated results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.results import ResultTable
+from repro.hardware.interconnect import (
+    PCIE_GEN5_X16,
+    all_to_all_time,
+    allreduce_time,
+    p2p_time,
+)
+from repro.models.config import ModelConfig
+from repro.moe.stats import balance_metrics
+from repro.optim.quantization import QuantConfig
+from repro.parallel.expert_parallel import (
+    ExpertPlacement,
+    ReplicatedExpertPlacement,
+    round_robin_placement,
+)
+from repro.perfmodel.flops import (
+    attention_core_cost,
+    dense_ffn_cost,
+    embedding_cost,
+    lm_head_cost,
+    qkvo_cost,
+    router_cost,
+    routed_experts_cost,
+    shared_expert_cost,
+)
+from repro.obs.trace import TRACE_PID
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.routing import EngineRoutingProbe
+    from repro.perfmodel.inference import InferencePerfModel
+
+__all__ = [
+    "ClusterTelemetry",
+    "HeatWindow",
+    "LinkSpec",
+    "StepShape",
+    "step_cost_totals",
+    "step_utilization",
+    "DEVICE_TID_BASE",
+    "LINK_TID_BASE",
+]
+
+DEVICE_TID_BASE = 2000
+"""Chrome trace tids of the per-device lanes (after request lanes at
+1000+rid, so Perfetto sorts engine → requests → devices)."""
+
+LINK_TID_BASE = 2900
+"""Chrome trace tids of the per-link utilization counter tracks."""
+
+
+@dataclass(frozen=True)
+class StepShape:
+    """The workload shape of one engine iteration, as the perf model saw
+    it — enough to re-derive the step's component costs and link bytes."""
+
+    phase: str
+    num_tokens: float
+    batch: float
+    kv_len: float
+    attended_len: float | None = None
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One logical interconnect link of the deployment."""
+
+    name: str
+    fabric: str
+    capacity_bytes_per_s: float
+
+
+@dataclass(frozen=True)
+class HeatWindow:
+    """Per-expert token load over one closed window of simulated time."""
+
+    index: int
+    t_start: float
+    t_end: float
+    tokens: int
+    """Routed token-assignments (token × top-k) landing in the window."""
+    gini: float
+    imbalance: float
+    """max/mean per-expert load in the window (0.0 for an empty window)."""
+    device_load: tuple[float, ...]
+    """Expert token load per EP device, replication-aware (an expert with
+    ``r`` replicas spreads its load evenly over them)."""
+
+    @property
+    def is_empty(self) -> bool:
+        return self.tokens == 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index, "t_start": self.t_start,
+            "t_end": self.t_end, "tokens": self.tokens, "gini": self.gini,
+            "imbalance": self.imbalance,
+            "device_load": list(self.device_load),
+        }
+
+
+# --------------------------------------------------------------------------- #
+# MoE-CAP sparse vs dense step costs
+# --------------------------------------------------------------------------- #
+
+
+def _dense_expert_cost_totals(model: ModelConfig, m: float,
+                              quant: QuantConfig) -> tuple[float, float]:
+    """(flops, bytes) of one MoE layer's expert block *as a dense metric
+    scores it*: all ``E`` experts compute every token and all expert
+    weights stream — the counterfactual dense MFU/MBU assume."""
+    moe = model.moe
+    assert moe is not None
+    h, f, e = model.hidden_size, moe.expert_ffn_dim, moe.num_experts
+    n_mats = 3 if moe.gated else 2
+    per_expert = n_mats * h * f
+    flops = 2.0 * m * e * per_expert
+    w_bytes = e * per_expert * quant.weight_bytes
+    a_bytes = (2.0 * m * h + 2.0 * m * e * f) * quant.activation_bytes
+    return flops, w_bytes + a_bytes
+
+
+def step_cost_totals(
+    model: ModelConfig,
+    quant: QuantConfig,
+    shape: StepShape,
+    fused: bool = True,
+    mla_native: bool = False,
+) -> tuple[float, float, float, float]:
+    """``(sparse_flops, dense_flops, sparse_bytes, dense_bytes)`` of one
+    forward step, summed over all layers plus embedding and LM head.
+
+    The sparse totals count what the MoE step actually does — activated
+    experts' FLOPs, coverage-scaled expert weight traffic (the
+    :func:`~repro.perfmodel.flops.routed_experts_cost` accounting) — while
+    the dense totals replace the routed-expert block with its all-experts
+    counterfactual.  Everything else (attention, router, shared experts,
+    dense FFN, embedding, LM head) is identical between the two.
+    """
+    m, batch, kv_len = shape.num_tokens, shape.batch, shape.kv_len
+    sparse_flops = dense_flops = sparse_bytes = dense_bytes = 0.0
+
+    def _both(flops: float, bytes_: float) -> None:
+        nonlocal sparse_flops, dense_flops, sparse_bytes, dense_bytes
+        sparse_flops += flops
+        dense_flops += flops
+        sparse_bytes += bytes_
+        dense_bytes += bytes_
+
+    for _, is_moe in model.iter_layers():
+        qkvo = qkvo_cost(model, m, quant)
+        _both(qkvo.flops, qkvo.bytes)
+        core = attention_core_cost(model, m, batch, kv_len, quant,
+                                   shape.attended_len, mla_native=mla_native)
+        _both(core.flops, core.bytes)
+        if is_moe:
+            router = router_cost(model, m, quant)
+            _both(router.flops, router.bytes)
+            routed = routed_experts_cost(model, m, quant, fused=fused)
+            sparse_flops += routed.flops
+            sparse_bytes += routed.bytes
+            df, db = _dense_expert_cost_totals(model, m, quant)
+            dense_flops += df
+            dense_bytes += db
+            shared = shared_expert_cost(model, m, quant)
+            _both(shared.flops, shared.bytes)
+        else:
+            dense = dense_ffn_cost(model, m, quant)
+            _both(dense.flops, dense.bytes)
+
+    emb = embedding_cost(model, m, quant)
+    _both(emb.flops, emb.bytes)
+    head = lm_head_cost(model, batch, quant)
+    _both(head.flops, head.bytes)
+    return sparse_flops, dense_flops, sparse_bytes, dense_bytes
+
+
+def step_utilization(steps, num_tokens: float, batch: float, kv_len: float,
+                     phase: str,
+                     attended_len: float | None = None) -> dict[str, float]:
+    """Sparse vs dense MBU/MFU of one step on a deployment (MoE-CAP).
+
+    ``steps`` is a :class:`~repro.perfmodel.phases.StepModel`; the step
+    time comes from its breakdown, the numerators from
+    :func:`step_cost_totals`, and the denominators are the deployment's
+    aggregate peaks (``num_devices`` × per-device peak FLOP/s and raw
+    memory bandwidth).  Dense MFU/MBU score the step as if the model were
+    dense — the overstated utilization the sparse gauges correct.
+    """
+    bd = steps.step_breakdown(num_tokens=num_tokens, batch=batch,
+                              kv_len=kv_len, phase=phase,
+                              attended_len=attended_len)
+    shape = StepShape(phase, float(num_tokens), float(batch), float(kv_len),
+                      attended_len)
+    sf, df, sb, db = step_cost_totals(steps.model, steps.quant, shape,
+                                      fused=steps.fused_moe,
+                                      mla_native=steps.mla_native)
+    n = steps.plan.num_devices
+    peak_flops = steps.hardware.peak_flops_per_s(
+        steps.quant.compute_dtype_name) * n
+    peak_bw = steps.hardware.mem_bandwidth_gbps * 1e9 * n
+    t = bd.total
+    return {
+        "step_time_s": t,
+        "sparse_mfu": sf / (t * peak_flops),
+        "dense_mfu": df / (t * peak_flops),
+        "sparse_mbu": sb / (t * peak_bw),
+        "dense_mbu": db / (t * peak_bw),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# the telemetry
+# --------------------------------------------------------------------------- #
+
+
+class ClusterTelemetry:
+    """Device-and-link telemetry for one engine deployment.
+
+    Attach to an :class:`~repro.obs.instrument.Instrumentation` handle
+    (``obs.cluster = ClusterTelemetry(perf, routing=obs.routing)``); the
+    serving engine feeds it one :meth:`on_iteration` per step and one
+    :meth:`on_run_end` when the run drains.  All state is derived from
+    the iteration stream — nothing is written back to the engine.
+    """
+
+    def __init__(
+        self,
+        perf_model: "InferencePerfModel",
+        routing: "EngineRoutingProbe | None" = None,
+        window_s: float = 0.1,
+        placement: ExpertPlacement | ReplicatedExpertPlacement | None = None,
+    ) -> None:
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        setup = perf_model.setup
+        self.model = setup.model
+        self.hardware = setup.hardware
+        self.plan = setup.plan
+        self.quant = setup.quant
+        self.fused_moe = setup.fused_moe
+        self.mla_native = setup.mla_native
+        self.routing = routing
+        self.window_s = window_s
+        self.num_devices = self.plan.num_devices
+
+        if placement is None and self.plan.ep > 1 and \
+                self.model.moe is not None:
+            placement = round_robin_placement(self.model.moe.num_experts,
+                                              self.plan.ep)
+        self.placement = placement
+
+        self.links: dict[str, LinkSpec] = {}
+        fabric = self.hardware.interconnect
+        if self.plan.num_devices > 1 and fabric is None:
+            raise ValueError(
+                f"{self.hardware.name} has no interconnect configured for a "
+                f"{self.plan.label} deployment")
+        if self.plan.tp > 1:
+            self.links["tp_allreduce"] = LinkSpec(
+                "tp_allreduce", fabric.name,
+                fabric.link_bandwidth_gbps * 1e9)
+        if self.plan.ep > 1:
+            # the link exists for any EP deployment; a dense model simply
+            # never puts bytes on it (the zero-traffic case)
+            self.links["ep_alltoall"] = LinkSpec(
+                "ep_alltoall", fabric.name,
+                fabric.link_bandwidth_gbps * 1e9)
+        if self.plan.pp > 1:
+            self.links["pp_p2p"] = LinkSpec(
+                "pp_p2p", fabric.name, fabric.link_bandwidth_gbps * 1e9)
+
+        # occupancy: one (t_start, t_end, phase, comm_s) segment per
+        # iteration, shared by every lockstep device lane
+        self._segments: list[tuple[float, float, str, float]] = []
+        self.busy_s = 0.0
+        self.comm_s = 0.0
+        self.idle_s = 0.0
+        self._last_end = 0.0
+        self.iterations = 0
+
+        self._link_bytes: dict[str, float] = {n: 0.0 for n in self.links}
+        self._link_seconds: dict[str, float] = {n: 0.0 for n in self.links}
+        self._link_window_bytes: dict[str, dict[int, float]] = \
+            {n: {} for n in self.links}
+        self._link_memo: dict[float, dict[str, tuple[float, float]]] = {}
+
+        self.windows: list[HeatWindow] = []
+        self.link_windows: list[dict[str, float]] = []
+        """Per closed window: link name → bytes-based utilization."""
+        self._next_window = 0
+        self._heat_last_totals: np.ndarray | None = None
+
+        self._cost_memo: dict[StepShape, tuple[float, float, float, float]] = {}
+        self.sparse_flops = 0.0
+        self.dense_flops = 0.0
+        self.sparse_bytes = 0.0
+        self.dense_bytes = 0.0
+        self.makespan = 0.0
+        self._finalized = False
+
+    # ------------------------------------------------------------------ #
+    # engine hooks
+    # ------------------------------------------------------------------ #
+
+    def on_iteration(self, t_start: float, t_end: float,
+                     components: dict[str, float], *,
+                     phase: str, num_tokens: float, batch: float,
+                     kv_len: float,
+                     attended_len: float | None = None) -> None:
+        """Ingest one engine iteration (called after the routing probe has
+        seen the iteration's tokens, so heat windows closing at ``t_end``
+        include them).  The shape fields are the exact arguments the engine
+        fed the perf model, so link bytes and sparse/dense costs re-derive
+        from the same step the clock advanced by."""
+        shape = StepShape(phase, float(num_tokens), float(batch),
+                          float(kv_len), attended_len)
+        comm = components.get("interconnect", 0.0) + \
+            components.get("pipeline", 0.0)
+        duration = max(0.0, t_end - t_start)
+        comm = min(comm, duration)
+        gap = t_start - self._last_end
+        if gap > 1e-12:
+            self.idle_s += gap
+        self.busy_s += duration - comm
+        self.comm_s += comm
+        self._last_end = max(self._last_end, t_end)
+        self._segments.append((t_start, t_end, shape.phase, comm))
+        self.iterations += 1
+
+        for name, (bytes_, secs) in self._iteration_links(shape).items():
+            self._link_bytes[name] += bytes_
+            self._link_seconds[name] += secs
+            if bytes_ > 0.0:
+                win = int(t_start / self.window_s)
+                per = self._link_window_bytes[name]
+                per[win] = per.get(win, 0.0) + bytes_
+
+        costs = self._cost_memo.get(shape)
+        if costs is None:
+            costs = step_cost_totals(self.model, self.quant, shape,
+                                     fused=self.fused_moe,
+                                     mla_native=self.mla_native)
+            self._cost_memo[shape] = costs
+        sf, df, sb, db = costs
+        self.sparse_flops += sf
+        self.dense_flops += df
+        self.sparse_bytes += sb
+        self.dense_bytes += db
+
+        self._close_windows_until(t_end)
+
+    def on_pcie_bytes(self, num_bytes: float, t: float) -> None:
+        """Account host↔device offload traffic on the PCIe link (the
+        engine itself never offloads; offload-aware harnesses call this)."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if "pcie_offload" not in self.links:
+            self.links["pcie_offload"] = LinkSpec(
+                "pcie_offload", PCIE_GEN5_X16.name,
+                PCIE_GEN5_X16.link_bandwidth_gbps * 1e9)
+            self._link_bytes["pcie_offload"] = 0.0
+            self._link_seconds["pcie_offload"] = 0.0
+            self._link_window_bytes["pcie_offload"] = {}
+        self._link_bytes["pcie_offload"] += num_bytes
+        self._link_seconds["pcie_offload"] += \
+            num_bytes / self.links["pcie_offload"].capacity_bytes_per_s
+        if num_bytes > 0:
+            win = int(t / self.window_s)
+            per = self._link_window_bytes["pcie_offload"]
+            per[win] = per.get(win, 0.0) + num_bytes
+
+    def on_run_end(self, makespan: float,
+                   metrics: "MetricsRegistry | None" = None) -> None:
+        """Close the trailing (possibly partial) window and publish
+        end-of-run gauges into ``metrics``."""
+        if self._finalized:
+            return
+        self.makespan = max(makespan, self._last_end)
+        if self.makespan > 0:
+            # close every window the run touched, including the partial tail
+            last = int(self.makespan / self.window_s)
+            if last * self.window_s < self.makespan - 1e-12:
+                last += 1
+            while self._next_window < last:
+                self._close_one_window(
+                    min((self._next_window + 1) * self.window_s,
+                        self.makespan))
+            tail_idle = self.makespan - (self.busy_s + self.comm_s + self.idle_s)
+            if tail_idle > 1e-12:
+                self.idle_s += tail_idle
+        self._finalized = True
+        if metrics is not None:
+            self._publish(metrics)
+
+    # ------------------------------------------------------------------ #
+    # link accounting
+    # ------------------------------------------------------------------ #
+
+    def _iteration_links(self, shape: StepShape) -> dict[str, tuple[float, float]]:
+        """Fabric-crossing ``(bytes, seconds)`` per link for one iteration,
+        mirroring the phase model's collective formulas (healthy fabric)."""
+        m = shape.num_tokens
+        memo = self._link_memo.get(m)
+        if memo is not None:
+            return memo
+        model, plan, hw, quant = self.model, self.plan, self.hardware, self.quant
+        h = model.hidden_size
+        ab = quant.activation_bytes
+        out: dict[str, tuple[float, float]] = {}
+        if plan.tp > 1:
+            payload = m * h * ab
+            n_ar = model.num_layers + model.num_dense_layers
+            if plan.expert_shard_tp > 1 or plan.ep == 1:
+                n_ar += model.num_moe_layers
+            out["tp_allreduce"] = (
+                n_ar * 2.0 * (plan.tp - 1) / plan.tp * payload,
+                n_ar * allreduce_time(payload, plan.tp, hw),
+            )
+        if plan.ep > 1:
+            bytes_ = secs = 0.0
+            if model.moe is not None and model.num_moe_layers > 0:
+                payload = m * model.moe.top_k * h * ab
+                bytes_ = 2.0 * model.num_moe_layers * \
+                    (plan.ep - 1) / plan.ep * payload
+                secs = 2.0 * model.num_moe_layers * \
+                    all_to_all_time(payload, plan.ep, hw)
+            out["ep_alltoall"] = (bytes_, secs)
+        if plan.pp > 1:
+            payload = m * h * ab
+            out["pp_p2p"] = (
+                (plan.pp - 1) * payload,
+                (plan.pp - 1) * p2p_time(payload, hw),
+            )
+        self._link_memo[m] = out
+        return out
+
+    def link_utilization(self, name: str) -> float:
+        """Run-level bytes-based utilization of one link: achieved bytes/s
+        over the elapsed run divided by the link's capacity."""
+        spec = self.links[name]
+        elapsed = self.makespan if self.makespan > 0 else self._last_end
+        if elapsed <= 0:
+            return 0.0
+        return self._link_bytes[name] / elapsed / spec.capacity_bytes_per_s
+
+    def link_window_utilization(self, name: str) -> list[float]:
+        """Per-closed-window utilization timeseries of one link."""
+        return [w.get(name, 0.0) for w in self.link_windows]
+
+    # ------------------------------------------------------------------ #
+    # windows
+    # ------------------------------------------------------------------ #
+
+    def _close_windows_until(self, t: float) -> None:
+        while (self._next_window + 1) * self.window_s <= t + 1e-12:
+            self._close_one_window((self._next_window + 1) * self.window_s)
+
+    def _close_one_window(self, t_end: float) -> None:
+        idx = self._next_window
+        t_start = idx * self.window_s
+        duration = max(t_end - t_start, 1e-12)
+
+        util: dict[str, float] = {}
+        for name, spec in self.links.items():
+            bytes_ = self._link_window_bytes[name].pop(idx, 0.0)
+            util[name] = bytes_ / duration / spec.capacity_bytes_per_s
+        self.link_windows.append(util)
+
+        tokens = 0
+        gini = imbalance = 0.0
+        device_load: tuple[float, ...] = ()
+        if self.routing is not None:
+            totals = self.routing.telemetry.heatmap().sum(axis=0)
+            if self._heat_last_totals is None:
+                delta = totals
+            else:
+                delta = totals - self._heat_last_totals
+            self._heat_last_totals = totals
+            tokens = int(delta.sum())
+            if tokens > 0:
+                bm = balance_metrics(delta)
+                gini, imbalance = bm.gini, bm.imbalance
+            device_load = self._device_load(delta)
+        self.windows.append(HeatWindow(
+            index=idx, t_start=t_start, t_end=t_end, tokens=tokens,
+            gini=gini, imbalance=imbalance, device_load=device_load,
+        ))
+        self._next_window += 1
+
+    def _device_load(self, counts: np.ndarray) -> tuple[float, ...]:
+        placement = self.placement
+        if placement is None:
+            return (float(counts.sum()),)
+        load = np.zeros(placement.num_devices)
+        if isinstance(placement, ReplicatedExpertPlacement):
+            for e, devices in enumerate(placement.devices_of_expert):
+                share = float(counts[e]) / len(devices)
+                for d in devices:
+                    load[d] += share
+        else:
+            for e, d in enumerate(placement.device_of_expert):
+                load[d] += float(counts[e])
+        return tuple(float(x) for x in load)
+
+    # ------------------------------------------------------------------ #
+    # utilization gauges
+    # ------------------------------------------------------------------ #
+
+    def utilization_summary(self) -> dict[str, float]:
+        """Run-level MoE-CAP gauges (dense alongside the sparse corrections)."""
+        elapsed = self.makespan if self.makespan > 0 else self._last_end
+        n = self.num_devices
+        peak_flops = self.hardware.peak_flops_per_s(
+            self.quant.compute_dtype_name) * n
+        peak_bw = self.hardware.mem_bandwidth_gbps * 1e9 * n
+        if elapsed <= 0:
+            return {"sparse_mfu": 0.0, "dense_mfu": 0.0,
+                    "sparse_mbu": 0.0, "dense_mbu": 0.0}
+        return {
+            "sparse_mfu": self.sparse_flops / (elapsed * peak_flops),
+            "dense_mfu": self.dense_flops / (elapsed * peak_flops),
+            "sparse_mbu": self.sparse_bytes / (elapsed * peak_bw),
+            "dense_mbu": self.dense_bytes / (elapsed * peak_bw),
+        }
+
+    def _publish(self, metrics: "MetricsRegistry") -> None:
+        for d in range(self.num_devices):
+            labels = {"device": str(d)}
+            metrics.gauge(
+                "device_busy_seconds_total",
+                "simulated compute-busy seconds per device", labels=labels,
+            ).set(self.busy_s)
+            metrics.gauge(
+                "device_comm_blocked_seconds_total",
+                "simulated comm-blocked seconds per device", labels=labels,
+            ).set(self.comm_s)
+            metrics.gauge(
+                "device_idle_seconds_total",
+                "simulated idle seconds per device", labels=labels,
+            ).set(self.idle_s)
+        for name in self.links:
+            labels = {"link": name}
+            metrics.counter(
+                "link_bytes_total", "fabric-crossing bytes per link",
+                labels=labels,
+            ).inc(self._link_bytes[name])
+            metrics.counter(
+                "link_busy_seconds_total",
+                "modelled collective seconds per link", labels=labels,
+            ).inc(self._link_seconds[name])
+            metrics.gauge(
+                "link_utilization",
+                "achieved bytes/s over link capacity", labels=labels,
+            ).set(self.link_utilization(name))
+        util = self.utilization_summary()
+        metrics.gauge(
+            "cluster_sparse_mfu_ratio",
+            "MoE-CAP Sparse-MFU: activated-expert flops over peak",
+        ).set(util["sparse_mfu"])
+        metrics.gauge(
+            "cluster_dense_mfu_ratio",
+            "dense MFU counterfactual (overstates sparse utilization)",
+        ).set(util["dense_mfu"])
+        metrics.gauge(
+            "cluster_sparse_mbu_ratio",
+            "MoE-CAP Sparse-MBU: coverage-scaled bytes over peak bandwidth",
+        ).set(util["sparse_mbu"])
+        metrics.gauge(
+            "cluster_dense_mbu_ratio",
+            "dense MBU counterfactual (overstates sparse utilization)",
+        ).set(util["dense_mbu"])
+        if self.windows:
+            metrics.gauge(
+                "expert_heat_windows_count", "closed expert-heat windows",
+            ).set(len(self.windows))
+            metrics.gauge(
+                "expert_heat_peak_imbalance_ratio",
+                "max per-window expert-load max/mean",
+            ).set(max(w.imbalance for w in self.windows))
+            non_empty = [w for w in self.windows if not w.is_empty]
+            if non_empty:
+                metrics.gauge(
+                    "expert_heat_gini_ratio",
+                    "expert-load Gini of the last non-empty window",
+                ).set(non_empty[-1].gini)
+
+    # ------------------------------------------------------------------ #
+    # views
+    # ------------------------------------------------------------------ #
+
+    def occupancy_summary(self) -> dict[str, float]:
+        return {"busy_s": self.busy_s, "comm_blocked_s": self.comm_s,
+                "idle_s": self.idle_s, "iterations": float(self.iterations)}
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-able digest for flight-recorder bundles and run reports."""
+        out: dict[str, Any] = {
+            "devices": self.num_devices,
+            "plan": self.plan.label,
+            "hardware": self.hardware.name,
+            "window_s": self.window_s,
+            "occupancy": self.occupancy_summary(),
+            "links": {
+                name: {
+                    "fabric": spec.fabric,
+                    "capacity_gbps": spec.capacity_bytes_per_s / 1e9,
+                    "bytes_total": self._link_bytes[name],
+                    "busy_seconds": self._link_seconds[name],
+                    "utilization": self.link_utilization(name),
+                }
+                for name, spec in self.links.items()
+            },
+            "utilization": self.utilization_summary(),
+            "expert_heat": {
+                "windows": len(self.windows),
+                "non_empty_windows": sum(
+                    1 for w in self.windows if not w.is_empty),
+                "peak_imbalance": max(
+                    (w.imbalance for w in self.windows), default=0.0),
+                "last_gini": next(
+                    (w.gini for w in reversed(self.windows)
+                     if not w.is_empty), 0.0),
+            },
+        }
+        return out
+
+    def comm_waterfall(self) -> ResultTable:
+        """Per-window per-link utilization as a report table."""
+        table = ResultTable(
+            "comm waterfall",
+            ("window", "t_start_s", "link", "utilization"),
+        )
+        for idx, util in enumerate(self.link_windows):
+            for name in self.links:
+                table.add(window=idx, t_start_s=idx * self.window_s,
+                          link=name, utilization=util.get(name, 0.0))
+        return table
+
+    def heat_table(self) -> ResultTable:
+        """Expert-heat window timeseries as a report table."""
+        table = ResultTable(
+            "expert heat windows",
+            ("window", "t_start_s", "tokens", "gini", "imbalance"),
+        )
+        for w in self.windows:
+            table.add(window=w.index, t_start_s=w.t_start, tokens=w.tokens,
+                      gini=w.gini, imbalance=w.imbalance)
+        return table
+
+    # ------------------------------------------------------------------ #
+    # Chrome trace lanes
+    # ------------------------------------------------------------------ #
+
+    def chrome_events(self) -> list[dict[str, Any]]:
+        """Per-device occupancy lanes + per-link utilization counters.
+
+        Device lanes get tids ``DEVICE_TID_BASE + device``; each iteration
+        renders as a phase span with a nested ``comm.blocked`` tail when
+        collectives stalled the step.  Link counters land on
+        ``LINK_TID_BASE + i`` tracks as per-window utilization series.
+        """
+        us = 1e6
+        events: list[dict[str, Any]] = []
+        for d in range(self.num_devices):
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": TRACE_PID,
+                "tid": DEVICE_TID_BASE + d,
+                "args": {"name": f"device {d} ({self.hardware.name})"},
+            })
+        for t0, t1, phase, comm in self._segments:
+            for d in range(self.num_devices):
+                tid = DEVICE_TID_BASE + d
+                events.append({
+                    "name": f"device.{phase}", "cat": "device", "ph": "B",
+                    "pid": TRACE_PID, "tid": tid, "ts": t0 * us,
+                    "args": {"device": d},
+                })
+                if comm > 1e-12:
+                    events.append({
+                        "name": "comm.blocked", "cat": "device", "ph": "B",
+                        "pid": TRACE_PID, "tid": tid, "ts": (t1 - comm) * us,
+                        "args": {"device": d},
+                    })
+                    events.append({
+                        "name": "comm.blocked", "cat": "device", "ph": "E",
+                        "pid": TRACE_PID, "tid": tid, "ts": t1 * us,
+                    })
+                events.append({
+                    "name": f"device.{phase}", "cat": "device", "ph": "E",
+                    "pid": TRACE_PID, "tid": tid, "ts": t1 * us,
+                })
+        for i, name in enumerate(self.links):
+            tid = LINK_TID_BASE + i
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": TRACE_PID,
+                "tid": tid, "args": {"name": f"link {name}"},
+            })
+            for idx, util in enumerate(self.link_windows):
+                events.append({
+                    "name": f"link/{name}", "ph": "C", "pid": TRACE_PID,
+                    "tid": tid, "ts": idx * self.window_s * us,
+                    "args": {"utilization": util.get(name, 0.0),
+                             "link": name},
+                })
+        return events

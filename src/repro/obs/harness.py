@@ -12,7 +12,9 @@ import numpy as np
 
 from repro.hardware.gpus import H100_SXM
 from repro.models.zoo import get_model
+from repro.obs.cluster import ClusterTelemetry
 from repro.obs.instrument import Instrumentation
+from repro.parallel.plan import SINGLE_DEVICE, ParallelPlan
 from repro.perfmodel.inference import InferencePerfModel
 from repro.serving.engine import ServingEngine, ServingResult
 from repro.serving.scheduler import SchedulerConfig
@@ -21,13 +23,20 @@ from repro.workloads.traces import poisson_arrivals
 
 __all__ = [
     "REFERENCE_MODEL",
+    "REFERENCE_PLAN",
     "reference_serving_run",
     "traced_serving_run",
     "poisson_serving_run",
+    "clustered_serving_run",
 ]
 
 REFERENCE_MODEL = "OLMoE-1B-7B"
 """Default workload model: a MoE model that fits one simulated H100."""
+
+REFERENCE_PLAN = ParallelPlan(tp=4, ep=4)
+"""Default multi-device deployment for cluster telemetry: TP4+EP4 puts
+traffic on both the all-reduce and the all-to-all link (OLMoE's 16 heads
+and 64 experts both divide by 4)."""
 
 
 def reference_serving_run(
@@ -89,6 +98,49 @@ def poisson_serving_run(
     for req in dist.requests(num_requests, rng, arrival_times=arrivals):
         engine.submit(req)
     return engine.run()
+
+
+def clustered_serving_run(
+    model_name: str = REFERENCE_MODEL,
+    plan: ParallelPlan | None = None,
+    arrival_rate_rps: float = 8.0,
+    num_requests: int = 48,
+    seed: int = 11,
+    window_s: float = 0.05,
+    alerts: "object | None" = None,
+) -> tuple[ServingResult, Instrumentation]:
+    """A Poisson workload on a multi-device deployment with cluster
+    telemetry armed — the workload behind ``repro report`` and the
+    device/link lanes of ``repro trace``.
+
+    Same arrival/length seeding scheme as :func:`poisson_serving_run`, on
+    a :data:`REFERENCE_PLAN` deployment by default so the EP all-to-all
+    and TP all-reduce links both carry traffic.  ``plan`` may be any
+    :class:`~repro.parallel.plan.ParallelPlan` valid for the model
+    (``SINGLE_DEVICE`` gives the no-links degenerate case).
+    """
+    rng = np.random.default_rng(seed)
+    model = get_model(model_name)
+    if plan is None:
+        plan = REFERENCE_PLAN
+        try:
+            plan.validate_for_model(model)
+        except ValueError:
+            plan = SINGLE_DEVICE
+    obs = Instrumentation.on(model=model, alerts=alerts)
+    perf = InferencePerfModel(model, H100_SXM, plan=plan,
+                              instrumentation=obs)
+    obs.cluster = ClusterTelemetry(perf, routing=obs.routing,
+                                   window_s=window_s)
+    engine = ServingEngine(
+        perf, scheduler_config=SchedulerConfig(max_num_seqs=128),
+        kv_pool_tokens=262_144, instrumentation=obs,
+    )
+    arrivals = poisson_arrivals(arrival_rate_rps, num_requests, rng)
+    dist = LengthDistribution(mean_input=512, mean_output=128, sigma=0.4)
+    for req in dist.requests(num_requests, rng, arrival_times=arrivals):
+        engine.submit(req)
+    return engine.run(), obs
 
 
 def traced_serving_run(

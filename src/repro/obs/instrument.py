@@ -25,6 +25,7 @@ from repro.obs.trace import SpanTracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs.alerts import AlertMonitor
+    from repro.obs.cluster import ClusterTelemetry
     from repro.obs.slo import SloTracker
 
 __all__ = ["Instrumentation"]
@@ -49,6 +50,12 @@ class Instrumentation:
     """Optional SLO error-budget tracker (see :mod:`repro.obs.slo`):
     scores every terminal request against declared objectives so
     burn-rate alert rules can page."""
+    cluster: "ClusterTelemetry | None" = None
+    """Optional device-and-link telemetry (see :mod:`repro.obs.cluster`):
+    per-device occupancy lanes, per-link interconnect accounting, expert
+    heat windows, and MoE-CAP Sparse-MBU/MFU gauges.  Attach after
+    construction — it needs the deployment's perf model:
+    ``obs.cluster = ClusterTelemetry(perf, routing=obs.routing)``."""
     active: bool = True
     """Master switch: instrumented call sites skip every hook when False."""
 

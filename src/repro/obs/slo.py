@@ -373,7 +373,7 @@ def fault_storm_config():
 
 def run_slo_scenario(config=None, slos: Sequence[SLO] = DEFAULT_SLOS,
                      hour_s: float = 1.0,
-                     out_dir=None) -> dict[str, Any]:
+                     out_dir=None, cluster: bool = False) -> dict[str, Any]:
     """Run the canonical chaos fault storm with SLO burn-rate paging armed.
 
     The ``ext_slo`` reference scenario behind ``repro slo``: the
@@ -382,9 +382,15 @@ def run_slo_scenario(config=None, slos: Sequence[SLO] = DEFAULT_SLOS,
     bundles under ``out_dir`` when given).  Returns a deterministic
     JSON-able report — budgets, fired alerts, run summary — that replays
     byte-identically for a fixed :class:`ChaosConfig`.
+
+    ``cluster=True`` additionally arms device/link telemetry on the chaos
+    deployment (adding a ``"cluster"`` key to the report and a
+    ``cluster.json`` to any flight-recorder bundle) — the source for the
+    CI slo-gate run report.
     """
-    from repro.faults.harness import chaos_serving_run
+    from repro.faults.harness import ChaosRun, build_chaos_engine
     from repro.obs.alerts import AlertMonitor, FlightRecorder
+    from repro.obs.cluster import ClusterTelemetry
     from repro.obs.instrument import Instrumentation
 
     tracker = SloTracker(slos)
@@ -392,8 +398,12 @@ def run_slo_scenario(config=None, slos: Sequence[SLO] = DEFAULT_SLOS,
     monitor = AlertMonitor(rules=sre_burn_rules(slos, hour_s=hour_s),
                            recorder=recorder)
     obs = Instrumentation.on(alerts=monitor, slo=tracker)
-    run = chaos_serving_run(config, instrumentation=obs)
-    return {
+    engine, injector = build_chaos_engine(config, instrumentation=obs)
+    if cluster:
+        obs.cluster = ClusterTelemetry(engine.perf, routing=obs.routing)
+    run = ChaosRun(result=engine.run(), injector=injector,
+                   schedule=injector.schedule)
+    report = {
         "scenario": "chaos_fault_storm",
         "hour_s": hour_s,
         "slos": [s.describe() for s in tracker.slos],
@@ -402,6 +412,9 @@ def run_slo_scenario(config=None, slos: Sequence[SLO] = DEFAULT_SLOS,
         "alerts": monitor.summary(),
         "bundles": [str(b) for b in monitor.bundles],
     }
+    if cluster:
+        report["cluster"] = obs.cluster.summary()
+    return report
 
 
 def sre_burn_rules(slos: Sequence[SLO] = DEFAULT_SLOS,

@@ -191,16 +191,22 @@ class SpanTracer:
 
 def filter_trace_events(events: list[dict[str, Any]],
                         request_id: int | None = None,
-                        match: str | None = None) -> list[dict[str, Any]]:
-    """Filter Chrome Trace events by request id and/or span-name regex.
+                        match: str | None = None,
+                        device: int | None = None,
+                        link: str | None = None) -> list[dict[str, Any]]:
+    """Filter Chrome Trace events by request id, span-name regex, device
+    id and/or link name.
 
     B/E span pairs are kept or dropped *as pairs* (matched by per-track
     nesting order), so the filtered trace still loads in Perfetto with
     balanced stacks.  ``request_id`` keeps events whose ``args`` carry
     that ``request_id`` (arrival/preempt/finish instants, per-request
     tracks from :mod:`repro.obs.reqtrace`); ``match`` keeps events whose
-    name matches the regex.  Thread-name metadata survives only for
-    tracks that still have events.
+    name matches the regex; ``device`` keeps events whose ``args`` carry
+    that ``device`` id (the :mod:`repro.obs.cluster` occupancy lanes);
+    ``link`` keeps events whose ``args`` carry that ``link`` name (the
+    per-link utilization counters).  Thread-name metadata survives only
+    for tracks that still have events.
     """
     pattern = re.compile(match) if match is not None else None
 
@@ -208,6 +214,10 @@ def filter_trace_events(events: list[dict[str, Any]],
         if pattern is not None and not pattern.search(name):
             return False
         if request_id is not None and args.get("request_id") != request_id:
+            return False
+        if device is not None and args.get("device") != device:
+            return False
+        if link is not None and args.get("link") != link:
             return False
         return True
 

@@ -321,15 +321,21 @@ class ServingEngine:
 
     def _iteration_cost(
         self, batch: ScheduledBatch, want_components: bool = False
-    ) -> tuple[float, dict[str, float] | None]:
+    ) -> tuple[float, dict[str, float] | None,
+               tuple[float, float, float, float | None]]:
         """Duration of one iteration, optionally with its per-component
-        decomposition (profiler spans).  The duration is computed through
+        decomposition (profiler spans), plus the perf-model step shape
+        ``(num_tokens, batch, kv_len, attended_len)`` so cluster telemetry
+        can re-derive link bytes and sparse/dense costs from the exact
+        step that advanced the clock.  The duration is computed through
         the exact same perf-model calls either way, so enabling components
         cannot perturb simulated results."""
         reqs = batch.requests
         if batch.phase == "prefill":
             mean_ctx = float(np.mean([r.kv_tokens + self.scheduler._prefill_tokens_for(r)
                                       for r in reqs]))
+            shape = (float(batch.num_tokens), float(batch.batch_size),
+                     mean_ctx, (mean_ctx + 1) / 2.0)
             bd = self.perf.steps.step_breakdown(
                 num_tokens=batch.num_tokens,
                 batch=batch.batch_size,
@@ -344,19 +350,22 @@ class ServingEngine:
                 vision = self.perf.steps.vision_encode_time(images)
                 t += vision
             if not want_components:
-                return t, None
-            return t, self._components_of(bd, vision)
+                return t, None, shape
+            return t, self._components_of(bd, vision), shape
         mean_ctx = float(np.mean([r.kv_tokens for r in reqs]))
         ctx = max(1, int(mean_ctx))
+        shape = (float(batch.batch_size), float(batch.batch_size),
+                 float(ctx), None)
         if not want_components:
-            return self.perf.steps.decode_step_time(batch.batch_size, ctx), None
+            return (self.perf.steps.decode_step_time(batch.batch_size, ctx),
+                    None, shape)
         # decode_step_time is step_breakdown().total — same floats, but the
         # breakdown is kept so the profiler can attribute the step
         bd = self.perf.steps.step_breakdown(
             num_tokens=batch.batch_size, batch=batch.batch_size,
             kv_len=ctx, phase="decode",
         )
-        return bd.total, self._components_of(bd, 0.0)
+        return bd.total, self._components_of(bd, 0.0), shape
 
     @staticmethod
     def _components_of(bd, vision: float) -> dict[str, float]:
@@ -438,7 +447,7 @@ class ServingEngine:
         if obs is not None:
             obs.tracer.begin("perfmodel.iteration_cost", self.clock,
                              cat="perfmodel")
-        duration_s, components = self._iteration_cost(
+        duration_s, components, step_shape = self._iteration_cost(
             batch,
             want_components=obs is not None
             or (faults is not None and faults.needs_components),
@@ -514,7 +523,8 @@ class ServingEngine:
             ))
             self._complete(finished)
         if obs is not None:
-            self._observe_iteration(obs, batch, duration_s)
+            self._observe_iteration(obs, batch, duration_s, components,
+                                    step_shape)
         return True
 
     def _resolve_starvation(self, faults: "FaultInjector",
@@ -576,8 +586,11 @@ class ServingEngine:
             tracer.end(t, track="components", seconds=secs)
         tracer.end(self.clock, track="components")
 
-    def _observe_iteration(self, obs: "Instrumentation",
-                           batch: ScheduledBatch, duration_s: float) -> None:
+    def _observe_iteration(
+        self, obs: "Instrumentation", batch: ScheduledBatch,
+        duration_s: float, components: dict[str, float] | None = None,
+        step_shape: tuple[float, float, float, float | None] | None = None,
+    ) -> None:
         """Close the phase/step spans and update per-iteration metrics."""
         tracer = obs.tracer
         tracer.end(self.clock)  # engine.<phase>
@@ -599,6 +612,14 @@ class ServingEngine:
         ).observe(duration_s)
         if obs.routing is not None:
             obs.routing.on_tokens(batch.num_tokens)
+        if obs.cluster is not None and step_shape is not None:
+            # after the routing probe, so heat windows closing at this
+            # iteration's end include its routed tokens
+            num_tokens, batch_size, kv_len, attended_len = step_shape
+            obs.cluster.on_iteration(
+                self.clock - duration_s, self.clock, components or {},
+                phase=batch.phase, num_tokens=num_tokens, batch=batch_size,
+                kv_len=kv_len, attended_len=attended_len)
         if obs.alerts is not None:
             obs.alerts.on_iteration(self)
 
@@ -680,6 +701,9 @@ class ServingEngine:
             obs.metrics.gauge(
                 "stepcache_misses_total", "step-cache misses since engine construction"
             ).set(stats.misses - m0)
+            if obs.cluster is not None:
+                # before alerts, so end-of-run rules see final gauges
+                obs.cluster.on_run_end(result.makespan, obs.metrics)
             if obs.alerts is not None:
                 obs.alerts.on_run_end(self, result)
         return result

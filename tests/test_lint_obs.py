@@ -8,6 +8,7 @@ from repro.lint.obs import ALLOWED_SUFFIXES
 METRICS_REL = "src/repro/obs/fixture.py"
 SERVING_REL = "src/repro/serving/fixture.py"
 FAULTS_REL = "src/repro/faults/fixture.py"
+CLUSTER_REL = "src/repro/obs/cluster.py"
 
 
 def _src(text: str) -> str:
@@ -78,6 +79,17 @@ class TestMetricUnitSuffix:
             def f(obs):
                 obs.metrics.counter("preemptions").inc()  # simlint: disable=OBS001
         """, METRICS_REL) == []
+
+    def test_cluster_gauges_checked(self):
+        # the cluster-telemetry gauges are ordinary registry metrics and
+        # must carry unit suffixes like everything else
+        vs = _lint("OBS001", """
+            def publish(self, metrics):
+                metrics.gauge("link_utilization", link="tp").set(0.4)
+                metrics.gauge("cluster_sparse_mfu").set(0.1)
+        """, CLUSTER_REL)
+        assert len(vs) == 1
+        assert "cluster_sparse_mfu" in vs[0].message
 
     def test_every_allowed_suffix_accepted(self):
         for suffix in ALLOWED_SUFFIXES:
@@ -154,6 +166,26 @@ class TestSimClockSpan:
                 with obs.tracer.wall_span(name):
                     pass
         """, rel="src/repro/obs/fixture.py") == []
+
+    def test_cluster_module_in_scope(self):
+        # device lanes / link counters are simulated-time series: the
+        # cluster module gets the same clock pin as the serving stack
+        vs = _lint("OBS002", """
+            import time
+
+            def f(obs, name):
+                obs.tracer.counter(name, time.time(), busy=1.0)
+        """, CLUSTER_REL)
+        assert len(vs) == 1
+        assert "host clock" in vs[0].message
+
+    def test_cluster_wall_span_flagged(self):
+        vs = _lint("OBS002", """
+            def f(obs, name):
+                with obs.tracer.wall_span(name):
+                    pass
+        """, CLUSTER_REL)
+        assert len(vs) == 1
 
     def test_suppression(self):
         assert _lint("OBS002", """

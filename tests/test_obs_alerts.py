@@ -115,10 +115,11 @@ class TestRules:
         _run(engine, num_requests=2, output_tokens=2)
         assert monitor.fired == []
 
-    def test_default_rules_cover_the_six_pathologies(self):
+    def test_default_rules_cover_the_seven_pathologies(self):
         assert {r.name for r in default_rules()} == {
             "expert_imbalance", "preemption_storm", "kv_high_water",
             "empty_percentiles", "fault_storm", "unrecoverable_loss",
+            "device_saturation",
         }
 
 

@@ -1,0 +1,273 @@
+"""Cluster telemetry: occupancy, link accounting, expert heat, reports."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.hardware.gpus import H100_SXM
+from repro.models.config import AttentionConfig, ModelConfig
+from repro.models.zoo import get_model
+from repro.obs.alerts import AlertMonitor, DeviceSaturationRule, FlightRecorder
+from repro.obs.cluster import (
+    DEVICE_TID_BASE,
+    LINK_TID_BASE,
+    ClusterTelemetry,
+    step_utilization,
+)
+from repro.obs.harness import REFERENCE_PLAN, clustered_serving_run
+from repro.obs.report import render_bundle_report, render_run_report, report_html
+from repro.obs.trace import filter_trace_events
+from repro.parallel.plan import SINGLE_DEVICE, ParallelPlan
+from repro.perfmodel.inference import InferencePerfModel
+from repro.optim.quantization import FP16_CONFIG
+
+
+def _telemetry(model_name: str = "OLMoE-1B-7B",
+               plan: ParallelPlan = REFERENCE_PLAN,
+               window_s: float = 0.05) -> ClusterTelemetry:
+    model = get_model(model_name)
+    perf = InferencePerfModel(model, H100_SXM, plan=plan)
+    return ClusterTelemetry(perf, window_s=window_s)
+
+
+DENSE_MODEL = ModelConfig(
+    name="dense-fixture",
+    num_layers=4,
+    hidden_size=256,
+    vocab_size=1024,
+    attention=AttentionConfig(num_heads=8, num_kv_heads=8, head_dim=32),
+    dense_ffn_dim=512,
+)
+"""A tiny dense model: an EP deployment of it owns an all-to-all link
+that never carries a byte (the zero-traffic case)."""
+
+
+class TestOccupancy:
+    def test_sums_to_makespan(self):
+        result, obs = clustered_serving_run(num_requests=16)
+        occ = obs.cluster.occupancy_summary()
+        total = occ["busy_s"] + occ["comm_blocked_s"] + occ["idle_s"]
+        assert total == pytest.approx(result.makespan, rel=1e-9)
+        assert occ["busy_s"] > 0
+        assert occ["comm_blocked_s"] > 0  # TP4+EP4 pays collectives
+
+    def test_single_device_has_no_comm(self):
+        result, obs = clustered_serving_run(plan=SINGLE_DEVICE,
+                                            num_requests=16)
+        occ = obs.cluster.occupancy_summary()
+        assert obs.cluster.links == {}
+        assert occ["comm_blocked_s"] == 0.0
+        total = occ["busy_s"] + occ["idle_s"]
+        assert total == pytest.approx(result.makespan, rel=1e-9)
+
+    def test_summary_degrades_for_single_device(self):
+        _, obs = clustered_serving_run(plan=SINGLE_DEVICE, num_requests=8)
+        summary = obs.cluster.summary()
+        assert summary["devices"] == 1
+        assert summary["links"] == {}
+        # the report must render the degenerate topology, not crash
+        md = render_run_report(_, obs)
+        assert "no interconnect links" in md
+
+
+class TestLinkAccounting:
+    def test_link_bytes_match_collective_formulas(self):
+        cluster = _telemetry()
+        model, plan = cluster.model, cluster.plan
+        m, h, ab = 8.0, model.hidden_size, FP16_CONFIG.activation_bytes
+        cluster.on_iteration(0.0, 0.01, {"interconnect": 0.002},
+                             phase="decode", num_tokens=m, batch=m,
+                             kv_len=512.0)
+        # EP all-to-all: dispatch + combine per MoE layer, (ep-1)/ep of
+        # the routed activations cross the fabric
+        expect_ep = 2.0 * model.num_moe_layers * (plan.ep - 1) / plan.ep \
+            * (m * model.moe.top_k * h * ab)
+        assert cluster._link_bytes["ep_alltoall"] == pytest.approx(expect_ep)
+        # TP all-reduce: ring moves 2(tp-1)/tp of the payload, once per
+        # layer (OLMoE is all-MoE and expert-parallel, so no FFN allreduce)
+        expect_tp = model.num_layers * 2.0 * (plan.tp - 1) / plan.tp \
+            * (m * h * ab)
+        assert cluster._link_bytes["tp_allreduce"] == pytest.approx(expect_tp)
+
+    def test_zero_traffic_ep_link_on_dense_model(self):
+        perf = InferencePerfModel(DENSE_MODEL, H100_SXM,
+                                  plan=ParallelPlan(tp=2, ep=2))
+        cluster = ClusterTelemetry(perf, window_s=0.05)
+        cluster.on_iteration(0.0, 0.01, {}, phase="decode",
+                             num_tokens=4, batch=4, kv_len=128.0)
+        cluster.on_run_end(0.1)
+        # the link exists (it is part of the topology) but carries nothing
+        assert "ep_alltoall" in cluster.links
+        assert cluster._link_bytes["ep_alltoall"] == 0.0
+        assert cluster.link_utilization("ep_alltoall") == 0.0
+        assert all(u == 0.0
+                   for u in cluster.link_window_utilization("ep_alltoall"))
+
+    def test_run_level_utilization_bounded(self):
+        _, obs = clustered_serving_run(num_requests=16)
+        for name in obs.cluster.links:
+            util = obs.cluster.link_utilization(name)
+            assert 0.0 <= util < 1.0
+
+    def test_pcie_offload_link_is_lazy(self):
+        cluster = _telemetry()
+        assert "pcie_offload" not in cluster.links
+        cluster.on_pcie_bytes(1e9, t=0.01)
+        assert "pcie_offload" in cluster.links
+        assert cluster._link_bytes["pcie_offload"] == 1e9
+        with pytest.raises(ValueError):
+            cluster.on_pcie_bytes(-1.0, t=0.02)
+
+
+class TestExpertHeat:
+    def test_empty_windows_have_zero_gini(self):
+        # instrumented but idle: every window the run spans closes empty
+        model = get_model("OLMoE-1B-7B")
+        from repro.obs.instrument import Instrumentation
+        obs = Instrumentation.on(model=model)
+        perf = InferencePerfModel(model, H100_SXM, plan=REFERENCE_PLAN)
+        cluster = ClusterTelemetry(perf, routing=obs.routing, window_s=0.05)
+        cluster.on_run_end(0.2)
+        assert len(cluster.windows) == 4
+        for w in cluster.windows:
+            assert w.is_empty
+            assert w.tokens == 0
+            assert w.gini == 0.0
+            assert w.imbalance == 0.0
+
+    def test_live_run_fills_windows(self):
+        result, obs = clustered_serving_run(num_requests=16)
+        windows = obs.cluster.windows
+        assert windows, "run must close at least one window"
+        assert windows[-1].t_end == pytest.approx(result.makespan)
+        non_empty = [w for w in windows if not w.is_empty]
+        assert non_empty
+        for w in non_empty:
+            assert w.tokens > 0
+            assert 0.0 <= w.gini < 1.0
+            assert w.imbalance >= 1.0
+            # replication-aware device loads preserve the window's tokens
+            assert sum(w.device_load) == pytest.approx(w.tokens, rel=1e-6)
+
+    def test_windows_are_contiguous(self):
+        _, obs = clustered_serving_run(num_requests=16)
+        windows = obs.cluster.windows
+        for prev, cur in zip(windows, windows[1:]):
+            assert cur.t_start == pytest.approx(prev.t_end)
+
+
+class TestUtilizationGauges:
+    def test_sparse_never_exceeds_dense(self):
+        _, obs = clustered_serving_run(num_requests=16)
+        util = obs.cluster.utilization_summary()
+        assert 0.0 < util["sparse_mfu"] < util["dense_mfu"]
+        assert 0.0 < util["sparse_mbu"] < util["dense_mbu"]
+
+    def test_step_utilization_dense_equals_sparse_without_moe(self):
+        perf = InferencePerfModel(DENSE_MODEL, H100_SXM)
+        u = step_utilization(perf.steps, num_tokens=4, batch=4,
+                             kv_len=128, phase="decode")
+        assert u["sparse_mfu"] == pytest.approx(u["dense_mfu"])
+        assert u["sparse_mbu"] == pytest.approx(u["dense_mbu"])
+
+    def test_gauges_published_with_unit_suffixes(self):
+        _, obs = clustered_serving_run(num_requests=16)
+        names = {m["name"] for m in obs.metrics.snapshot()["metrics"]}
+        for expected in ("device_busy_seconds_total", "link_bytes_total",
+                         "link_utilization", "cluster_sparse_mfu_ratio",
+                         "cluster_dense_mbu_ratio",
+                         "expert_heat_windows_count"):
+            assert expected in names
+
+
+class TestSaturationAlert:
+    def test_fires_and_bundles_cluster_json(self, tmp_path):
+        monitor = AlertMonitor(
+            rules=[DeviceSaturationRule(threshold=1e-9, min_windows=1)],
+            recorder=FlightRecorder(tmp_path, last_n=8),
+        )
+        clustered_serving_run(num_requests=16, alerts=monitor)
+        assert [a.rule for a in monitor.fired] == ["device_saturation"]
+        alert = monitor.fired[0]
+        assert alert.context["link"] in ("tp_allreduce", "ep_alltoall")
+        assert alert.context["bytes_total"] > 0
+        (bundle,) = monitor.bundles
+        payload = json.loads((bundle / "cluster.json").read_text())
+        assert payload["plan"] == REFERENCE_PLAN.label
+        assert "ep_alltoall" in payload["links"]
+        # the bundle renders standalone
+        md = render_bundle_report(bundle)
+        assert "Flight recorder" in md or "Cluster" in md
+
+    def test_quiet_below_threshold(self):
+        monitor = AlertMonitor(
+            rules=[DeviceSaturationRule(threshold=1.0, min_windows=1)])
+        clustered_serving_run(num_requests=16, alerts=monitor)
+        assert monitor.fired == []
+
+
+class TestChromeLanes:
+    def test_device_lanes_and_link_counters(self):
+        _, obs = clustered_serving_run(num_requests=16)
+        events = obs.cluster.chrome_events()
+        tids = {e["tid"] for e in events}
+        for d in range(obs.cluster.num_devices):
+            assert DEVICE_TID_BASE + d in tids
+        for i in range(len(obs.cluster.links)):
+            assert LINK_TID_BASE + i in tids
+        # every B has a matching E per track
+        for tid in tids:
+            track = [e for e in events if e["tid"] == tid]
+            assert sum(e["ph"] == "B" for e in track) == \
+                sum(e["ph"] == "E" for e in track)
+
+    def test_device_filter_keeps_one_lane(self):
+        _, obs = clustered_serving_run(num_requests=16)
+        events = obs.cluster.chrome_events()
+        kept = filter_trace_events(events, device=2)
+        assert kept
+        non_meta = [e for e in kept if e["ph"] != "M"]
+        assert non_meta
+        assert {e["tid"] for e in non_meta} == {DEVICE_TID_BASE + 2}
+
+    def test_link_filter_keeps_one_counter_track(self):
+        _, obs = clustered_serving_run(num_requests=16)
+        events = obs.cluster.chrome_events()
+        kept = filter_trace_events(events, link="ep_alltoall")
+        non_meta = [e for e in kept if e["ph"] != "M"]
+        assert non_meta
+        assert all(e["ph"] == "C" for e in non_meta)
+        assert all(e["args"]["link"] == "ep_alltoall" for e in non_meta)
+
+
+class TestRunReport:
+    def test_byte_identical_across_two_seeded_runs(self):
+        first = render_run_report(*clustered_serving_run(num_requests=16))
+        second = render_run_report(*clustered_serving_run(num_requests=16))
+        assert first == second
+        assert first.encode() == second.encode()
+
+    def test_report_covers_every_section(self):
+        result, obs = clustered_serving_run(num_requests=16)
+        md = render_run_report(result, obs)
+        for heading in ("## Serving summary", "## Device occupancy",
+                        "## Interconnect", "## Expert heat",
+                        "## Utilization (MoE-CAP)", "### Comm waterfall",
+                        "### Heat windows", "## Metrics"):
+            assert heading in md, f"missing section {heading}"
+        assert REFERENCE_PLAN.label in md
+
+    def test_html_wraps_and_escapes(self):
+        result, obs = clustered_serving_run(num_requests=16)
+        md = render_run_report(result, obs)
+        html = report_html(md + " <script>", title="t")
+        assert html.startswith("<!DOCTYPE html>")
+        assert "&lt;script&gt;" in html
+
+    def test_constructor_rejects_bad_window(self):
+        model = get_model("OLMoE-1B-7B")
+        perf = InferencePerfModel(model, H100_SXM)
+        with pytest.raises(ValueError):
+            ClusterTelemetry(perf, window_s=0.0)
