@@ -21,6 +21,9 @@ Usage::
     repro profile [model-or-experiment] [--out profile.folded]
     repro chaos [--fault-seed N] [--fault-rate R] [--policy retry|failfast]
     repro chaos --smoke
+    repro fleet [--replicas N] [--policy round_robin|least_kv|prefix_affinity]
+    repro fleet [--requests N] [--seed N] [--no-storm] [--no-autoscale]
+    repro fleet --smoke
     repro lint [--check] [--rules DET,UNIT,PAR,REG] [--json]
     repro lint --update-parity | --update-baseline | --list-rules
 
@@ -30,7 +33,12 @@ Usage::
 (device loss, expert-shard loss, link degradation, KV-pressure spikes) and
 reports availability/recovery; ``--smoke`` replays the run, asserts the
 two digests are bit-identical and that every simulator invariant held —
-the CI determinism gate.  ``trace`` records a reference serving run (or a
+the CI determinism gate.  ``fleet`` routes a diurnal templated trace
+across a multi-replica fleet (pluggable router policy, SLO-aware
+admission, occupancy-driven autoscaler, whole-replica kill/heal storm —
+see ``docs/fleet.md``); its ``--smoke`` replays the canonical scenario
+and asserts bit-identical :func:`repro.fleet.invariants.fleet_digest`
+values plus the full fleet invariant suite on both runs.  ``trace`` records a reference serving run (or a
 registered experiment)
 under full instrumentation and writes Chrome Trace Event JSON for
 Perfetto / ``chrome://tracing`` — ``--poisson RATE`` swaps in the
@@ -509,6 +517,78 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.faults.invariants import InvariantViolation
+    from repro.fleet.harness import (
+        fleet_smoke_digest,
+        smoke_fleet_config,
+        smoke_trace,
+    )
+    from repro.fleet.invariants import check_fleet_invariants, fleet_digest
+    from repro.fleet.simulator import FleetSimulator
+
+    if args.smoke:
+        # the CI replay gate: two fresh simulators over the canonical
+        # scenario (storm + autoscaler armed) must agree bit-for-bit,
+        # with the invariant audit applied inside each digest call
+        try:
+            first = fleet_smoke_digest(args.policy)
+            second = fleet_smoke_digest(args.policy)
+        except InvariantViolation as exc:
+            print(f"[FAIL] fleet invariant violated: {exc}", file=sys.stderr)
+            return 1
+        if first != second:
+            print(f"[FAIL] same-seed fleet replay diverged:\n  {first}\n  "
+                  f"{second}", file=sys.stderr)
+            return 1
+        print(f"[ok] fleet replay bit-identical ({first[:16]}…), "
+              "invariants held on both runs")
+        return 0
+
+    config = smoke_fleet_config(policy=args.policy,
+                                with_storm=not args.no_storm,
+                                with_autoscaler=not args.no_autoscale)
+    if args.replicas is not None:
+        config = dataclasses.replace(config, num_replicas=args.replicas)
+    trace = smoke_trace(num_requests=args.requests, seed=args.seed)
+    result = FleetSimulator(config).run(trace)
+    try:
+        check_fleet_invariants(result, config.autoscaler)
+    except InvariantViolation as exc:
+        print(f"[FAIL] fleet invariant violated: {exc}", file=sys.stderr)
+        return 1
+
+    print(f"fleet run ({config.num_replicas} replicas, policy "
+          f"{result.policy}, seed {args.seed}):")
+    print(f"  requests: {result.num_requests}  finished: "
+          f"{result.num_finished}  shed: {result.num_shed}  "
+          f"re-routed: {result.num_rerouted}")
+    print(f"  availability: {result.availability:.4f}  makespan: "
+          f"{result.makespan:.4f}s  throughput: "
+          f"{result.throughput_tok_s:,.0f} tok/s")
+    print(f"  TTFT p50/p99: {result.p50_ttft() * 1e3:.2f} / "
+          f"{result.p99_ttft() * 1e3:.2f} ms")
+    if result.kv_lookups:
+        print(f"  prefix-cache hit rate: {result.kv_hit_rate:.2%} "
+              f"({result.kv_hits}/{result.kv_lookups})")
+    print(f"  kills: {result.num_kills}  heals: {len(result.heals)}  "
+          f"peak replicas: {result.peak_replicas}")
+    for budget in result.budgets:
+        print(f"  SLO '{budget.objective}': budget consumed "
+              f"{budget.budget_consumed:.2f}x")
+    print("  replicas:")
+    for row in result.replica_summaries():
+        retired = ("" if row["retired_at_s"] is None
+                   else f"  retired@{row['retired_at_s']:.3f}s")
+        print(f"    #{row['replica_id']} {row['state']:>8s}  assigned "
+              f"{row['assigned']:3d}  finished {row['finished']:3d}  "
+              f"busy {row['busy_s']:.3f}s{retired}")
+    print(f"  digest: {fleet_digest(result)}")
+    return 0
+
+
 def _cmd_slo(args: argparse.Namespace) -> int:
     import json
 
@@ -806,6 +886,33 @@ def build_parser() -> argparse.ArgumentParser:
                          help="replay with the same seeds and assert "
                               "bit-identical digests + invariants (CI gate)")
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="route a diurnal templated trace across a multi-replica "
+             "fleet (router + admission + autoscaler + replica storm)",
+    )
+    p_fleet.add_argument("--policy", choices=("round_robin", "least_kv",
+                                              "prefix_affinity"),
+                         default="prefix_affinity",
+                         help="router policy (default prefix_affinity)")
+    p_fleet.add_argument("--replicas", type=int, default=None,
+                         help="override the initial fleet width "
+                              "(default: the canonical scenario's 3)")
+    p_fleet.add_argument("--requests", type=int, default=96,
+                         help="trace length (default 96)")
+    p_fleet.add_argument("--seed", type=int, default=23,
+                         help="trace seed (default 23; the storm keeps "
+                              "the canonical schedule)")
+    p_fleet.add_argument("--no-storm", action="store_true",
+                         help="disarm the replica kill/heal storm")
+    p_fleet.add_argument("--no-autoscale", action="store_true",
+                         help="freeze the fleet at its initial width")
+    p_fleet.add_argument("--smoke", action="store_true",
+                         help="replay the canonical scenario twice and "
+                              "assert bit-identical digests + invariants "
+                              "(CI gate)")
+    p_fleet.set_defaults(func=_cmd_fleet)
 
     p_slo = sub.add_parser(
         "slo",

@@ -24,6 +24,7 @@ from repro.experiments import (  # noqa: F401  (imports register experiments)
     fig16_h100_vs_cs3,
     fig17_llm_frontier,
     fig18_vlm_frontier,
+    fleet,
     resilience,
     slo,
     table1_architectures,

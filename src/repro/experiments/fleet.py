@@ -1,0 +1,286 @@
+"""Extension experiments: cluster-scale fleet serving.
+
+The paper benchmarks one engine; production deployments put a router,
+admission control and an autoscaler in front of N replicas.  Three
+experiments measure what that control plane buys on the paper's own
+metrics (throughput, tail TTFT, availability):
+
+* ``ext_fleet_capacity`` — fixed offered load against 1/2/4/8 replicas:
+  served throughput scales with replica count up to the knee where the
+  fleet stops being the bottleneck, and admission shedding vanishes.
+* ``ext_fleet_policy`` — round-robin vs least-loaded-KV vs
+  prefix-affinity on a heavily templated RAG-shaped trace: affinity
+  concentrates each template's ``PrefixCachingKVCache`` entries on a
+  home replica, lifting the fleet hit rate and cutting both mean and
+  p99 TTFT.
+* ``ext_fleet_diurnal`` — a diurnal wave with and without a replica-loss
+  storm, served by a static fleet vs the occupancy-driven autoscaler:
+  kills are survived by re-routing orphans with bounded error-budget
+  burn, and scaling tracks the wave.
+
+Every run is a pure function of ``(FleetConfig, trace)`` — see
+:mod:`repro.fleet` — so all three experiments fingerprint exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.experiment import ExperimentResult, sweep
+from repro.core.registry import experiment
+from repro.core.results import ResultTable
+from repro.fleet.admission import AdmissionConfig
+from repro.fleet.autoscaler import AutoscalerConfig
+from repro.fleet.simulator import FleetConfig, FleetResult, FleetSimulator
+from repro.fleet.traffic import (
+    DiurnalSpec,
+    TemplateMix,
+    diurnal_arrivals,
+    synthesize_requests,
+)
+from repro.faults.schedule import replica_storm
+from repro.serving.request import Request
+from repro.workloads.generator import LengthDistribution
+
+_MODEL = "OLMoE-1B-7B"
+_SEED = 23
+
+
+def _trace(num_requests: int, spec: DiurnalSpec,
+           lengths: LengthDistribution,
+           templates: TemplateMix | None = None,
+           seed: int = _SEED) -> list[Request]:
+    rng = np.random.default_rng(seed)
+    arrivals = diurnal_arrivals(spec, num_requests, rng)
+    return synthesize_requests(num_requests, rng, arrivals,
+                               lengths=lengths, templates=templates)
+
+
+def _run(config: FleetConfig, requests: list[Request]) -> FleetResult:
+    return FleetSimulator(config).run(requests)
+
+
+@experiment("ext_fleet_capacity")
+def run_fleet_capacity() -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="ext_fleet_capacity",
+        title="Extension: fleet capacity vs replica count",
+        paper_claim=(
+            "(extension) The paper serves one engine; a fleet's served "
+            "throughput should scale with replica count until the "
+            "offered load, not the fleet, is the bottleneck."
+        ),
+    )
+    # constant-rate offered load sized to saturate small fleets: the
+    # trace is identical for every row, only the fleet width changes
+    trace_args = dict(
+        num_requests=512,
+        spec=DiurnalSpec(base_rps=160.0, peak_rps=160.0, period_s=4.0),
+        lengths=LengthDistribution(mean_input=512, mean_output=64,
+                                   sigma=0.3),
+    )
+    table = ResultTable(
+        "served capacity vs fleet width",
+        ("replicas", "throughput_tok_s", "availability", "shed_rate",
+         "p99_ttft_ms", "makespan_s"),
+    )
+
+    def point(replicas: int) -> dict:
+        run = _run(FleetConfig(
+            model_name=_MODEL,
+            num_replicas=replicas,
+            policy="least_kv",
+            kv_pool_tokens=65_536,
+            admission=AdmissionConfig(max_backlog_per_replica=64),
+        ), _trace(**trace_args))
+        return {
+            "throughput_tok_s": run.throughput_tok_s,
+            "availability": run.availability,
+            "shed_rate": run.shed_rate,
+            "p99_ttft_ms": run.p99_ttft() * 1e3,
+            "makespan_s": run.makespan,
+        }
+
+    sweep(table, {"replicas": (1, 2, 4, 8)}, point)
+    result.tables.append(table)
+
+    by_width = {r["replicas"]: r for r in table.rows}
+    speedup = (by_width[4]["throughput_tok_s"]
+               / by_width[1]["throughput_tok_s"])
+    result.observe(
+        f"Served throughput scales {speedup:.2f}x from 1 to 4 replicas "
+        f"({by_width[1]['throughput_tok_s']:,.0f} -> "
+        f"{by_width[4]['throughput_tok_s']:,.0f} tok/s) and flattens at 8 "
+        f"({by_width[8]['throughput_tok_s']:,.0f} tok/s): past the knee "
+        "the offered load, not the fleet, is the bottleneck."
+    )
+    result.observe(
+        f"Admission shedding tells the same story from the loss side: "
+        f"{by_width[1]['shed_rate']:.0%} of requests shed at 1 replica, "
+        f"{by_width[2]['shed_rate']:.0%} at 2, none at the knee — "
+        "capacity bought back as availability "
+        f"({by_width[1]['availability']:.0%} -> "
+        f"{by_width[8]['availability']:.0%})."
+    )
+    return result
+
+
+@experiment("ext_fleet_policy")
+def run_fleet_policy() -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="ext_fleet_policy",
+        title="Extension: routing policy vs prefix-cache locality",
+        paper_claim=(
+            "(extension) On templated workloads, cache-aware routing "
+            "(prefix affinity with a bounded load escape) should beat "
+            "load-only policies on both hit rate and tail TTFT."
+        ),
+    )
+    # RAG-shaped trace: long templated prompts, tiny outputs, so prefill
+    # — the work prefix caching saves — dominates each request.  Rebuilt
+    # per policy: requests are stateful and belong to exactly one run.
+    trace_args = dict(
+        num_requests=768,
+        spec=DiurnalSpec(base_rps=200.0, peak_rps=600.0, period_s=6.0),
+        lengths=LengthDistribution(mean_input=1024, mean_output=8,
+                                   sigma=0.3),
+        templates=TemplateMix(num_templates=96, templated_fraction=0.95,
+                              prefix_tokens=768),
+    )
+    table = ResultTable(
+        "routing policy on a templated trace (3 replicas)",
+        ("policy", "kv_hit_rate", "p99_ttft_ms", "mean_ttft_ms",
+         "throughput_tok_s", "shed_rate"),
+    )
+
+    def point(policy: str) -> dict:
+        run = _run(FleetConfig(
+            model_name=_MODEL,
+            num_replicas=3,
+            policy=policy,
+            kv_pool_tokens=131_072,
+            enable_prefix_caching=True,
+            admission=AdmissionConfig(max_backlog_per_replica=256),
+        ), _trace(**trace_args))
+        return {
+            "kv_hit_rate": run.kv_hit_rate,
+            "p99_ttft_ms": run.p99_ttft() * 1e3,
+            "mean_ttft_ms": run.mean_ttft() * 1e3,
+            "throughput_tok_s": run.throughput_tok_s,
+            "shed_rate": run.shed_rate,
+        }
+
+    sweep(table, {"policy": ("round_robin", "least_kv", "prefix_affinity")},
+          point)
+    result.tables.append(table)
+
+    rows = {r["policy"]: r for r in table.rows}
+    rr, pa = rows["round_robin"], rows["prefix_affinity"]
+    result.observe(
+        f"Prefix affinity lifts the fleet KV hit rate from "
+        f"{rr['kv_hit_rate']:.0%} (round-robin re-prefills every "
+        f"template on every replica) to {pa['kv_hit_rate']:.0%} — each "
+        "template's blocks live on one home replica."
+    )
+    result.observe(
+        f"The avoided prefill shows up in the tail: p99 TTFT "
+        f"{rr['p99_ttft_ms']:.1f} ms -> {pa['p99_ttft_ms']:.1f} ms "
+        f"({rr['p99_ttft_ms'] / pa['p99_ttft_ms']:.2f}x) and mean "
+        f"{rr['mean_ttft_ms']:.1f} -> {pa['mean_ttft_ms']:.1f} ms; the "
+        "bounded load escape keeps hot templates from turning affinity "
+        "into a hotspot."
+    )
+    return result
+
+
+@experiment("ext_fleet_diurnal")
+def run_fleet_diurnal() -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="ext_fleet_diurnal",
+        title="Extension: diurnal load, replica loss and autoscaling",
+        paper_claim=(
+            "(extension) A fleet must ride a diurnal wave and survive "
+            "replica loss: orphans re-route, error-budget burn stays "
+            "bounded, and the autoscaler tracks the wave instead of "
+            "provisioning for the peak."
+        ),
+    )
+    trace_args = dict(
+        num_requests=512,
+        spec=DiurnalSpec(base_rps=30.0, peak_rps=180.0, period_s=6.0),
+        lengths=LengthDistribution(mean_input=512, mean_output=32,
+                                   sigma=0.3),
+        templates=TemplateMix(num_templates=24, templated_fraction=0.7,
+                              prefix_tokens=256),
+    )
+    storm = replica_storm(_SEED, horizon_s=5.0, rate_per_s=0.6,
+                          num_replicas=3, mean_outage_s=1.5,
+                          permanent_fraction=0.25)
+    # a TTFT objective tight enough that re-routed orphans actually burn
+    # budget — the default 0.5 s objective never notices a 270 ms tail
+    slo_specs = ("p99 ttft < 0.25s", "availability >= 99%")
+    table = ResultTable(
+        "diurnal wave x replica-loss storm",
+        ("scaling", "storm", "availability", "shed_rate", "p99_ttft_ms",
+         "kills", "rerouted", "peak_replicas",
+         "availability_burn", "ttft_burn"),
+    )
+
+    def point(scaling: str, with_storm: bool) -> dict:
+        autoscaler = (AutoscalerConfig(min_replicas=2, max_replicas=6,
+                                       interval_s=0.25)
+                      if scaling == "autoscale" else None)
+        run = _run(FleetConfig(
+            model_name=_MODEL,
+            num_replicas=3,
+            policy="least_kv",
+            kv_pool_tokens=65_536,
+            enable_prefix_caching=True,
+            admission=AdmissionConfig(max_backlog_per_replica=48,
+                                      slo_specs=slo_specs),
+            autoscaler=autoscaler,
+            replica_kills=storm if with_storm else None,
+        ), _trace(**trace_args))
+        return {
+            "storm": "on" if with_storm else "off",
+            "availability": run.availability,
+            "shed_rate": run.shed_rate,
+            "p99_ttft_ms": run.p99_ttft() * 1e3,
+            "kills": run.num_kills,
+            "rerouted": run.num_rerouted,
+            "peak_replicas": run.peak_replicas,
+            "availability_burn": run.budget_consumed("availability"),
+            "ttft_burn": run.budget_consumed("ttft_p99"),
+        }
+
+    sweep(table, {"scaling": ("static", "autoscale"),
+                  "with_storm": (False, True)}, point)
+    result.tables.append(table)
+
+    def row(scaling: str, storm_state: str) -> dict:
+        return table.where(scaling=scaling, storm=storm_state).rows[0]
+
+    calm, stormy = row("static", "off"), row("static", "on")
+    auto_stormy = row("autoscale", "on")
+    result.observe(
+        f"The static fleet survives {stormy['kills']} replica kills: "
+        f"{stormy['rerouted']} orphans re-route and availability holds at "
+        f"{stormy['availability']:.1%} (calm: {calm['availability']:.1%}) "
+        "— the 99%-availability error budget is untouched "
+        f"({stormy['availability_burn']:.2f}x burned)."
+    )
+    result.observe(
+        f"Replica loss is a tail event, not an outage: p99 TTFT moves "
+        f"{calm['p99_ttft_ms']:.0f} -> {stormy['p99_ttft_ms']:.0f} ms "
+        f"under the storm and the 250 ms TTFT budget burns "
+        f"{stormy['ttft_burn']:.2f}x — bounded, not blown."
+    )
+    result.observe(
+        f"Under the same storm the autoscaler rides the wave to "
+        f"{auto_stormy['peak_replicas']} replicas at peak, so a kill "
+        "lands on a fleet with headroom: "
+        f"{auto_stormy['rerouted']} orphan(s), p99 TTFT "
+        f"{auto_stormy['p99_ttft_ms']:.0f} ms, TTFT burn back to "
+        f"{auto_stormy['ttft_burn']:.2f}x."
+    )
+    return result

@@ -209,12 +209,18 @@ class FaultInjector:
         self.counts["faults_applied"] += 1
         if not event.is_permanent:
             self._pending_heals.append(event)
-        handler = {
+        handlers = {
             FaultKind.DEVICE_LOSS: self._apply_device_loss,
             FaultKind.EXPERT_SHARD_LOSS: self._apply_shard_loss,
             FaultKind.LINK_DEGRADE: self._apply_link_degrade,
             FaultKind.KV_PRESSURE: self._apply_kv_pressure,
-        }[event.kind]
+        }
+        handler = handlers.get(event.kind)
+        if handler is None:
+            raise ValueError(
+                f"{event.kind.value} is not an engine-scope fault — "
+                "fleet-scope kinds (REPLICA_LOSS) belong in "
+                "FleetConfig.replica_kills, not an engine injector")
         detail = handler(event, now, engine)
         engine.log.record(Event(now, EventType.FAULT,
                                 detail=detail or event.describe()))

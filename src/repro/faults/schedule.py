@@ -20,7 +20,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["FaultKind", "FaultEvent", "FaultSchedule", "PERMANENT"]
+__all__ = ["FaultKind", "FaultEvent", "FaultSchedule", "PERMANENT",
+           "replica_storm"]
 
 PERMANENT = math.inf
 """Duration marking a fault that never heals within the run."""
@@ -35,6 +36,12 @@ class FaultKind(enum.Enum):
     """The interconnect falls back to a slower path (NVLink -> PCIe)."""
     KV_PRESSURE = "kv_pressure"
     """A transient spike withholds a fraction of the KV block pool."""
+    REPLICA_LOSS = "replica_loss"
+    """A whole serving replica drops out of the fleet (node crash,
+    spot-instance reclaim).  Fleet-scope: interpreted by
+    :class:`repro.fleet.simulator.FleetSimulator`, never by the
+    engine-level injector — the default mix excludes it, so existing
+    engine-scope schedules are unchanged."""
 
 
 @dataclass(frozen=True)
@@ -198,3 +205,30 @@ class FaultSchedule:
                     magnitude=magnitude,
                 ))
         return cls(events=tuple(events), seed=seed)
+
+
+def replica_storm(
+    seed: int,
+    horizon_s: float,
+    rate_per_s: float,
+    num_replicas: int = 1,
+    mean_outage_s: float = 1.0,
+    permanent_fraction: float = 0.25,
+) -> FaultSchedule:
+    """Seeded whole-replica chaos for fleet simulations.
+
+    A :meth:`FaultSchedule.generate` schedule whose mix is 100%
+    :attr:`FaultKind.REPLICA_LOSS` — each event kills one live replica
+    (``target`` interpreted modulo the live pool) and, unless permanent,
+    heals by bringing up a replacement ``duration_s`` later.  Same purity
+    contract as every schedule: bit-identical for a fixed argument tuple.
+    """
+    return FaultSchedule.generate(
+        seed,
+        horizon_s,
+        rate_per_s,
+        num_targets=num_replicas,
+        mix={FaultKind.REPLICA_LOSS: 1.0},
+        mean_duration_s=mean_outage_s,
+        permanent_fraction=permanent_fraction,
+    )

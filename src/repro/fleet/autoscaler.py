@@ -1,0 +1,138 @@
+"""Metrics-driven autoscaling: replica count follows occupancy and queues.
+
+The autoscaler evaluates at a fixed simulated cadence (``interval_s``) on
+the two gauges cluster telemetry exposes for capacity decisions — busy
+occupancy over the elapsed window and queue depth per routable replica —
+and emits one bounded step per tick: scale **up** when either signal says
+the fleet is saturated, scale **down** when both say it is idle, hold
+otherwise.  Every decision is recorded with the signals it read and the
+before/after replica counts; the invariant suite asserts the *after*
+count never leaves ``[min_replicas, max_replicas]`` (faults may push the
+live count below the floor — healing and the next ticks pull it back, and
+those excursions are the fault's doing, not the autoscaler's).
+
+Decisions are pure functions of the signals, so a fleet replay reproduces
+the exact same scaling trajectory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AutoscalerConfig", "ScaleDecision", "Autoscaler"]
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Scaling bounds, cadence, and thresholds."""
+
+    min_replicas: int = 1
+    max_replicas: int = 4
+    interval_s: float = 0.5
+    """Simulated seconds between evaluations (the control-loop tick)."""
+    scale_up_backlog: float = 8.0
+    """Mean backlog per routable replica that triggers a scale-up."""
+    scale_up_occupancy: float = 0.85
+    """Window busy fraction that triggers a scale-up."""
+    scale_down_occupancy: float = 0.30
+    """Window busy fraction below which (with an empty backlog) one
+    replica is drained."""
+    cooldown_ticks: int = 2
+    """Ticks to hold after any scale action before acting again."""
+
+    def __post_init__(self) -> None:
+        if self.min_replicas < 1:
+            raise ValueError("min_replicas must be >= 1")
+        if self.max_replicas < self.min_replicas:
+            raise ValueError("max_replicas must be >= min_replicas")
+        if self.interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        if self.scale_up_backlog <= 0:
+            raise ValueError("scale_up_backlog must be positive")
+        if not (0.0 < self.scale_up_occupancy <= 1.0):
+            raise ValueError("scale_up_occupancy must be in (0, 1]")
+        if not (0.0 <= self.scale_down_occupancy < self.scale_up_occupancy):
+            raise ValueError(
+                "scale_down_occupancy must be in [0, scale_up_occupancy)")
+        if self.cooldown_ticks < 0:
+            raise ValueError("cooldown_ticks must be non-negative")
+
+
+@dataclass(frozen=True)
+class ScaleDecision:
+    """One evaluated tick (held ticks are recorded too — the trajectory
+    is the whole control history, not just the actions)."""
+
+    time: float
+    action: str
+    """``"up"`` | ``"down"`` | ``"hold"``"""
+    occupancy: float
+    mean_backlog: float
+    replicas_before: int
+    replicas_after: int
+    reason: str
+
+
+class Autoscaler:
+    """Bounded single-step controller over the fleet's replica count."""
+
+    def __init__(self, config: AutoscalerConfig | None = None) -> None:
+        self.config = config or AutoscalerConfig()
+        self.decisions: list[ScaleDecision] = []
+        self._cooldown = 0
+
+    def evaluate(self, now: float, num_routable: int, occupancy: float,
+                 mean_backlog: float) -> str:
+        """Decide this tick's action from the window signals.
+
+        ``num_routable`` is the routable replica count *before* the
+        action; the caller applies the action and reports the resulting
+        count through :meth:`record_applied`.
+        """
+        config = self.config
+        action = "hold"
+        reason = "signals nominal"
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            reason = f"cooldown ({self._cooldown + 1} tick(s) left)"
+        elif num_routable < config.min_replicas:
+            action = "up"
+            reason = (f"routable {num_routable} below floor "
+                      f"{config.min_replicas}")
+        elif (mean_backlog >= config.scale_up_backlog
+              or occupancy >= config.scale_up_occupancy):
+            if num_routable < config.max_replicas:
+                action = "up"
+                reason = (f"occupancy {occupancy:.2f} / backlog "
+                          f"{mean_backlog:.1f} over thresholds")
+            else:
+                reason = (f"saturated but at ceiling "
+                          f"{config.max_replicas}")
+        elif (occupancy <= config.scale_down_occupancy
+              and mean_backlog < 1.0):
+            if num_routable > config.min_replicas:
+                action = "down"
+                reason = f"occupancy {occupancy:.2f} under idle threshold"
+            else:
+                reason = f"idle but at floor {config.min_replicas}"
+        if action != "hold":
+            self._cooldown = config.cooldown_ticks
+        self.decisions.append(ScaleDecision(
+            time=now, action=action, occupancy=occupancy,
+            mean_backlog=mean_backlog, replicas_before=num_routable,
+            replicas_after=num_routable, reason=reason))
+        return action
+
+    def record_applied(self, replicas_after: int) -> None:
+        """Patch the latest decision with the post-action replica count
+        (what the bounds invariant audits)."""
+        last = self.decisions[-1]
+        self.decisions[-1] = ScaleDecision(
+            time=last.time, action=last.action, occupancy=last.occupancy,
+            mean_backlog=last.mean_backlog,
+            replicas_before=last.replicas_before,
+            replicas_after=replicas_after, reason=last.reason)
+
+    @property
+    def num_actions(self) -> int:
+        return sum(1 for d in self.decisions if d.action != "hold")

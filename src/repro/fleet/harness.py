@@ -1,0 +1,100 @@
+"""Canonical fleet scenarios shared by the CLI, tests, and experiments.
+
+One reference scenario — a diurnal templated trace on a prefix-affinity
+fleet with an armed replica storm and the autoscaler on — exercised by
+``repro fleet --smoke`` (replay gate), the determinism regression tests,
+and the hypothesis suite's worked examples.  Everything here is a pure
+function of its arguments; module-level functions (not closures) so the
+multiprocessing determinism tests can ship them to worker processes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults.schedule import FaultSchedule, replica_storm
+from repro.fleet.admission import AdmissionConfig
+from repro.fleet.autoscaler import AutoscalerConfig
+from repro.fleet.invariants import check_fleet_invariants, fleet_digest
+from repro.fleet.simulator import FleetConfig, FleetResult, FleetSimulator
+from repro.fleet.traffic import DiurnalSpec, TemplateMix, diurnal_arrivals, \
+    synthesize_requests
+from repro.serving.request import Request
+from repro.workloads.generator import LengthDistribution
+
+__all__ = [
+    "SMOKE_SEED",
+    "smoke_fleet_config",
+    "smoke_trace",
+    "run_fleet",
+    "fleet_smoke_run",
+    "fleet_smoke_digest",
+]
+
+SMOKE_SEED = 23
+"""Seed of the canonical smoke scenario (trace and storm both derive
+from it)."""
+
+
+def smoke_fleet_config(policy: str = "prefix_affinity",
+                       with_storm: bool = True,
+                       with_autoscaler: bool = True) -> FleetConfig:
+    """The reference fleet: 3 replicas, prefix caching on, a replica
+    storm that lands at least one kill and one heal, and a 1..4 bounded
+    autoscaler."""
+    kills: FaultSchedule | None = None
+    if with_storm:
+        kills = replica_storm(SMOKE_SEED, horizon_s=4.0, rate_per_s=0.75,
+                              num_replicas=3, mean_outage_s=1.5,
+                              permanent_fraction=0.25)
+    autoscaler = AutoscalerConfig(min_replicas=1, max_replicas=4,
+                                  interval_s=0.5) if with_autoscaler else None
+    return FleetConfig(
+        num_replicas=3,
+        policy=policy,
+        kv_pool_tokens=32_768,
+        max_num_seqs=16,
+        enable_prefix_caching=True,
+        admission=AdmissionConfig(max_backlog_per_replica=48),
+        autoscaler=autoscaler,
+        replica_kills=kills,
+    )
+
+
+def smoke_trace(num_requests: int = 96,
+                seed: int = SMOKE_SEED) -> list[Request]:
+    """Diurnal templated trace sized so the storm catches work in flight."""
+    rng = np.random.default_rng(seed)
+    spec = DiurnalSpec(base_rps=8.0, peak_rps=48.0, period_s=4.0)
+    arrivals = diurnal_arrivals(spec, num_requests, rng)
+    return synthesize_requests(
+        num_requests, rng, arrivals,
+        lengths=LengthDistribution(mean_input=192, mean_output=48,
+                                   sigma=0.35),
+        templates=TemplateMix(num_templates=6, templated_fraction=0.8,
+                              prefix_tokens=128),
+    )
+
+
+def run_fleet(config: FleetConfig, requests: list[Request],
+              instrumentation=None) -> FleetResult:
+    """Build a simulator, run the trace, return the result."""
+    return FleetSimulator(config, instrumentation=instrumentation) \
+        .run(requests)
+
+
+def fleet_smoke_run(policy: str = "prefix_affinity") -> FleetResult:
+    """One canonical smoke run (fresh simulator and trace each call)."""
+    return run_fleet(smoke_fleet_config(policy), smoke_trace())
+
+
+def fleet_smoke_digest(policy: str = "prefix_affinity") -> str:
+    """Digest of one smoke run, with the invariant audit applied first.
+
+    Module-level (not a closure) so the cross-process determinism tests
+    can run it under ``multiprocessing``.
+    """
+    config = smoke_fleet_config(policy)
+    result = run_fleet(config, smoke_trace())
+    check_fleet_invariants(result, config.autoscaler)
+    return fleet_digest(result)

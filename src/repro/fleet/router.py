@@ -1,0 +1,148 @@
+"""Front-door routing policies: which replica serves the next request.
+
+Three pluggable policies, all pure functions of the replica snapshots
+they are shown (deterministic ties broken by replica id, never by dict or
+set order):
+
+* **round_robin** — cycle through routable replica ids.  The cursor
+  tracks the last *id* chosen, not an index, so membership churn (kills,
+  scale events) never skips or double-serves a replica.
+* **least_kv** — pick the replica with the most allocatable KV blocks
+  (ties: smaller total load, then lower id).  KV headroom is the binding
+  resource for long-context serving, so this is "least-loaded" measured
+  in the unit that actually runs out.
+* **prefix_affinity** — templated requests (those advertising
+  ``prompt_block_hashes``) stick to the replica that served their
+  template before, so its ``PrefixCachingKVCache`` entries get reused;
+  untemplated requests and first-seen templates fall through to
+  least-KV.  When the affine replica is dead or draining the template is
+  re-homed through the fallback — affinity degrades to least-KV, it never
+  blackholes.  A bounded load escape (``load_slack``) caps how deep the
+  home replica's queue may run beyond the fleet minimum before a request
+  temporarily detours to least-KV *without* re-homing: stickiness when
+  balanced, round-robin-like tails when a template runs hot.  Set
+  ``load_slack=None`` for pure affinity — the mode under which affinity
+  provably never loses cache hits to round-robin on a kill-free
+  templated trace.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.fleet.replica import Replica
+from repro.serving.request import Request
+
+__all__ = [
+    "Router",
+    "RoundRobinRouter",
+    "LeastLoadedKVRouter",
+    "PrefixAffinityRouter",
+    "ROUTER_POLICIES",
+    "make_router",
+]
+
+
+class Router:
+    """Base policy: choose a replica for each request."""
+
+    name = "base"
+
+    def choose(self, request: Request, replicas: Sequence[Replica],
+               now: float) -> Replica | None:
+        """Pick a replica from the routable snapshot (sorted by id), or
+        None when the snapshot is empty.  Implementations must be
+        deterministic functions of ``(request, snapshot, policy state)``.
+        """
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+class RoundRobinRouter(Router):
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._last_id: int | None = None
+
+    def choose(self, request: Request, replicas: Sequence[Replica],
+               now: float) -> Replica | None:
+        if not replicas:
+            return None
+        if self._last_id is not None:
+            for replica in replicas:
+                if replica.replica_id > self._last_id:
+                    self._last_id = replica.replica_id
+                    return replica
+        chosen = replicas[0]
+        self._last_id = chosen.replica_id
+        return chosen
+
+
+class LeastLoadedKVRouter(Router):
+    name = "least_kv"
+
+    def choose(self, request: Request, replicas: Sequence[Replica],
+               now: float) -> Replica | None:
+        if not replicas:
+            return None
+        return min(replicas, key=lambda r: (-r.free_kv_blocks, r.load,
+                                            r.replica_id))
+
+
+class PrefixAffinityRouter(Router):
+    name = "prefix_affinity"
+
+    def __init__(self, load_slack: int | None = 8) -> None:
+        self._home: dict[int, int] = {}
+        """template key (first prefix-block hash) → home replica id."""
+        self._fallback = LeastLoadedKVRouter()
+        self.load_slack = load_slack
+        """Max requests the home replica may hold beyond the least-loaded
+        replica before a request detours (None disables the escape)."""
+
+    def choose(self, request: Request, replicas: Sequence[Replica],
+               now: float) -> Replica | None:
+        if not replicas:
+            return None
+        if not request.prompt_block_hashes:
+            return self._fallback.choose(request, replicas, now)
+        key = request.prompt_block_hashes[0]
+        home_id = self._home.get(key)
+        if home_id is not None:
+            for replica in replicas:
+                if replica.replica_id == home_id:
+                    if self.load_slack is not None:
+                        floor = min(r.load for r in replicas)
+                        if replica.load > floor + self.load_slack:
+                            # detour, keep the home: the cached prefix is
+                            # still there once the queue drains
+                            return self._fallback.choose(request, replicas,
+                                                         now)
+                    return replica
+        chosen = self._fallback.choose(request, replicas, now)
+        if chosen is not None:
+            self._home[key] = chosen.replica_id
+        return chosen
+
+
+ROUTER_POLICIES: tuple[str, ...] = ("round_robin", "least_kv",
+                                    "prefix_affinity")
+
+
+def make_router(policy: str, load_slack: int | None = 8) -> Router:
+    """Instantiate a routing policy by name.  ``load_slack`` configures
+    the prefix-affinity escape valve and is ignored by the other
+    policies."""
+    if policy == "prefix_affinity":
+        return PrefixAffinityRouter(load_slack=load_slack)
+    factories = {
+        "round_robin": RoundRobinRouter,
+        "least_kv": LeastLoadedKVRouter,
+    }
+    if policy not in factories:
+        raise ValueError(
+            f"unknown router policy {policy!r} "
+            f"(choose from {', '.join(ROUTER_POLICIES)})")
+    return factories[policy]()

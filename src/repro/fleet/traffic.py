@@ -1,0 +1,188 @@
+"""Synthetic fleet traffic: diurnal arrival curves and templated prompts.
+
+Front-door load differs from the single-engine traces in two ways.  First,
+arrival *rates* move: production traffic follows a diurnal curve (a slow
+sinusoid between a night-time base and a daytime peak) with bursts riding
+on top.  Second, prompts are not independent: a large share of requests
+instantiate a small set of prompt *templates* (system prompts, few-shot
+preambles), which is exactly the structure prefix caching and
+prefix-affinity routing exploit.
+
+Everything is a pure function of ``(spec, seed)``: arrival timestamps come
+from a seeded thinning of a homogeneous Poisson process, template
+assignment from the same generator, so a trace replays bit-identically.
+Arrival generation is vectorized numpy and comfortably scales to millions
+of timestamps; request materialisation is O(n) python objects, so for
+fleet-scale counts keep the ``Request`` horizon bounded and reuse the raw
+timestamp arrays for capacity math.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serving.request import Request, SamplingParams
+from repro.workloads.generator import LengthDistribution
+
+__all__ = [
+    "DiurnalSpec",
+    "TemplateMix",
+    "diurnal_rate",
+    "diurnal_arrivals",
+    "template_block_hashes",
+    "synthesize_requests",
+]
+
+
+@dataclass(frozen=True)
+class DiurnalSpec:
+    """A sinusoidal day/night arrival-rate curve.
+
+    The instantaneous rate starts at ``base_rps`` (simulated midnight),
+    peaks at ``peak_rps`` half a ``period_s`` later, and returns — one
+    simulated "day" per period.
+    """
+
+    base_rps: float
+    peak_rps: float
+    period_s: float
+
+    def __post_init__(self) -> None:
+        if self.base_rps <= 0:
+            raise ValueError("base_rps must be positive")
+        if self.peak_rps < self.base_rps:
+            raise ValueError("peak_rps must be >= base_rps")
+        if self.period_s <= 0:
+            raise ValueError("period_s must be positive")
+
+
+def diurnal_rate(spec: DiurnalSpec, t: float) -> float:
+    """Instantaneous arrival rate (requests/s) at simulated time ``t``."""
+    swing = 0.5 * (1.0 - math.cos(2.0 * math.pi * t / spec.period_s))
+    return spec.base_rps + (spec.peak_rps - spec.base_rps) * swing
+
+
+def diurnal_arrivals(
+    spec: DiurnalSpec, n: int, rng: np.random.Generator, start: float = 0.0
+) -> np.ndarray:
+    """``n`` arrival timestamps of a nonhomogeneous Poisson process.
+
+    Standard thinning (Lewis & Shedler): candidates are drawn at the
+    envelope rate ``peak_rps`` and accepted with probability
+    ``rate(t) / peak_rps``.  Candidates are drawn in vectorized chunks so
+    million-request traces stay cheap; acceptance consumes the PRNG in a
+    fixed order, so the trace is a pure function of ``(spec, rng state)``.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    out = np.empty(n)
+    filled = 0
+    t = start
+    chunk = max(256, min(1 << 16, 4 * n))
+    while filled < n:
+        gaps = rng.exponential(1.0 / spec.peak_rps, size=chunk)
+        times = t + np.cumsum(gaps)
+        accept = rng.random(chunk)
+        swing = 0.5 * (1.0 - np.cos(2.0 * np.pi * times / spec.period_s))
+        rates = spec.base_rps + (spec.peak_rps - spec.base_rps) * swing
+        kept = times[accept < rates / spec.peak_rps]
+        take = min(n - filled, kept.size)
+        out[filled:filled + take] = kept[:take]
+        filled += take
+        t = float(times[-1])
+    return out
+
+
+@dataclass(frozen=True)
+class TemplateMix:
+    """Templated-prompt structure of a trace.
+
+    A ``templated_fraction`` share of requests draws one of
+    ``num_templates`` templates uniformly; its prompt then starts with that
+    template's ``prefix_tokens``-token preamble, whose full KV blocks carry
+    content hashes (:func:`template_block_hashes`) so a
+    ``PrefixCachingKVCache`` can reuse them and the prefix-affinity router
+    can steer the request to the replica already holding them.
+    """
+
+    num_templates: int = 8
+    templated_fraction: float = 0.9
+    prefix_tokens: int = 256
+    block_size: int = 16
+
+    def __post_init__(self) -> None:
+        if self.num_templates <= 0:
+            raise ValueError("num_templates must be positive")
+        if not (0.0 <= self.templated_fraction <= 1.0):
+            raise ValueError("templated_fraction must be in [0, 1]")
+        if self.prefix_tokens < self.block_size:
+            raise ValueError("prefix_tokens must cover at least one block")
+        if self.block_size <= 0:
+            raise ValueError("block_size must be positive")
+
+    @property
+    def prefix_blocks(self) -> int:
+        return self.prefix_tokens // self.block_size
+
+
+def template_block_hashes(template_id: int, num_blocks: int) -> tuple[int, ...]:
+    """Content hashes of one template's leading KV blocks.
+
+    Each hash must incorporate its preceding context (the prefix-cache
+    contract), so block ``i`` of template ``t`` gets the unique value
+    ``((t + 1) << 32) + i`` — distinct across templates and positions,
+    identical for every request instantiating the same template.
+    """
+    if template_id < 0:
+        raise ValueError("template_id must be non-negative")
+    base = (template_id + 1) << 32
+    return tuple(base + i for i in range(num_blocks))
+
+
+def synthesize_requests(
+    n: int,
+    rng: np.random.Generator,
+    arrival_times: np.ndarray,
+    lengths: LengthDistribution | None = None,
+    templates: TemplateMix | None = None,
+    start_id: int = 0,
+) -> list[Request]:
+    """Materialise a trace as engine requests.
+
+    Lengths are drawn first (one vectorized pass through ``lengths``),
+    then template membership and template ids — a fixed PRNG consumption
+    order, so adding templates to a spec never perturbs the length draws
+    of an untemplated baseline.  Templated prompts are extended to at
+    least the template's prefix so the advertised block hashes are real.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if len(arrival_times) != n:
+        raise ValueError("arrival_times length must equal n")
+    lengths = lengths or LengthDistribution()
+    pairs = lengths.sample(n, rng)
+    if templates is not None and templates.templated_fraction > 0:
+        is_templated = rng.random(n) < templates.templated_fraction
+        template_ids = rng.integers(templates.num_templates, size=n)
+    else:
+        is_templated = np.zeros(n, dtype=bool)
+        template_ids = np.zeros(n, dtype=np.int64)
+    requests: list[Request] = []
+    for i, ((prompt, output), t) in enumerate(zip(pairs, arrival_times)):
+        hashes: tuple[int, ...] = ()
+        if is_templated[i]:
+            assert templates is not None
+            prompt = max(prompt, templates.prefix_tokens + 1)
+            hashes = template_block_hashes(
+                int(template_ids[i]), templates.prefix_blocks)
+        requests.append(Request(
+            request_id=start_id + i,
+            prompt_tokens=prompt,
+            sampling=SamplingParams(max_tokens=output),
+            arrival_time=float(t),
+            prompt_block_hashes=hashes,
+        ))
+    return requests

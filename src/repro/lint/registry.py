@@ -21,7 +21,7 @@ from repro.lint.core import LintProject, ProjectRule, Violation, register_rule
 
 __all__ = ["registered_experiment_ids", "bench_baseline_ids",
            "BaselineCoverageRule", "StaleBaselineRule",
-           "ExperimentsDocRule", "CliDocRule"]
+           "ExperimentsDocRule", "CliDocRule", "FamilyDocRule"]
 
 _EXPERIMENTS_DIR = "src/repro/experiments/"
 _CLI_PATH = "src/repro/core/cli.py"
@@ -29,6 +29,13 @@ _CLI_PATH = "src/repro/core/cli.py"
 #: baselines with no experiment behind them, by design (the suite-timing
 #: pseudo-baseline recorded by benchmarks/bench_wallclock.py)
 PSEUDO_BASELINES = frozenset({"wallclock"})
+
+#: experiment families with a dedicated design doc: every registered id
+#: with the prefix must be mentioned in the doc, so the doc cannot
+#: silently fall behind the registry (REG005)
+FAMILY_DOCS: dict[str, str] = {
+    "ext_fleet": "docs/fleet.md",
+}
 
 
 def registered_experiment_ids(project: LintProject) -> dict[str, tuple[str, int]]:
@@ -135,6 +142,44 @@ class ExperimentsDocRule(ProjectRule):
                     message=(f"experiment {exp_id!r} is not mentioned in "
                              f"EXPERIMENTS.md — add its paper-vs-measured "
                              f"row"))
+
+
+@register_rule
+class FamilyDocRule(ProjectRule):
+    id = "REG005"
+    name = "experiment-family-doc-drift"
+    severity = "error"
+    description = (
+        "experiment family has a dedicated doc (FAMILY_DOCS) that does "
+        "not mention every registered id with the family prefix"
+    )
+
+    def check_project(self, project: LintProject) -> Iterator[Violation]:
+        registered = registered_experiment_ids(project)
+        for prefix, doc_rel in sorted(FAMILY_DOCS.items()):
+            family = {eid: loc for eid, loc in registered.items()
+                      if eid.startswith(prefix)}
+            if not family:
+                continue
+            doc = project.root / doc_rel
+            if not doc.is_file():
+                yield Violation(
+                    rule=self.id, severity=self.severity, path=doc_rel,
+                    line=1, col=0, snippet="",
+                    message=(f"{doc_rel} missing but the {prefix}* family "
+                             f"has {len(family)} registered experiment(s)"))
+                continue
+            text = doc.read_text()
+            for exp_id, (path, line) in sorted(family.items()):
+                if not re.search(rf"\b{re.escape(exp_id)}\b", text):
+                    sf = project.file(path)
+                    yield Violation(
+                        rule=self.id, severity=self.severity, path=path,
+                        line=line, col=0,
+                        snippet=sf.snippet(line) if sf else exp_id,
+                        message=(f"experiment {exp_id!r} is not mentioned "
+                                 f"in {doc_rel} — document it with the "
+                                 f"rest of its family"))
 
 
 @register_rule

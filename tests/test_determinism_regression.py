@@ -23,9 +23,10 @@ import pytest
 from repro.core.registry import run_experiment
 from repro.obs.fingerprint import fingerprint_result
 
-# One figure-family experiment and one extension experiment, both cheap
-# (<1 s each) — enough to cover the perf-model and serving-sim paths.
-EXPERIMENTS = ("fig5", "ext_resilience")
+# One figure-family experiment and two extension experiments — enough to
+# cover the perf-model, serving-sim, and fleet-sim paths (ext_fleet_policy
+# is the cheapest of the fleet family).
+EXPERIMENTS = ("fig5", "ext_resilience", "ext_fleet_policy")
 
 
 def _gated_view(result) -> dict:
@@ -69,3 +70,31 @@ class TestChaosReplay:
         assert first.schedule.events == second.schedule.events
         assert run_digest(first.result) == run_digest(second.result)
         assert first.summary == second.summary
+
+
+class TestFleetReplay:
+    """The fleet counterpart of the chaos layer: the canonical smoke
+    scenario (replica storm + autoscaler armed) must replay to the same
+    ``fleet_digest`` in-process and across worker processes — the
+    in-tree twin of ``repro fleet --smoke``."""
+
+    def test_killed_replica_storm_replays_bit_identically(self):
+        from repro.fleet.harness import fleet_smoke_digest, fleet_smoke_run
+
+        assert fleet_smoke_run().num_kills >= 1, \
+            "the smoke storm must actually kill a replica"
+        assert fleet_smoke_digest() == fleet_smoke_digest()
+
+    def test_fleet_digest_identical_across_processes(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.fleet.harness import fleet_smoke_digest
+        from repro.runner import _pool_context
+
+        parent = fleet_smoke_digest("prefix_affinity")
+        with ProcessPoolExecutor(max_workers=2,
+                                 mp_context=_pool_context()) as pool:
+            workers = [pool.submit(fleet_smoke_digest,
+                                   "prefix_affinity").result()
+                       for _ in range(2)]
+        assert workers == [parent, parent]

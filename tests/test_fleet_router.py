@@ -1,0 +1,381 @@
+"""Hand-checked unit tests for the fleet control plane.
+
+The hypothesis suite (``test_invariants_fleet.py``) drives the whole
+simulator; these tests pin the individual policies to expectations a
+reviewer can verify by hand: which replica each router picks from a
+known snapshot, which arrivals admission sheds and why, which way the
+autoscaler steps for given signals, and what the traffic synthesizers
+emit for a fixed seed.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.faults.schedule import FaultEvent, FaultKind, FaultSchedule, \
+    replica_storm
+from repro.fleet.admission import AdmissionConfig, AdmissionController
+from repro.fleet.autoscaler import Autoscaler, AutoscalerConfig
+from repro.fleet.router import LeastLoadedKVRouter, PrefixAffinityRouter, \
+    ROUTER_POLICIES, RoundRobinRouter, make_router
+from repro.fleet.simulator import FleetConfig
+from repro.fleet.traffic import DiurnalSpec, TemplateMix, diurnal_arrivals, \
+    diurnal_rate, synthesize_requests, template_block_hashes
+from repro.serving.request import Request, SamplingParams
+from repro.workloads.generator import LengthDistribution
+
+
+class StubReplica:
+    """Just the snapshot surface the routers read."""
+
+    def __init__(self, replica_id: int, free_kv_blocks: int = 100,
+                 load: int = 0) -> None:
+        self.replica_id = replica_id
+        self.free_kv_blocks = free_kv_blocks
+        self.load = load
+
+
+def _req(request_id: int = 0,
+         hashes: tuple[int, ...] = ()) -> Request:
+    return Request(request_id=request_id, prompt_tokens=64,
+                   sampling=SamplingParams(max_tokens=8),
+                   arrival_time=0.0, prompt_block_hashes=hashes)
+
+
+# --------------------------------------------------------------------- #
+# round robin
+# --------------------------------------------------------------------- #
+
+class TestRoundRobin:
+    def test_cycles_in_id_order(self):
+        router = RoundRobinRouter()
+        replicas = [StubReplica(0), StubReplica(1), StubReplica(2)]
+        picks = [router.choose(_req(i), replicas, 0.0).replica_id
+                 for i in range(5)]
+        assert picks == [0, 1, 2, 0, 1]
+
+    def test_cursor_survives_membership_churn(self):
+        # the cursor tracks the last *id*, so replacing replicas never
+        # double-serves the survivor or skips the newcomer
+        router = RoundRobinRouter()
+        replicas = [StubReplica(0), StubReplica(1), StubReplica(2)]
+        assert router.choose(_req(), replicas, 0.0).replica_id == 0
+        assert router.choose(_req(), replicas, 0.0).replica_id == 1
+        # replicas 1 and 2 die; replacement 3 spawns
+        churned = [StubReplica(0), StubReplica(3)]
+        assert router.choose(_req(), churned, 0.0).replica_id == 3
+        assert router.choose(_req(), churned, 0.0).replica_id == 0
+
+    def test_empty_snapshot_returns_none(self):
+        assert RoundRobinRouter().choose(_req(), [], 0.0) is None
+
+
+# --------------------------------------------------------------------- #
+# least-loaded KV
+# --------------------------------------------------------------------- #
+
+class TestLeastLoadedKV:
+    def test_picks_most_free_blocks(self):
+        router = LeastLoadedKVRouter()
+        replicas = [StubReplica(0, free_kv_blocks=10),
+                    StubReplica(1, free_kv_blocks=40),
+                    StubReplica(2, free_kv_blocks=25)]
+        assert router.choose(_req(), replicas, 0.0).replica_id == 1
+
+    def test_kv_tie_breaks_by_load_then_id(self):
+        router = LeastLoadedKVRouter()
+        by_load = [StubReplica(0, free_kv_blocks=40, load=5),
+                   StubReplica(1, free_kv_blocks=40, load=2)]
+        assert router.choose(_req(), by_load, 0.0).replica_id == 1
+        by_id = [StubReplica(3, free_kv_blocks=40, load=2),
+                 StubReplica(1, free_kv_blocks=40, load=2)]
+        assert router.choose(_req(), by_id, 0.0).replica_id == 1
+
+
+# --------------------------------------------------------------------- #
+# prefix affinity
+# --------------------------------------------------------------------- #
+
+class TestPrefixAffinity:
+    TEMPLATE = template_block_hashes(0, 4)
+
+    def test_homes_first_sight_then_sticks(self):
+        router = PrefixAffinityRouter()
+        replicas = [StubReplica(0, free_kv_blocks=10),
+                    StubReplica(1, free_kv_blocks=40)]
+        # first sight: least-KV homes the template at replica 1
+        assert router.choose(_req(0, self.TEMPLATE),
+                             replicas, 0.0).replica_id == 1
+        # replica 0 becomes much freer, but the template stays home
+        replicas[0].free_kv_blocks = 400
+        assert router.choose(_req(1, self.TEMPLATE),
+                             replicas, 0.0).replica_id == 1
+
+    def test_untemplated_falls_through_to_least_kv(self):
+        router = PrefixAffinityRouter()
+        replicas = [StubReplica(0, free_kv_blocks=10),
+                    StubReplica(1, free_kv_blocks=40)]
+        assert router.choose(_req(), replicas, 0.0).replica_id == 1
+
+    def test_rehomes_when_home_leaves_the_snapshot(self):
+        # dead/draining replicas never appear in the routable snapshot;
+        # the template must re-home through the fallback, not blackhole
+        router = PrefixAffinityRouter()
+        home = StubReplica(0, free_kv_blocks=40)
+        other = StubReplica(1, free_kv_blocks=10)
+        assert router.choose(_req(0, self.TEMPLATE),
+                             [home, other], 0.0).replica_id == 0
+        assert router.choose(_req(1, self.TEMPLATE),
+                             [other], 0.0).replica_id == 1
+        # home 0 heals, but the template re-homed to 1 for good
+        assert router.choose(_req(2, self.TEMPLATE),
+                             [home, other], 0.0).replica_id == 1
+
+    def test_load_escape_detours_without_rehoming(self):
+        router = PrefixAffinityRouter(load_slack=2)
+        # equal KV headroom: first sight ties through to id 0
+        home = StubReplica(0, free_kv_blocks=40, load=0)
+        other = StubReplica(1, free_kv_blocks=40, load=0)
+        assert router.choose(_req(0, self.TEMPLATE),
+                             [home, other], 0.0).replica_id == 0
+        # home runs slack+1 deeper than the fleet minimum: detour
+        home.load = 3
+        assert router.choose(_req(1, self.TEMPLATE),
+                             [home, other], 0.0).replica_id == 1
+        # queue drains: the home was kept, stickiness resumes
+        home.load = 1
+        assert router.choose(_req(2, self.TEMPLATE),
+                             [home, other], 0.0).replica_id == 0
+
+    def test_pure_affinity_never_detours(self):
+        router = PrefixAffinityRouter(load_slack=None)
+        home = StubReplica(0, free_kv_blocks=40, load=0)
+        other = StubReplica(1, free_kv_blocks=30, load=0)
+        assert router.choose(_req(0, self.TEMPLATE),
+                             [home, other], 0.0).replica_id == 0
+        home.load = 10_000
+        assert router.choose(_req(1, self.TEMPLATE),
+                             [home, other], 0.0).replica_id == 0
+
+    def test_exact_slack_boundary_stays_home(self):
+        router = PrefixAffinityRouter(load_slack=2)
+        home = StubReplica(0, free_kv_blocks=40, load=2)
+        other = StubReplica(1, free_kv_blocks=30, load=0)
+        assert router.choose(_req(0, self.TEMPLATE),
+                             [home, other], 0.0).replica_id == 0
+        # load == floor + slack is still within the leash
+        assert router.choose(_req(1, self.TEMPLATE),
+                             [home, other], 0.0).replica_id == 0
+
+
+class TestMakeRouter:
+    def test_builds_every_registered_policy(self):
+        for policy in ROUTER_POLICIES:
+            assert make_router(policy).name == policy
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError, match="unknown router policy"):
+            make_router("coin_flip")
+
+    def test_slack_reaches_only_affinity(self):
+        assert make_router("prefix_affinity", load_slack=None).load_slack \
+            is None
+        assert make_router("round_robin", load_slack=None).name \
+            == "round_robin"
+
+
+# --------------------------------------------------------------------- #
+# admission control
+# --------------------------------------------------------------------- #
+
+def _admission_replica(backlog: int = 0, num_blocks: int = 64,
+                       block_size: int = 16) -> SimpleNamespace:
+    return SimpleNamespace(
+        backlog=backlog,
+        engine=SimpleNamespace(kv=SimpleNamespace(num_blocks=num_blocks,
+                                                  block_size=block_size)))
+
+
+class TestAdmission:
+    def test_no_replica_sheds(self):
+        decision = AdmissionController().decide(_req(), [], 0.0)
+        assert not decision.admit
+        assert "no live replica" in decision.reason
+
+    def test_oversized_request_sheds(self):
+        # pool: 64 blocks x 16 tokens = 1024 KV slots
+        replica = _admission_replica()
+        big = Request(request_id=0, prompt_tokens=2048,
+                      sampling=SamplingParams(max_tokens=8),
+                      arrival_time=0.0)
+        decision = AdmissionController().decide(big, [replica], 0.0)
+        assert not decision.admit
+        assert "KV slots" in decision.reason
+
+    def test_backlog_cap_scales_with_routable_count(self):
+        controller = AdmissionController(
+            AdmissionConfig(max_backlog_per_replica=4))
+        full = [_admission_replica(backlog=4), _admission_replica(backlog=4)]
+        assert not controller.decide(_req(), full, 0.0).admit
+        roomy = [_admission_replica(backlog=4), _admission_replica(backlog=3)]
+        assert controller.decide(_req(), roomy, 0.0).admit
+
+    def test_record_counts_outcomes(self):
+        controller = AdmissionController()
+        admitted = controller.decide(_req(), [_admission_replica()], 0.0)
+        controller.record(admitted)
+        shed = controller.decide(_req(), [], 0.0)
+        controller.record(shed)
+        assert controller.num_admitted == 1
+        assert controller.num_shed == 1
+
+
+# --------------------------------------------------------------------- #
+# autoscaler decision table
+# --------------------------------------------------------------------- #
+
+class TestAutoscalerDecisions:
+    CONFIG = AutoscalerConfig(min_replicas=1, max_replicas=4,
+                              scale_up_backlog=8.0, scale_up_occupancy=0.85,
+                              scale_down_occupancy=0.30, cooldown_ticks=2)
+
+    def test_backlog_pressure_scales_up(self):
+        scaler = Autoscaler(self.CONFIG)
+        assert scaler.evaluate(1.0, 2, occupancy=0.5,
+                               mean_backlog=9.0) == "up"
+
+    def test_occupancy_pressure_scales_up(self):
+        scaler = Autoscaler(self.CONFIG)
+        assert scaler.evaluate(1.0, 2, occupancy=0.9,
+                               mean_backlog=0.0) == "up"
+
+    def test_saturated_at_ceiling_holds(self):
+        scaler = Autoscaler(self.CONFIG)
+        assert scaler.evaluate(1.0, 4, occupancy=0.95,
+                               mean_backlog=20.0) == "hold"
+        assert "ceiling" in scaler.decisions[-1].reason
+
+    def test_idle_scales_down_until_floor(self):
+        scaler = Autoscaler(self.CONFIG)
+        assert scaler.evaluate(1.0, 2, occupancy=0.1,
+                               mean_backlog=0.0) == "down"
+        floor = Autoscaler(self.CONFIG)
+        assert floor.evaluate(1.0, 1, occupancy=0.1,
+                              mean_backlog=0.0) == "hold"
+        assert "floor" in floor.decisions[-1].reason
+
+    def test_below_floor_recovers_up(self):
+        # replica-loss faults can push the routable count under the
+        # floor; the next tick must pull it back regardless of signals
+        scaler = Autoscaler(AutoscalerConfig(min_replicas=2, max_replicas=4))
+        assert scaler.evaluate(1.0, 1, occupancy=0.0,
+                               mean_backlog=0.0) == "up"
+
+    def test_cooldown_suppresses_consecutive_actions(self):
+        scaler = Autoscaler(self.CONFIG)
+        assert scaler.evaluate(1.0, 2, occupancy=0.9,
+                               mean_backlog=9.0) == "up"
+        assert scaler.evaluate(1.5, 3, occupancy=0.9,
+                               mean_backlog=9.0) == "hold"
+        assert scaler.evaluate(2.0, 3, occupancy=0.9,
+                               mean_backlog=9.0) == "hold"
+        assert scaler.evaluate(2.5, 3, occupancy=0.9,
+                               mean_backlog=9.0) == "up"
+
+    def test_record_applied_patches_latest_decision(self):
+        scaler = Autoscaler(self.CONFIG)
+        scaler.evaluate(1.0, 2, occupancy=0.9, mean_backlog=9.0)
+        scaler.record_applied(3)
+        assert scaler.decisions[-1].replicas_before == 2
+        assert scaler.decisions[-1].replicas_after == 3
+        assert scaler.num_actions == 1
+
+
+# --------------------------------------------------------------------- #
+# traffic synthesis
+# --------------------------------------------------------------------- #
+
+class TestTraffic:
+    SPEC = DiurnalSpec(base_rps=10.0, peak_rps=50.0, period_s=4.0)
+
+    def test_diurnal_rate_endpoints(self):
+        assert diurnal_rate(self.SPEC, 0.0) == pytest.approx(10.0)
+        assert diurnal_rate(self.SPEC, 2.0) == pytest.approx(50.0)
+        assert diurnal_rate(self.SPEC, 4.0) == pytest.approx(10.0)
+
+    def test_arrivals_sorted_and_seed_stable(self):
+        first = diurnal_arrivals(self.SPEC, 64, np.random.default_rng(5))
+        again = diurnal_arrivals(self.SPEC, 64, np.random.default_rng(5))
+        assert first.shape == (64,)
+        assert np.all(np.diff(first) >= 0)
+        assert np.array_equal(first, again)
+
+    def test_template_hashes_unique_per_template_and_block(self):
+        seen = set()
+        for template_id in range(4):
+            hashes = template_block_hashes(template_id, 8)
+            assert len(hashes) == 8
+            seen.update(hashes)
+        assert len(seen) == 32
+
+    def test_synthesized_templated_prompts_cover_their_prefix(self):
+        rng = np.random.default_rng(3)
+        mix = TemplateMix(num_templates=3, templated_fraction=1.0,
+                          prefix_tokens=128)
+        arrivals = diurnal_arrivals(self.SPEC, 32, rng)
+        requests = synthesize_requests(
+            32, rng, arrivals,
+            lengths=LengthDistribution(mean_input=64, mean_output=8,
+                                       sigma=0.3),
+            templates=mix)
+        assert len(requests) == 32
+        for req in requests:
+            assert req.prompt_block_hashes, "fraction 1.0 => all templated"
+            assert len(req.prompt_block_hashes) == mix.prefix_blocks
+            assert req.prompt_tokens > mix.prefix_tokens
+
+    def test_untemplated_trace_has_no_hashes(self):
+        rng = np.random.default_rng(3)
+        arrivals = diurnal_arrivals(self.SPEC, 8, rng)
+        requests = synthesize_requests(8, rng, arrivals)
+        assert all(not r.prompt_block_hashes for r in requests)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalSpec(base_rps=0.0, peak_rps=1.0, period_s=1.0)
+        with pytest.raises(ValueError):
+            DiurnalSpec(base_rps=2.0, peak_rps=1.0, period_s=1.0)
+        with pytest.raises(ValueError):
+            TemplateMix(prefix_tokens=8, block_size=16)
+        with pytest.raises(ValueError):
+            template_block_hashes(-1, 4)
+
+
+# --------------------------------------------------------------------- #
+# fleet-scope fault plumbing
+# --------------------------------------------------------------------- #
+
+class TestFleetFaultPlumbing:
+    def test_fleet_config_rejects_engine_scope_faults(self):
+        engine_fault = FaultSchedule(events=(
+            FaultEvent(time=1.0, kind=FaultKind.DEVICE_LOSS),))
+        with pytest.raises(ValueError, match="REPLICA_LOSS"):
+            FleetConfig(replica_kills=engine_fault)
+
+    def test_replica_storm_is_replica_loss_only(self):
+        storm = replica_storm(11, horizon_s=10.0, rate_per_s=1.0,
+                              num_replicas=4)
+        assert storm.is_armed
+        assert all(e.kind is FaultKind.REPLICA_LOSS for e in storm)
+
+    def test_injector_rejects_replica_loss(self):
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(FaultSchedule(events=(
+            FaultEvent(time=0.5, kind=FaultKind.REPLICA_LOSS),)))
+        engine = SimpleNamespace()
+        with pytest.raises(ValueError, match="fleet-scope"):
+            injector.advance_to(1.0, engine)

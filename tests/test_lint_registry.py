@@ -118,10 +118,55 @@ class TestCliDoc:
         assert "'lint'" in vs[0].message
 
 
+class TestFamilyDoc:
+    """REG005: every registered id with a FAMILY_DOCS prefix must appear
+    in the family's dedicated doc (drift fixtures use the real
+    ``ext_fleet`` mapping)."""
+
+    def _fleet_project(self, tmp_path, *, doc: str | None,
+                       experiments=("ext_fleet_capacity",)) -> LintProject:
+        project = _project(tmp_path, experiments=experiments,
+                           baselines=experiments, documented=experiments)
+        if doc is not None:
+            docs = tmp_path / "docs"
+            docs.mkdir()
+            (docs / "fleet.md").write_text(doc)
+        return project
+
+    def test_clean_when_doc_names_every_family_member(self, tmp_path):
+        project = self._fleet_project(
+            tmp_path, doc="| ext_fleet_capacity | scaling |\n")
+        assert _run("REG005", project) == []
+
+    def test_family_member_missing_from_doc_flagged(self, tmp_path):
+        project = self._fleet_project(
+            tmp_path, doc="all about fleets\n",
+            experiments=("ext_fleet_capacity", "ext_fleet_policy"))
+        vs = _run("REG005", project)
+        assert len(vs) == 2
+        assert all("docs/fleet.md" in v.message for v in vs)
+
+    def test_missing_doc_file_flagged_once(self, tmp_path):
+        project = self._fleet_project(tmp_path, doc=None)
+        vs = _run("REG005", project)
+        assert len(vs) == 1
+        assert "missing" in vs[0].message
+
+    def test_no_family_members_no_doc_needed(self, tmp_path):
+        # a repo without ext_fleet experiments owes no docs/fleet.md
+        assert _run("REG005", _project(tmp_path)) == []
+
+    def test_word_boundary_match(self, tmp_path):
+        # "ext_fleet_capacity2" must not satisfy "ext_fleet_capacity"
+        project = self._fleet_project(
+            tmp_path, doc="| ext_fleet_capacity2 | nope |\n")
+        assert len(_run("REG005", project)) == 1
+
+
 class TestRepoIsDriftFree:
     def test_real_registry_clean(self):
         project = LintProject(REPO)
-        for rule_id in ("REG001", "REG002", "REG003", "REG004"):
+        for rule_id in ("REG001", "REG002", "REG003", "REG004", "REG005"):
             assert _run(rule_id, project) == [], rule_id
 
     def test_real_repo_has_experiments_and_baselines(self):

@@ -14,9 +14,9 @@ import pytest
 from repro.core.experiment import ExperimentResult
 from repro.runner import default_jobs, iter_experiments, run_experiments
 
-# one vectorized sweep, one table-driven summary, one chaos/engine run —
-# the three result families the suite produces
-REPRESENTATIVE = ["fig5", "table1", "ext_resilience"]
+# one vectorized sweep, one table-driven summary, one chaos/engine run,
+# one fleet run — the four result families the suite produces
+REPRESENTATIVE = ["fig5", "table1", "ext_resilience", "ext_fleet_policy"]
 
 
 def _gated_fingerprint(result: ExperimentResult) -> str:
@@ -67,6 +67,49 @@ class TestMergeSemantics:
         serial = run_experiments(["table1"], jobs=1)
         assert isinstance(serial[0], ExperimentResult)
         assert serial[0].exp_id == "table1"
+
+
+class TestSubmissionOrder:
+    """The longest-first heuristic must have a sane cold-start story:
+    experiments with no recorded baseline fall back to the static
+    ``_RUNTIME_SEED_S`` table, and unknown ids to 0.0 — never an error,
+    never a result change (submission order is wall-clock only)."""
+
+    def test_seed_table_covers_unrecorded_fleet_experiments(self, tmp_path):
+        from repro.runner import _RUNTIME_SEED_S, _recorded_runtime
+
+        # tmp_path holds no BENCH_*.json: only the seed table can answer
+        for exp_id, seconds in _RUNTIME_SEED_S.items():
+            assert _recorded_runtime(exp_id, tmp_path) == seconds
+
+    def test_unknown_experiment_falls_back_to_zero(self, tmp_path):
+        from repro.runner import _recorded_runtime
+
+        assert _recorded_runtime("no_such_experiment", tmp_path) == 0.0
+
+    def test_recorded_baseline_wins_over_seed_table(self):
+        import pathlib
+
+        from repro.runner import _RUNTIME_SEED_S, _recorded_runtime
+
+        root = pathlib.Path(__file__).resolve().parents[1]
+        measured = _recorded_runtime("ext_fleet_policy", root)
+        assert measured > 0.0
+        assert measured != _RUNTIME_SEED_S["ext_fleet_policy"]
+
+    def test_cold_start_submits_seeded_experiments_first(self, tmp_path):
+        from repro.runner import _submission_order
+
+        ids = ["fig5", "ext_fleet_policy", "ext_fleet_capacity"]
+        order = _submission_order(ids, baseline_dir=tmp_path)
+        # capacity (3.1 s) > policy (2.0 s) > fig5 (no hint, input order)
+        assert order == ["ext_fleet_capacity", "ext_fleet_policy", "fig5"]
+
+    def test_ties_keep_input_order(self, tmp_path):
+        from repro.runner import _submission_order
+
+        ids = ["table1", "fig5"]  # both unhinted -> both 0.0
+        assert _submission_order(ids, baseline_dir=tmp_path) == ids
 
 
 class TestDefaultJobs:
