@@ -4,6 +4,7 @@ Usage::
 
     repro list
     repro run fig05[,fig06,...] [--out results/] [--jobs N] [--no-vectorize]
+    repro run ... [--no-vectorize-engine]
     repro run-all [--out results/] [--jobs N]
     repro summary [--out report.md] [--jobs N]
     repro trace [model-or-experiment] [--out trace.json]
@@ -90,6 +91,8 @@ def _apply_fastpath_flags(args: argparse.Namespace) -> None:
     both this process and any ``--jobs`` pool workers."""
     if getattr(args, "no_vectorize", False):
         os.environ["REPRO_NO_VECTORIZE"] = "1"
+    if getattr(args, "no_vectorize_engine", False):
+        os.environ["REPRO_NO_VECTORIZE_ENGINE"] = "1"
 
 
 def _cmd_list(_: argparse.Namespace) -> int:
@@ -159,6 +162,10 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
                         help="disable the vectorized sweep fast path "
                              "(exported as REPRO_NO_VECTORIZE so pool "
                              "workers inherit it)")
+    parser.add_argument("--no-vectorize-engine", action="store_true",
+                        help="disable the serving-engine batched decode "
+                             "window (exported as REPRO_NO_VECTORIZE_ENGINE; "
+                             "results are bit-identical either way)")
 
 
 def _add_workload_args(parser: argparse.ArgumentParser) -> None:

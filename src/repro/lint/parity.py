@@ -50,6 +50,10 @@ _SCALAR_FLOPS = "src/repro/perfmodel/flops.py"
 _SCALAR_ROOF = "src/repro/hardware/roofline.py"
 _SCALAR_ICN = "src/repro/hardware/interconnect.py"
 _VECTOR = "src/repro/perfmodel/vectorized.py"
+_ENGINE = "src/repro/serving/engine.py"
+_FASTPATH = "src/repro/serving/fastpath.py"
+_SCHED = "src/repro/serving/scheduler.py"
+_KV = "src/repro/serving/kv_cache.py"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -101,13 +105,22 @@ PAIRS: tuple[PairSpec, ...] = (
     PairSpec(
         "step_total",
         (_SCALAR_PHASES, "StepModel._compute_step_breakdown"),
-        (_VECTOR, "VectorizedStepModel.step_totals"),
+        (_VECTOR, "VectorizedStepModel._total"),
         scalar_inline=((_SCALAR_FLOPS, "embedding_cost"),
                        (_SCALAR_FLOPS, "lm_head_cost"),
                        (_SCALAR_ICN, "allreduce_time"),
                        (_SCALAR_ICN, "p2p_time")),
         vector_inline=((_VECTOR, "VectorizedStepModel._allreduce"),
                        (_VECTOR, "VectorizedStepModel._p2p")),
+    ),
+    PairSpec(
+        # the batched and one-point entries into the shared _total core:
+        # editing one validation/coercion path without the other silently
+        # forks what "the vectorized model" means between the sweep fast
+        # path (arrays) and the engine fast path (one-point probes)
+        "step_total_entry",
+        (_VECTOR, "VectorizedStepModel.step_totals"),
+        (_VECTOR, "VectorizedStepModel.step_total_one"),
     ),
     PairSpec(
         "prefill",
@@ -149,6 +162,32 @@ PAIRS: tuple[PairSpec, ...] = (
         "p2p",
         (_SCALAR_ICN, "p2p_time"),
         (_VECTOR, "VectorizedStepModel._p2p"),
+    ),
+    # ---- serving-engine fast path (phase 2): the batched decode window
+    # must track the scalar iteration it replays, operand for operand ----
+    PairSpec(
+        "engine_decode_window",
+        (_ENGINE, "ServingEngine.step"),
+        (_FASTPATH, "EngineFastPath.decode_window"),
+        scalar_inline=((_ENGINE, "ServingEngine._admit_arrivals"),
+                       (_ENGINE, "ServingEngine._iteration_cost"),
+                       (_SCHED, "Scheduler._schedule_decode"),
+                       (_KV, "PagedKVCache.try_append_slot"),
+                       (_KV, "PagedKVCache.utilization")),
+        vector_inline=((_FASTPATH, "EngineFastPath._window_durations"),
+                       (_FASTPATH, "EngineFastPath._plan")),
+    ),
+    PairSpec(
+        "engine_step_total",
+        (_ENGINE, "ServingEngine._step_total"),
+        (_FASTPATH, "EngineFastPath.step_total"),
+        vector_inline=((_FASTPATH, "EngineFastPath._plan"),
+                       (_FASTPATH, "EngineFastPath._put")),
+    ),
+    PairSpec(
+        "engine_decode_durations",
+        (_ENGINE, "ServingEngine._iteration_cost"),
+        (_FASTPATH, "EngineFastPath._window_durations"),
     ),
 )
 

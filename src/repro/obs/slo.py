@@ -222,9 +222,12 @@ class SloTracker:
         if not slos:
             raise ValueError("SloTracker needs at least one SLO")
         self.slos = slos
-        # per SLO: time-ordered (terminal_time, is_bad) samples
+        # per SLO: time-ordered (terminal_time, is_bad) samples, with a
+        # running bad count so budget() is O(1) instead of a rescan (the
+        # fleet admission controller reads budgets on every policy tick)
         self._samples: dict[str, list[tuple[float, bool]]] = {
             s.name: [] for s in slos}
+        self._bad: dict[str, int] = {s.name: 0 for s in slos}
 
     def align_buckets(self, metrics: MetricsRegistry) -> None:
         """Pin each latency SLO threshold onto an exact histogram bucket
@@ -247,7 +250,9 @@ class SloTracker:
     def on_request_terminal(self, req: "Request", now: float) -> None:
         """Score one finished/failed request at its terminal time."""
         for slo in self.slos:
-            self._samples[slo.name].append((now, not slo.is_good(req)))
+            bad = not slo.is_good(req)
+            self._samples[slo.name].append((now, bad))
+            self._bad[slo.name] += bad
 
     # ------------------------------------------------------------------ #
     # budgets and burn rates
@@ -264,7 +269,7 @@ class SloTracker:
         samples = self._samples[name]
         return ErrorBudget(
             slo=name, objective=slo.describe(), total=len(samples),
-            bad=sum(1 for _, bad in samples if bad), target=slo.target)
+            bad=self._bad[name], target=slo.target)
 
     def window_counts(self, name: str, now: float,
                       window_s: float) -> tuple[int, int]:

@@ -127,6 +127,14 @@ class StepModel:
             model, hardware, plan, quant, fused_moe, mla_native,
         )))
 
+    @property
+    def setup_id(self) -> int:
+        """Interned id of this deployment's frozen setup — equal setups
+        (same model/hardware/plan/quant/flags and concrete class) share an
+        id, so external memo tables (the engine fast path's totals memo)
+        can key on it instead of re-hashing the configs."""
+        return self._setup_id
+
     # ------------------------------------------------------------------ #
     # kernel-time helpers
     # ------------------------------------------------------------------ #

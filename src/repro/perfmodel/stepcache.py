@@ -111,6 +111,20 @@ class StepCache:
         self.stats = CacheStats()
         self._entries: dict[tuple, "PhaseBreakdown"] = {}
         self._setup_ids: dict[Hashable, int] = {}
+        self.totals: dict[tuple, float] = {}
+        """Step *total* seconds keyed ``(setup_id, shape...)`` — the engine
+        fast path's memo of :class:`VectorizedStepModel` evaluations.
+        Values are bit-identical to ``step_breakdown(...).total`` /
+        ``decode_step_time``, so sharing them across engines (fleet
+        replicas share one perf model; sweep points share a setup id) only
+        changes wallclock, never outputs.  Read directly in hot loops;
+        insert through :meth:`total_put` for the entry bound."""
+        self.decode_plans: dict[tuple[int, int], dict[int, float]] = {}
+        """Decode-step seconds as ``(setup_id, batch) -> {context: s}`` —
+        the nesting keeps the engine fast path's per-iteration probes on
+        plain int keys (a window prices thousands of contexts per plan;
+        flat tuple keys would allocate and hash a tuple per point).  Same
+        sharing and bit-identity contract as :attr:`totals`."""
 
     # ------------------------------------------------------------------ #
     # setup interning
@@ -147,6 +161,13 @@ class StepCache:
             self.stats.clears += 1
         self._entries[key] = breakdown
 
+    def total_put(self, key: tuple, total: float) -> None:
+        """Bounded insert into :attr:`totals` (same deterministic wholesale
+        clear as the breakdown table)."""
+        if len(self.totals) >= self.max_entries:
+            self.totals.clear()
+        self.totals[key] = total
+
     # ------------------------------------------------------------------ #
     # management
     # ------------------------------------------------------------------ #
@@ -154,6 +175,8 @@ class StepCache:
     def clear(self) -> None:
         """Drop all shape entries (setup ids are kept)."""
         self._entries.clear()
+        self.totals.clear()
+        self.decode_plans.clear()
 
     def reset_stats(self) -> None:
         self.stats = CacheStats()

@@ -62,6 +62,40 @@ def _tile_quant(d) -> float:
     return d / (tiles * _TILE)
 
 
+# The per-layer mirrors below are polymorphic over float64 arrays (a whole
+# axis of shapes) and plain Python floats (the engine fast path's one-point
+# probes, where size-1 array dispatch overhead would dominate).  IEEE-754
+# ops on float64 arrays are elementwise identical to the same ops on
+# Python floats, and max/min select the same value as maximum/minimum on
+# the positive finite operands used here, so both input kinds produce the
+# same bits.  These three helpers absorb the only array-specific
+# constructs:
+
+def _zeros(x):
+    """``np.zeros_like`` for arrays, exact ``0.0`` for scalars."""
+    return np.zeros_like(x) if isinstance(x, np.ndarray) else 0.0
+
+
+def _maximum(a, b):
+    """Elementwise/scalar max (operands are finite and never -0.0)."""
+    return np.maximum(a, b) if isinstance(a, np.ndarray) or \
+        isinstance(b, np.ndarray) else max(a, b)
+
+
+def _minimum(a, b):
+    """Elementwise/scalar min (operands are finite and never -0.0)."""
+    return np.minimum(a, b) if isinstance(a, np.ndarray) or \
+        isinstance(b, np.ndarray) else min(a, b)
+
+
+def _map(fn, x):
+    """Per-element scalar helper application (coverage / imbalance terms
+    route through the exact scalar functions in both modes)."""
+    if isinstance(x, np.ndarray):
+        return np.array([fn(float(v)) for v in x])
+    return fn(float(x))
+
+
 class VectorizedStepModel:
     """Array-at-a-time mirror of one :class:`StepModel`'s step costs."""
 
@@ -88,7 +122,7 @@ class VectorizedStepModel:
         if isinstance(n, np.ndarray):
             tq_n = np.array([_tile_quant(float(x)) for x in n])
         else:
-            tq_n = _tile_quant(n)
+            tq_n = _tile_quant(float(n))
         gran = tq_n * _tile_quant(k)
         return self.hw.max_gemm_efficiency * sat * gran
 
@@ -103,7 +137,7 @@ class VectorizedStepModel:
         t_compute = 0.0 if flops is None else flops / (hw.peak_flops_per_s(dtype) * eff)
         t_memory = bytes_ / hw.mem_bytes_per_s
         launch = launches * hw.kernel_launch_us * 1e-6
-        return np.maximum(t_compute, t_memory) + launch
+        return _maximum(t_compute, t_memory) + launch
 
     def _component_time(self, flops, w_bytes, a_bytes, launches, gemm,
                         shard=1.0, kv_shard=1.0, dtype=None):
@@ -118,7 +152,7 @@ class VectorizedStepModel:
         if gemm is not None:
             gm, gn, gk = gemm
             gn = gn / shard
-            gn = np.maximum(1.0, gn) if isinstance(gn, np.ndarray) else max(1.0, gn)
+            gn = _maximum(1.0, gn)
             eff = self._gemm_eff(gm, gn, gk)
         else:
             eff = None
@@ -152,8 +186,8 @@ class VectorizedStepModel:
         # the resident KV and the attended span; per-element Python `min`
         # mirrored with np.minimum on identical operands
         if att.sliding_window > 0:
-            kv_len = np.minimum(kv_len, float(att.sliding_window))
-            attended_len = np.minimum(attended_len, float(att.sliding_window))
+            kv_len = _minimum(kv_len, float(att.sliding_window))
+            attended_len = _minimum(attended_len, float(att.sliding_window))
         if att.kind is AttentionKind.MLA:
             d_qk = att.qk_nope_head_dim + att.qk_rope_head_dim
             d_v = att.v_head_dim
@@ -195,11 +229,10 @@ class VectorizedStepModel:
 
         if ep > 1:
             resident = moe.num_experts // ep
-            imbalance = np.array([
-                expected_group_imbalance(ep, float(x)) for x in m * moe.top_k
-            ])
+            imbalance = _map(
+                lambda x: expected_group_imbalance(ep, x), m * moe.top_k)
             local_tokens = m / ep
-            m_eff = np.maximum(1.0, local_tokens)
+            m_eff = _maximum(1.0, local_tokens)
             t_exp = self._routed_experts_time(
                 m_eff, e=resident, k=min(moe.top_k, resident),
                 extra_launches=3, shard=intra_tp,
@@ -223,7 +256,7 @@ class VectorizedStepModel:
                 launches=n_mats, gemm=(m, f_total, h), shard=tp,
             )
 
-        comm = np.zeros_like(m)
+        comm = _zeros(m)
         if ep > 1:
             payload = (m * moe.top_k / ep) * h * quant.activation_bytes
             comm = comm + 2.0 * self._all_to_all(payload * ep, ep)
@@ -237,9 +270,7 @@ class VectorizedStepModel:
         h, f = self.model.hidden_size, moe.expert_ffn_dim
         n_mats = 3 if moe.gated else 2
         per_expert = n_mats * h * f
-        coverage = np.array([
-            expected_expert_coverage(e, min(k, e), float(x)) for x in m
-        ])
+        coverage = _map(lambda x: expected_expert_coverage(e, min(k, e), x), m)
         flops = 2.0 * m * k * per_expert
         w_bytes = coverage * per_expert * quant.weight_bytes
         a_bytes = (2.0 * m * h + 2.0 * m * k * h + 2.0 * m * k * f) * quant.activation_bytes
@@ -249,7 +280,7 @@ class VectorizedStepModel:
             launches = e + 2
             a_bytes = a_bytes * 2.0
             w_bytes = w_bytes * 1.15
-        tokens_per_expert = m * k / np.maximum(coverage, 1.0)
+        tokens_per_expert = m * k / _maximum(coverage, 1.0)
         return self._component_time(
             flops, w_bytes, a_bytes, launches + extra_launches,
             gemm=(tokens_per_expert, f, h), shard=shard,
@@ -258,7 +289,7 @@ class VectorizedStepModel:
     def _dense_ffn_time(self, m):
         h, f = self.model.hidden_size, self.model.dense_ffn_dim
         if f == 0:
-            return np.zeros_like(m)
+            return _zeros(m)
         quant = self.quant
         n_params = 3 * h * f
         return self._component_time(
@@ -310,17 +341,36 @@ class VectorizedStepModel:
         att = kv if attended_len is None else np.asarray(attended_len, dtype=np.float64)
         if m.size and (m.min() <= 0 or b.min() <= 0):
             raise ValueError("num_tokens and batch must be positive")
+        total = self._total(m, b, kv, att)
+        return [float(x) for x in total]
 
+    def step_total_one(self, num_tokens, batch, kv_len,
+                       attended_len=None) -> float:
+        """One step's total seconds through the same polymorphic mirrors,
+        on Python floats — the engine fast path's point probe, where the
+        array entry's size-1 dispatch overhead would dominate.  Same bits
+        as ``step_totals([...])[0]`` (see the helper-function note)."""
+        m = float(num_tokens)
+        b = float(batch)
+        kv = float(kv_len)
+        att = kv if attended_len is None else float(attended_len)
+        if m <= 0 or b <= 0:
+            raise ValueError("num_tokens and batch must be positive")
+        return float(self._total(m, b, kv, att))
+
+    def _total(self, m, b, kv, att):
+        """Shared step-total core; inputs are all-float64-arrays or
+        all-Python-floats (never mixed)."""
         model, plan, hw, quant = self.model, self.plan, self.hw, self.quant
         attn_layer = self._attention_time(m, b, kv, att)
         moe_layer = None
         dense_layer = None
 
         # per-layer accumulation stays repeated addition (n adds != mul)
-        attn_time = np.zeros_like(m)
-        moe_time = np.zeros_like(m)
-        moe_comm = np.zeros_like(m)
-        dense_time = np.zeros_like(m)
+        attn_time = _zeros(m)
+        moe_time = _zeros(m)
+        moe_comm = _zeros(m)
+        dense_time = _zeros(m)
         for _, is_moe in model.iter_layers():
             attn_time = attn_time + attn_layer
             if is_moe:
@@ -346,7 +396,7 @@ class VectorizedStepModel:
             launches=2, gemm=(b, v, h), shard=plan.tp,
         )
 
-        comm = np.zeros_like(m)
+        comm = _zeros(m)
         if plan.tp > 1:
             payload = m * model.hidden_size * quant.activation_bytes
             n_ar = model.num_layers
@@ -361,7 +411,7 @@ class VectorizedStepModel:
             hop = self._p2p(m * model.hidden_size * quant.activation_bytes)
             pipeline = (plan.pp - 1) * (hop + hw.step_overhead_us * 1e-6 * 0.5)
         else:
-            pipeline = np.zeros_like(m)
+            pipeline = _zeros(m)
 
         overhead = (hw.step_overhead_us + b * hw.per_seq_overhead_us) * 1e-6
 
@@ -375,7 +425,7 @@ class VectorizedStepModel:
         total = total + comm
         total = total + pipeline
         total = total + overhead
-        return [float(x) for x in total]
+        return total
 
     def prefill_totals(self, batches, prompt_lens) -> list[float]:
         """``prefill_time`` for per-point ``(batch, prompt_len)`` pairs."""

@@ -14,6 +14,7 @@ model.  An ablation bench compares the two.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -26,6 +27,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs.instrument import Instrumentation
 from repro.perfmodel.inference import InferencePerfModel
 from repro.serving.events import Event, EventLog, EventType
+from repro.serving.fastpath import EngineFastPath, engine_vectorize_enabled
 from repro.serving.kv_cache import DEFAULT_BLOCK_SIZE, PagedKVCache
 from repro.serving.request import Request, RequestState, SamplingParams
 from repro.serving.scheduler import ScheduledBatch, Scheduler, SchedulerConfig
@@ -49,6 +51,34 @@ class ServingResult:
     _ttft_cache: list[float] | None = field(default=None, init=False, repr=False)
     _e2e_cache: list[float] | None = field(default=None, init=False, repr=False)
     _itl_cache: list[float] | None = field(default=None, init=False, repr=False)
+    _agg_cache: tuple[int, int, int, int, int, int] | None = field(
+        default=None, init=False, repr=False)
+    _by_id_cache: dict[int, Request] | None = field(
+        default=None, init=False, repr=False)
+
+    def _aggregates(self) -> tuple[int, int, int, int, int, int]:
+        """One pass over ``requests`` for every whole-run integer sum:
+        ``(finished, failed, fault_retries, preemptions, prompt+generated
+        tokens, generated tokens)``.  The aggregate properties each used
+        to rescan the full list per access — analysis code reads several
+        of them per run, so a single memoized scan replaces O(properties
+        × requests) work.  Integer sums are order-independent, so the
+        values are exactly what the per-property scans produced."""
+        if self._agg_cache is None:
+            finished = failed = retries = preemptions = 0
+            total_tokens = generated = 0
+            for r in self.requests:
+                if r.is_finished:
+                    finished += 1
+                if r.is_failed:
+                    failed += 1
+                retries += r.fault_retries
+                preemptions += r.num_preemptions
+                total_tokens += r.prompt_tokens + r.generated_tokens
+                generated += r.generated_tokens
+            self._agg_cache = (finished, failed, retries, preemptions,
+                               total_tokens, generated)
+        return self._agg_cache
 
     @property
     def num_requests(self) -> int:
@@ -57,12 +87,12 @@ class ServingResult:
     @property
     def num_failed(self) -> int:
         """Requests that ended in terminal failure (fault injection)."""
-        return sum(1 for r in self.requests if r.is_failed)
+        return self._aggregates()[1]
 
     @property
     def num_fault_retries(self) -> int:
         """Total fault-kill resubmissions across all requests."""
-        return sum(r.fault_retries for r in self.requests)
+        return self._aggregates()[2]
 
     @property
     def availability(self) -> float:
@@ -71,12 +101,12 @@ class ServingResult:
         healthy run)."""
         if not self.requests:
             return 1.0
-        return sum(1 for r in self.requests if r.is_finished) / len(self.requests)
+        return self._aggregates()[0] / len(self.requests)
 
     @property
     def total_tokens(self) -> int:
         """Prompt + generated tokens over all requests (Eq. 2 numerator)."""
-        return sum(r.prompt_tokens + r.generated_tokens for r in self.requests)
+        return self._aggregates()[4]
 
     @property
     def throughput_tok_s(self) -> float:
@@ -88,7 +118,7 @@ class ServingResult:
     def generation_throughput_tok_s(self) -> float:
         if self.makespan <= 0:
             return 0.0
-        return sum(r.generated_tokens for r in self.requests) / self.makespan
+        return self._aggregates()[5] / self.makespan
 
     def _ttft_values(self) -> list[float]:
         if self._ttft_cache is None:
@@ -152,7 +182,21 @@ class ServingResult:
 
     @property
     def num_preemptions(self) -> int:
-        return sum(r.num_preemptions for r in self.requests)
+        return self._aggregates()[3]
+
+    def request(self, request_id: int) -> Request:
+        """The request with ``request_id`` (lazily indexed: the first
+        lookup builds an id → request dict, replacing the per-call linear
+        scan; duplicate ids keep first-match semantics)."""
+        if self._by_id_cache is None:
+            index: dict[int, Request] = {}
+            for r in self.requests:
+                index.setdefault(r.request_id, r)
+            self._by_id_cache = index
+        try:
+            return self._by_id_cache[request_id]
+        except KeyError:
+            raise KeyError(f"no request with id {request_id}") from None
 
     def token_times(self, request_id: int) -> list[float]:
         """Timestamps at which ``request_id`` received each output token
@@ -163,8 +207,7 @@ class ServingResult:
             if request_id not in e.request_ids:
                 continue
             if e.type is EventType.PREFILL:
-                req = next(r for r in self.requests
-                           if r.request_id == request_id)
+                req = self.request(request_id)
                 if req.first_token_time is not None and \
                         abs(req.first_token_time - e.time) < 1e-12:
                     times.append(e.time)
@@ -262,6 +305,14 @@ class ServingEngine:
         self._stepcache_at_start = (stats.hits, stats.misses)
         """Step-cache counter snapshot; ``run()`` reports the run's own
         hit/miss delta through the metrics registry."""
+        self.fastpath = EngineFastPath(self) if engine_vectorize_enabled() \
+            else None
+        """Batched decode-window advance (phase-2 fast path), or ``None``
+        under ``REPRO_NO_VECTORIZE_ENGINE``.  Bit-identical to repeated
+        ``step()`` calls by construction; it additionally falls back
+        per-window whenever instrumentation is active, a fault schedule
+        is armed, or the next iteration is not a quiet decode step (see
+        :mod:`repro.serving.fastpath`)."""
 
     def _active_obs(self) -> "Instrumentation | None":
         obs = self.obs
@@ -332,10 +383,20 @@ class ServingEngine:
         cannot perturb simulated results."""
         reqs = batch.requests
         if batch.phase == "prefill":
-            mean_ctx = float(np.mean([r.kv_tokens + self.scheduler._prefill_tokens_for(r)
-                                      for r in reqs]))
+            # exact np.mean replay: the pairwise float64 sum of integer
+            # token counts is the exact integer sum (< 2**53), and the
+            # division is the same correctly-rounded float64 op
+            mean_ctx = sum(r.kv_tokens + self.scheduler._prefill_tokens_for(r)
+                           for r in reqs) / len(reqs)
             shape = (float(batch.num_tokens), float(batch.batch_size),
                      mean_ctx, (mean_ctx + 1) / 2.0)
+            if not want_components:
+                t = self._step_total(batch.num_tokens, batch.batch_size,
+                                     mean_ctx, "prefill", (mean_ctx + 1) / 2.0)
+                images = sum(r.num_images for r in reqs)
+                if images:
+                    t += self.perf.steps.vision_encode_time(images)
+                return t, None, shape
             bd = self.perf.steps.step_breakdown(
                 num_tokens=batch.num_tokens,
                 batch=batch.batch_size,
@@ -349,16 +410,14 @@ class ServingEngine:
             if images:
                 vision = self.perf.steps.vision_encode_time(images)
                 t += vision
-            if not want_components:
-                return t, None, shape
             return t, self._components_of(bd, vision), shape
-        mean_ctx = float(np.mean([r.kv_tokens for r in reqs]))
+        mean_ctx = sum(r.kv_tokens for r in reqs) / len(reqs)
         ctx = max(1, int(mean_ctx))
         shape = (float(batch.batch_size), float(batch.batch_size),
                  float(ctx), None)
         if not want_components:
-            return (self.perf.steps.decode_step_time(batch.batch_size, ctx),
-                    None, shape)
+            return (self._step_total(batch.batch_size, batch.batch_size,
+                                     ctx, "decode"), None, shape)
         # decode_step_time is step_breakdown().total — same floats, but the
         # breakdown is kept so the profiler can attribute the step
         bd = self.perf.steps.step_breakdown(
@@ -366,6 +425,23 @@ class ServingEngine:
             kv_len=ctx, phase="decode",
         )
         return bd.total, self._components_of(bd, 0.0), shape
+
+    def _step_total(self, num_tokens: int, batch: int, kv_len: float,
+                    phase: str, attended_len: float | None = None) -> float:
+        """One iteration's total seconds without the component breakdown:
+        the bit-identical one-point vectorized evaluation when the fast
+        path is attached (skipping the per-layer scalar loop on step-cache
+        misses), else the scalar perf-model call through the step cache."""
+        fastpath = self.fastpath
+        if fastpath is not None and fastpath.vector is not None:
+            return fastpath.step_total(num_tokens, batch, kv_len, phase,
+                                       attended_len)
+        if phase == "decode":
+            return self.perf.steps.decode_step_time(batch, kv_len)
+        return self.perf.steps.step_breakdown(
+            num_tokens=num_tokens, batch=batch, kv_len=kv_len,
+            phase=phase, attended_len=attended_len,
+        ).total
 
     @staticmethod
     def _components_of(bd, vision: float) -> dict[str, float]:
@@ -397,6 +473,17 @@ class ServingEngine:
         if vision > 0:
             out["vision_encode"] = vision
         return out
+
+    def advance_window(self, horizon: float = math.inf) -> int:
+        """Advance a run of pure decode iterations in one batched pass,
+        bounded by ``horizon`` (an iteration starts only while
+        ``clock < horizon``; the last one may overshoot, exactly like a
+        scalar iteration).  Returns the iterations advanced; 0 means the
+        next iteration needs the scalar :meth:`step` — admission, prefill,
+        completion, preemption, faults, or instrumentation."""
+        if self.fastpath is None:
+            return 0
+        return self.fastpath.decode_window(horizon)
 
     def step(self) -> bool:
         """Run one engine iteration; returns False when nothing remains."""
@@ -676,8 +763,14 @@ class ServingEngine:
         """Run until every submitted request is terminal (finished, or —
         under fault injection — failed with a recorded reason)."""
         iterations = 0
-        while self.step():
-            iterations += 1
+        while True:
+            advanced = self.advance_window()
+            if advanced:
+                iterations += advanced
+            elif self.step():
+                iterations += 1
+            else:
+                break
             if iterations > max_iterations:
                 raise RuntimeError(f"engine exceeded {max_iterations} iterations")
         stats = getattr(self.kv, "stats", None)

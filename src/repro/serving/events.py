@@ -78,8 +78,30 @@ class EventLog:
         self.events.append(event)
         self._index(event)
 
+    def extend(self, batch: list[Event]) -> None:
+        """Append a time-ordered batch in one call (the engine fast path
+        records a whole decode window at once).  Only the batch head is
+        checked against the log tail; within-batch order is the caller's
+        contract (the window clock is monotone by construction)."""
+        if not batch:
+            return
+        if self.events and batch[0].time < self.events[-1].time - 1e-12:
+            raise ValueError(
+                f"events must be recorded in time order: {batch[0].time} < "
+                f"{self.events[-1].time}"
+            )
+        self.events.extend(batch)
+        for event in batch:
+            self._index(event)
+
     def of_type(self, event_type: EventType) -> list[Event]:
         return list(self._by_type[event_type])
+
+    def of_type_since(self, event_type: EventType, start: int) -> list[Event]:
+        """Events of ``event_type`` from index ``start`` on — a tail slice,
+        so pollers that keep a cursor (the fleet's new-terminal feed) pay
+        for fresh events only instead of copying the full type index."""
+        return self._by_type[event_type][start:]
 
     def count(self, event_type: EventType) -> int:
         """Number of recorded events of ``event_type`` (O(1))."""

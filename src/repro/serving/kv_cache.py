@@ -141,6 +141,21 @@ class PagedKVCache:
         """Pop one free block (subclasses may evict cached content here)."""
         return self._free.pop()
 
+    def _take_free_blocks(self, need: int) -> list[int]:
+        """Pop ``need`` free blocks, bulk-slicing the free list for the
+        common all-free case.  The slice reproduces the exact id sequence
+        ``need`` successive :meth:`_take_free_block` calls would return
+        (both the base pool and the prefix cache drain ``_free`` before
+        evicting), so allocation order — and with it every downstream
+        digest — is unchanged."""
+        free = self._free
+        n = min(need, len(free))
+        blocks = free[-1 : -n - 1 : -1] if n else []
+        del free[len(free) - n:]
+        for _ in range(need - n):
+            blocks.append(self._take_free_block())
+        return blocks
+
     # ------------------------------------------------------------------ #
     # mutation
     # ------------------------------------------------------------------ #
@@ -157,7 +172,7 @@ class PagedKVCache:
                 f"KV pool exhausted: need {need} blocks, "
                 f"{self.available_blocks} available"
             )
-        blocks = [self._take_free_block() for _ in range(need)]
+        blocks = self._take_free_blocks(need)
         self._tables[seq_id] = BlockTable(blocks=blocks, num_tokens=num_tokens)
         self._observe("allocate", seq_id, need)
 
@@ -185,6 +200,36 @@ class PagedKVCache:
             table.blocks.append(self._take_free_block())
         table.num_tokens += num_new_tokens
         self._observe("append", seq_id, need)
+
+    def try_append_slot(self, seq_id: int) -> bool:
+        """``can_append_slots(seq_id, 1)`` + ``append_slots(seq_id, 1)``
+        fused to one table lookup — the scheduler's per-sequence decode
+        hot call.  Returns ``False`` (state untouched) instead of raising
+        when growth would need a block the pool cannot provide; otherwise
+        grows the sequence by one slot and observes exactly as
+        ``append_slots`` would."""
+        table = self._tables.get(seq_id)
+        if table is None:
+            raise KeyError(f"sequence {seq_id} has no allocation")
+        if len(table.blocks) * self.block_size - table.num_tokens >= 1:
+            table.num_tokens += 1
+            self._observe("append", seq_id, 0)
+            return True
+        if self.available_blocks < 1:
+            return False
+        table.blocks.append(self._take_free_block())
+        table.num_tokens += 1
+        self._observe("append", seq_id, 1)
+        return True
+
+    def append_block(self, table: BlockTable) -> None:
+        """Grow ``table`` by one block from the pool — the block-crossing
+        branch of :meth:`append_slots`, split out so the engine fast path
+        can apply a precomputed crossing schedule.  Pops through
+        :meth:`_take_free_block`, so subclass eviction (prefix caching)
+        sees the identical request stream; the caller owns availability
+        checks, ``num_tokens`` bookkeeping and observability."""
+        table.blocks.append(self._take_free_block())
 
     def free(self, seq_id: int) -> None:
         """Return a sequence's blocks to the pool."""

@@ -18,7 +18,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
-from repro.serving.kv_cache import DEFAULT_BLOCK_SIZE, PagedKVCache
+from repro.serving.kv_cache import DEFAULT_BLOCK_SIZE, BlockTable, PagedKVCache
 
 __all__ = ["PrefixCachingKVCache", "PrefixStats"]
 
@@ -127,15 +127,18 @@ class PrefixCachingKVCache(PagedKVCache):
         shared: list[int] = []
         cached_tokens = 0
         hit_streak = True
+        by_hash = self._by_hash
+        reusable = self._reusable
+        stats = self.stats
+        stats.lookups += len(block_hashes)
         for h in block_hashes:
-            self.stats.lookups += 1
-            entry = self._by_hash.get(h)
-            if entry is None and h in self._reusable:
-                block = self._reusable.pop(h)
+            entry = by_hash.get(h)
+            if entry is None and h in reusable:
+                block = reusable.pop(h)
                 entry = _SharedBlock(block_id=block, refcount=0)
-                self._by_hash[h] = entry
+                by_hash[h] = entry
             if entry is not None and hit_streak:
-                self.stats.hits += 1
+                stats.hits += 1
                 entry.refcount += 1
                 blocks.append(entry.block_id)
                 shared.append(entry.block_id)
@@ -144,18 +147,17 @@ class PrefixCachingKVCache(PagedKVCache):
             hit_streak = False
             block = self._take_free_block()
             blocks.append(block)
-            if h not in self._by_hash:
+            if h not in by_hash:
                 # register this request's content for future sharers
-                self._by_hash[h] = _SharedBlock(block_id=block, refcount=1)
+                by_hash[h] = _SharedBlock(block_id=block, refcount=1)
                 self._hash_of_block[block] = h
                 shared.append(block)
             # else: identical content is resident under another sequence's
             # block; keep this copy private to avoid refcount aliasing
-        # private blocks for the unhashed remainder
-        while len(blocks) < need_total:
-            blocks.append(self._take_free_block())
-
-        from repro.serving.kv_cache import BlockTable
+        # private blocks for the unhashed remainder (bulk take: same pop
+        # order as one-at-a-time, see _take_free_blocks)
+        if len(blocks) < need_total:
+            blocks.extend(self._take_free_blocks(need_total - len(blocks)))
 
         self._tables[seq_id] = BlockTable(blocks=blocks, num_tokens=num_tokens)
         self._seq_shared[seq_id] = shared
@@ -169,6 +171,11 @@ class PrefixCachingKVCache(PagedKVCache):
         if table is None:
             raise KeyError(f"sequence {seq_id} has no allocation")
         shared = set(self._seq_shared.pop(seq_id, []))
+        if not shared:
+            # nothing content-addressed: identical to the base free
+            self._free.extend(reversed(table.blocks))
+            self._observe("free", seq_id, len(table.blocks))
+            return
         for block in reversed(table.blocks):
             if block in shared:
                 h = self._hash_of_block[block]

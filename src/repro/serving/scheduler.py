@@ -195,17 +195,14 @@ class Scheduler:
     def _schedule_decode(self) -> ScheduledBatch:
         preempted: list[Request] = []
         # grow each running sequence by one slot, preempting LIFO on pressure
-        runnable: list[Request] = []
-        for req in self.running:
-            runnable.append(req)
+        runnable: list[Request] = list(self.running)
         victims: list[Request] = []
         for req in list(runnable):
             if req in victims:
                 continue
             appended = False
             while not appended:
-                if self.kv.can_append_slots(req.request_id, 1):
-                    self.kv.append_slots(req.request_id, 1)
+                if self.kv.try_append_slot(req.request_id):
                     appended = True
                     break
                 # free the most recently admitted other sequence; if none is
@@ -216,10 +213,11 @@ class Scheduler:
                 self._preempt(victim)
                 if victim is req:
                     break
-        for v in victims:
-            runnable.remove(v)
-            preempted.append(v)
-        self.running = [r for r in self.running if r not in victims]
+        if victims:
+            for v in victims:
+                runnable.remove(v)
+                preempted.append(v)
+            self.running = [r for r in self.running if r not in victims]
         return ScheduledBatch(
             phase="decode",
             requests=list(self.running),

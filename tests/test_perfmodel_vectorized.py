@@ -68,6 +68,40 @@ class TestExactEquivalence:
         pm = perf_model(get_model("OLMoE-1B-7B"))
         _assert_rows_identical(pm, [(2, 64, 1), (2, 64, 2)])
 
+    @pytest.mark.parametrize("model", [
+        "OLMoE-1B-7B", "Mixtral-8x7B", "DeepSeek-V2-Lite",
+    ])
+    def test_step_total_one_matches_scalar_and_batched(self, model):
+        """The engine fast path's one-point entry must agree bit-for-bit
+        with both the scalar perf model and the batched array pass over
+        the same shapes (the polymorphic helpers dispatch float vs array,
+        but every arithmetic op is the same IEEE-754 operation)."""
+        steps = StepModel(get_model(model), H100_SXM)
+        v = vec.VectorizedStepModel(steps)
+        shapes = [(1, 1, 1, None), (8, 8, 512, None), (64, 64, 4096, None),
+                  (256, 4, 256, 128.5), (2048, 16, 2048, 1024.5)]
+        for m, b, kv, att in shapes:
+            one = v.step_total_one(m, b, kv, att)
+            assert type(one) is float
+            batched = v.step_totals([m], [b], [kv],
+                                    None if att is None else [att])[0]
+            assert one == batched
+            if att is None and m == b:
+                assert one == steps.decode_step_time(b, kv)
+            else:
+                scalar = steps.step_breakdown(
+                    num_tokens=m, batch=b, kv_len=kv, phase="prefill",
+                    attended_len=att if att is not None else kv).total
+                assert one == scalar
+
+    def test_step_total_one_validates(self):
+        v = vec.VectorizedStepModel(
+            StepModel(get_model("OLMoE-1B-7B"), H100_SXM))
+        with pytest.raises(ValueError):
+            v.step_total_one(0, 1, 64)
+        with pytest.raises(ValueError):
+            v.step_total_one(1, 0, 64)
+
 
 class TestFallbacks:
     def test_escape_hatch_env(self, monkeypatch):

@@ -82,6 +82,65 @@ class TestAppend:
         with pytest.raises(KeyError):
             pool.append_slots(7, 1)
 
+    def test_try_append_slot_within_block(self, pool):
+        pool.allocate(1, 10)
+        assert pool.try_append_slot(1)
+        assert pool.num_tokens(1) == 11
+        assert len(pool.block_table(1)) == 1
+
+    def test_try_append_slot_grows_block(self, pool):
+        pool.allocate(1, 16)
+        assert pool.try_append_slot(1)
+        assert pool.num_tokens(1) == 17
+        assert len(pool.block_table(1)) == 2
+
+    def test_try_append_slot_refuses_when_dry(self, pool):
+        pool.allocate(1, 7 * 16)
+        pool.allocate(2, 16)
+        assert not pool.try_append_slot(2)
+        assert pool.num_tokens(2) == 16  # state untouched on refusal
+
+    def test_try_append_slot_unknown_sequence(self, pool):
+        with pytest.raises(KeyError):
+            pool.try_append_slot(42)
+
+    def test_try_append_slot_matches_append_slots(self):
+        """The fused probe must walk the same block-id stream as the
+        can_append + append pair it replaces."""
+        a = PagedKVCache(num_blocks=8, block_size=16)
+        b = PagedKVCache(num_blocks=8, block_size=16)
+        a.allocate(1, 14)
+        b.allocate(1, 14)
+        for _ in range(40):
+            took_a = a.try_append_slot(1)
+            if b.can_append_slots(1, 1):
+                b.append_slots(1, 1)
+                took_b = True
+            else:
+                took_b = False
+            assert took_a == took_b
+        assert a.block_table(1) == b.block_table(1)
+        assert a.num_tokens(1) == b.num_tokens(1)
+
+
+class TestBulkTake:
+    def test_take_free_blocks_matches_sequential_pops(self):
+        a = PagedKVCache(num_blocks=8, block_size=16)
+        b = PagedKVCache(num_blocks=8, block_size=16)
+        taken = a._take_free_blocks(5)
+        popped = [b._take_free_block() for _ in range(5)]
+        assert taken == popped
+        assert a.free_blocks == b.free_blocks == 3
+
+    def test_take_free_blocks_drains_entire_pool(self):
+        pool = PagedKVCache(num_blocks=4, block_size=16)
+        assert len(pool._take_free_blocks(4)) == 4
+        assert pool.free_blocks == 0
+
+    def test_take_free_blocks_zero(self, pool):
+        assert pool._take_free_blocks(0) == []
+        assert pool.free_blocks == 8
+
 
 class TestLifecycle:
     def test_utilization(self, pool):
