@@ -11,8 +11,8 @@ Vocabulary
 * a :class:`Rule` inspects one :class:`SourceFile` (or, for
   :class:`ProjectRule`, the whole :class:`LintProject`) and yields
   :class:`Violation` objects;
-* ``# simlint: disable=RULE[,RULE...]`` on a line suppresses those rules
-  for that line; ``# simlint: disable-file=RULE`` anywhere suppresses the
+* ``# simlint: disable=<id>[,<id>...]`` on a line suppresses those rules
+  for that line; ``# simlint: disable-file=<id>`` anywhere suppresses the
   rule for the whole file;
 * ``# simlint: unit=<unit>`` declares the physical unit of the name bound
   on that line (used by the UNIT rules for bare-named dataclass fields);
@@ -36,6 +36,7 @@ __all__ = [
     "LintProject",
     "Rule",
     "ProjectRule",
+    "SuppressionTracker",
     "register_rule",
     "all_rules",
     "get_rule",
@@ -54,7 +55,13 @@ _UNIT_DECL_RE = re.compile(r"#\s*simlint:\s*unit=([A-Za-z/._-]+)")
 
 @dataclasses.dataclass(frozen=True)
 class Violation:
-    """One finding, anchored to a source location."""
+    """One finding, anchored to a source location.
+
+    ``end_line`` is the last line of the offending node's span (0 when
+    unknown): suppression directives anywhere in ``line..end_line`` apply,
+    so a ``# simlint: disable=`` comment on the closing line of a wrapped
+    call is honored.
+    """
 
     rule: str
     severity: Severity
@@ -63,6 +70,7 @@ class Violation:
     col: int
     message: str
     snippet: str = ""
+    end_line: int = 0
 
     def key(self) -> str:
         """Baseline identity: stable across moves of the offending line.
@@ -90,6 +98,8 @@ class SourceFile:
         # line (1-based) -> set of rule ids disabled on that line
         self.line_suppressions: dict[int, set[str]] = {}
         self.file_suppressions: set[str] = set()
+        # rule id -> line of its first disable-file directive (SUP001)
+        self.file_suppression_lines: dict[str, int] = {}
         # line (1-based) -> declared unit for the name bound on that line
         self.unit_decls: dict[int, str] = {}
         for i, line in enumerate(self.lines, start=1):
@@ -100,17 +110,24 @@ class SourceFile:
                 }
             m = _SUPPRESS_FILE_RE.search(line)
             if m:
-                self.file_suppressions |= {
-                    r.strip() for r in m.group(1).split(",") if r.strip()
-                }
+                for r in m.group(1).split(","):
+                    r = r.strip()
+                    if r:
+                        self.file_suppressions.add(r)
+                        self.file_suppression_lines.setdefault(r, i)
             m = _UNIT_DECL_RE.search(line)
             if m:
                 self.unit_decls[i] = m.group(1)
 
-    def suppressed(self, rule: str, line: int) -> bool:
+    def suppressed(self, rule: str, line: int, end_line: int = 0) -> bool:
+        """True when ``rule`` is disabled anywhere in ``line..end_line``
+        (a multi-line statement honors a directive on any of its lines)."""
         if rule in self.file_suppressions:
             return True
-        return rule in self.line_suppressions.get(line, set())
+        for i in range(line, max(line, end_line) + 1):
+            if rule in self.line_suppressions.get(i, set()):
+                return True
+        return False
 
     def snippet(self, line: int) -> str:
         if 1 <= line <= len(self.lines):
@@ -121,9 +138,11 @@ class SourceFile:
                   col: int = 0) -> Violation:
         line = node if isinstance(node, int) else getattr(node, "lineno", 1)
         col = col if isinstance(node, int) else getattr(node, "col_offset", 0)
+        end = 0 if isinstance(node, int) else \
+            (getattr(node, "end_lineno", None) or 0)
         return Violation(rule=rule.id, severity=rule.severity, path=self.rel,
                          line=line, col=col, message=message,
-                         snippet=self.snippet(line))
+                         snippet=self.snippet(line), end_line=end)
 
 
 class LintProject:
@@ -161,6 +180,29 @@ class LintProject:
         return None
 
 
+class SuppressionTracker:
+    """Records which ``# simlint: disable`` directives actually silenced a
+    violation during a run — the evidence SUP001 (stale suppression) needs
+    to flag the ones that no longer do."""
+
+    def __init__(self) -> None:
+        # rel path -> list of (rule, line, end_line) suppressed spans
+        self._used: dict[str, list[tuple[str, int, int]]] = {}
+
+    def mark(self, rel: str, rule: str, line: int, end_line: int = 0) -> None:
+        self._used.setdefault(rel, []).append(
+            (rule, line, max(line, end_line)))
+
+    def line_used(self, rel: str, rule: str, directive_line: int) -> bool:
+        """True when a suppressed violation of ``rule`` spans the line the
+        directive sits on."""
+        return any(r == rule and a <= directive_line <= b
+                   for r, a, b in self._used.get(rel, []))
+
+    def file_used(self, rel: str, rule: str) -> bool:
+        return any(r == rule for r, _, _ in self._used.get(rel, []))
+
+
 class Rule:
     """One static check.  Subclasses set the class attributes and override
     :meth:`check` (per-file) — or subclass :class:`ProjectRule` for checks
@@ -174,6 +216,9 @@ class Rule:
     include: tuple[str, ...] = ()
     #: path prefixes exempt from this rule (e.g. the wall channel)
     exclude: tuple[str, ...] = ()
+    #: rules that must observe every other rule's suppression usage run
+    #: after the main pass via :meth:`run_post` (see SUP001)
+    runs_last: bool = False
 
     def applies_to(self, sf: SourceFile) -> bool:
         if self.include and not any(sf.rel.startswith(p) for p in self.include):
@@ -183,12 +228,21 @@ class Rule:
     def check(self, sf: SourceFile) -> Iterator[Violation]:
         raise NotImplementedError
 
-    def run(self, project: LintProject) -> Iterator[Violation]:
+    def run(self, project: LintProject,
+            tracker: SuppressionTracker | None = None) -> Iterator[Violation]:
         for sf in project.files:
             if self.applies_to(sf):
                 for v in self.check(sf):
-                    if not sf.suppressed(v.rule, v.line):
+                    if sf.suppressed(v.rule, v.line, v.end_line):
+                        if tracker is not None:
+                            tracker.mark(sf.rel, v.rule, v.line, v.end_line)
+                    else:
                         yield v
+
+    def run_post(self, project: LintProject, tracker: SuppressionTracker,
+                 ran_rules: list["Rule"]) -> Iterator[Violation]:
+        """Hook for ``runs_last`` rules; default: nothing."""
+        return iter(())
 
 
 class ProjectRule(Rule):
@@ -197,10 +251,14 @@ class ProjectRule(Rule):
     def check_project(self, project: LintProject) -> Iterator[Violation]:
         raise NotImplementedError
 
-    def run(self, project: LintProject) -> Iterator[Violation]:
+    def run(self, project: LintProject,
+            tracker: SuppressionTracker | None = None) -> Iterator[Violation]:
         for v in self.check_project(project):
             sf = project.file(v.path)
-            if sf is None or not sf.suppressed(v.rule, v.line):
+            if sf is not None and sf.suppressed(v.rule, v.line, v.end_line):
+                if tracker is not None:
+                    tracker.mark(sf.rel, v.rule, v.line, v.end_line)
+            else:
                 yield v
 
 
@@ -222,7 +280,15 @@ def register_rule(cls: type) -> type:
 
 def _ensure_loaded() -> None:
     # rule modules self-register on import, exactly like the experiments
-    from repro.lint import determinism, obs, parity, registry, units  # noqa: F401
+    from repro.lint import (  # noqa: F401
+        determinism,
+        obs,
+        parity,
+        registry,
+        suppressions,
+        units,
+    )
+    from repro.lint.flow import coverage, taint, unitflow  # noqa: F401
 
 
 def all_rules() -> list[Rule]:
@@ -258,14 +324,24 @@ def select_rules(spec: str | None) -> list[Rule]:
 def run_lint(root: pathlib.Path | str, rules: Iterable[Rule] | None = None,
              project: LintProject | None = None) -> list[Violation]:
     """Run ``rules`` (default: all) over the project at ``root``; returns
-    violations sorted deterministically (path, line, col, rule)."""
+    violations sorted deterministically (path, line, col, rule).
+
+    Rules with ``runs_last`` (stale-suppression detection) run after the
+    main pass, fed the suppression-usage evidence it produced.
+    """
     if project is None:
         project = LintProject(pathlib.Path(root))
     if rules is None:
         rules = all_rules()
+    rules = list(rules)
+    main = [r for r in rules if not r.runs_last]
+    post = [r for r in rules if r.runs_last]
+    tracker = SuppressionTracker()
     out: list[Violation] = list(project.errors)
-    for rule in rules:
-        out.extend(rule.run(project))
+    for rule in main:
+        out.extend(rule.run(project, tracker))
+    for rule in post:
+        out.extend(rule.run_post(project, tracker, main))
     out.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
     return out
 
@@ -277,7 +353,7 @@ def lint_source(text: str, rule: Rule, rel: str = "src/repro/fixture.py",
     if not rule.applies_to(sf):
         return []
     return sorted((v for v in rule.check(sf)
-                   if not sf.suppressed(v.rule, v.line)),
+                   if not sf.suppressed(v.rule, v.line, v.end_line)),
                   key=lambda v: (v.line, v.col, v.rule))
 
 

@@ -24,7 +24,8 @@ from repro.lint.core import (
     resolve_call,
 )
 
-__all__ = ["WallClockRule", "UnseededRngRule", "SetIterationRule"]
+__all__ = ["WallClockRule", "UnseededRngRule", "SetIterationRule",
+           "iter_wall_hits", "iter_rng_hits", "iter_set_order_hits"]
 
 #: the wall channel + runner: code whose *job* is to observe the host.
 #: Everything here is excluded from sim-determinism checks by design —
@@ -60,6 +61,45 @@ _STDLIB_RANDOM_FNS = {
 }
 
 
+def iter_wall_hits(tree: ast.AST,
+                   aliases: dict[str, str]) -> Iterator[tuple[ast.Call, str]]:
+    """(call node, resolved name) for every wall-clock read in ``tree``.
+
+    Shared between DET001 (local rule) and the interprocedural taint
+    summarizer (:mod:`repro.lint.flow.summary`), so both see exactly the
+    same sources.
+    """
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = resolve_call(node, aliases)
+        if name in _WALL_CALLS:
+            yield node, name
+
+
+def iter_rng_hits(tree: ast.AST,
+                  aliases: dict[str, str]) -> Iterator[tuple[ast.Call, str]]:
+    """(call node, resolved name) for every unseeded / process-global RNG
+    use in ``tree`` (shared with the flow summarizer like DET001)."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = resolve_call(node, aliases)
+        if name is None:
+            continue
+        if name in ("numpy.random.default_rng", "random.Random"):
+            if not node.args and not node.keywords:
+                yield node, name
+            continue
+        if name.startswith("numpy.random."):
+            if name.rsplit(".", 1)[1] in _NP_LEGACY:
+                yield node, name
+            continue
+        if name.startswith("random."):
+            if name.rsplit(".", 1)[1] in _STDLIB_RANDOM_FNS:
+                yield node, name
+
+
 @register_rule
 class WallClockRule(Rule):
     id = "DET001"
@@ -74,17 +114,13 @@ class WallClockRule(Rule):
 
     def check(self, sf: SourceFile) -> Iterator[Violation]:
         aliases = import_aliases(sf.tree)
-        for node in ast.walk(sf.tree):
-            if not isinstance(node, ast.Call):
-                continue
-            name = resolve_call(node, aliases)
-            if name in _WALL_CALLS:
-                yield sf.violation(
-                    self, node,
-                    f"{name}() reads the host clock; simulated code must "
-                    f"use the simulated clock (wall channel is allowlisted: "
-                    f"obs.trace / obs.regress / runner / core.experiment)",
-                )
+        for node, name in iter_wall_hits(sf.tree, aliases):
+            yield sf.violation(
+                self, node,
+                f"{name}() reads the host clock; simulated code must "
+                f"use the simulated clock (wall channel is allowlisted: "
+                f"obs.trace / obs.regress / runner / core.experiment)",
+            )
 
 
 @register_rule
@@ -100,37 +136,80 @@ class UnseededRngRule(Rule):
 
     def check(self, sf: SourceFile) -> Iterator[Violation]:
         aliases = import_aliases(sf.tree)
-        for node in ast.walk(sf.tree):
-            if not isinstance(node, ast.Call):
-                continue
-            name = resolve_call(node, aliases)
-            if name is None:
-                continue
+        for node, name in iter_rng_hits(sf.tree, aliases):
             if name in ("numpy.random.default_rng", "random.Random"):
-                if not node.args and not node.keywords:
-                    yield sf.violation(
-                        self, node,
-                        f"{name}() without a seed draws entropy from the "
-                        f"host; pass an explicit seed",
-                    )
-                continue
-            if name.startswith("numpy.random."):
-                fn = name.rsplit(".", 1)[1]
-                if fn in _NP_LEGACY:
-                    yield sf.violation(
-                        self, node,
-                        f"{name}() uses the process-global legacy RNG; use "
-                        f"an explicitly seeded np.random.default_rng(seed)",
-                    )
-                continue
-            if name.startswith("random."):
-                fn = name.rsplit(".", 1)[1]
-                if fn in _STDLIB_RANDOM_FNS:
-                    yield sf.violation(
-                        self, node,
-                        f"{name}() uses the process-global stdlib RNG; use "
-                        f"an explicitly seeded random.Random(seed) instance",
-                    )
+                yield sf.violation(
+                    self, node,
+                    f"{name}() without a seed draws entropy from the "
+                    f"host; pass an explicit seed",
+                )
+            elif name.startswith("numpy.random."):
+                yield sf.violation(
+                    self, node,
+                    f"{name}() uses the process-global legacy RNG; use "
+                    f"an explicitly seeded np.random.default_rng(seed)",
+                )
+            else:
+                yield sf.violation(
+                    self, node,
+                    f"{name}() uses the process-global stdlib RNG; use "
+                    f"an explicitly seeded random.Random(seed) instance",
+                )
+
+
+_MATERIALIZERS = {"list", "tuple", "enumerate", "iter"}
+
+
+def _set_typed_names(tree: ast.AST) -> set[str]:
+    """Names assigned a set display / set() call anywhere in the file
+    (coarse but effective: one namespace, no reassignment tracking)."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and _is_set_expr(node.value):
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Name):
+                    names.add(tgt.id)
+        elif (isinstance(node, ast.AnnAssign)
+              and isinstance(node.target, ast.Name)):
+            ann = node.annotation
+            base = ann.value if isinstance(ann, ast.Subscript) else ann
+            if isinstance(base, ast.Name) and base.id in ("set", "frozenset"):
+                names.add(node.target.id)
+    return names
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        fname = dotted_name(node.func)
+        return fname in ("set", "frozenset")
+    return False
+
+
+def iter_set_order_hits(tree: ast.AST) -> Iterator[tuple[ast.AST, str]]:
+    """(node, description) for every hash-order set iteration in ``tree``
+    (shared between DET003 and the flow summarizer)."""
+    set_names = _set_typed_names(tree)
+
+    def flag(iter_node: ast.AST) -> Iterator[tuple[ast.AST, str]]:
+        if _is_set_expr(iter_node):
+            yield iter_node, "set iteration"
+        elif (isinstance(iter_node, ast.Name)
+              and iter_node.id in set_names):
+            yield iter_node, f"iteration over set-typed {iter_node.id!r}"
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.For):
+            yield from flag(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for gen in node.generators:
+                yield from flag(gen.iter)
+        elif isinstance(node, ast.Call):
+            fname = dotted_name(node.func)
+            if fname in _MATERIALIZERS and node.args:
+                yield from flag(node.args[0])
 
 
 @register_rule
@@ -144,59 +223,17 @@ class SetIterationRule(Rule):
     )
     include = ("src/repro",)
 
-    _MATERIALIZERS = {"list", "tuple", "enumerate", "iter"}
-
     def check(self, sf: SourceFile) -> Iterator[Violation]:
-        set_names = self._set_typed_names(sf.tree)
-        for node in ast.walk(sf.tree):
-            if isinstance(node, ast.For):
-                yield from self._flag(sf, node.iter, set_names)
-            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
-                                   ast.GeneratorExp)):
-                for gen in node.generators:
-                    yield from self._flag(sf, gen.iter, set_names)
-            elif isinstance(node, ast.Call):
-                fname = dotted_name(node.func)
-                if fname in self._MATERIALIZERS and node.args:
-                    yield from self._flag(sf, node.args[0], set_names)
-
-    def _set_typed_names(self, tree: ast.Module) -> set[str]:
-        """Names assigned a set display / set() call anywhere in the file
-        (coarse but effective: one namespace, no reassignment tracking)."""
-        names: set[str] = set()
-        for node in ast.walk(tree):
-            if isinstance(node, ast.Assign) and self._is_set_expr(node.value):
-                for tgt in node.targets:
-                    if isinstance(tgt, ast.Name):
-                        names.add(tgt.id)
-            elif (isinstance(node, ast.AnnAssign)
-                  and isinstance(node.target, ast.Name)):
-                ann = node.annotation
-                base = ann.value if isinstance(ann, ast.Subscript) else ann
-                if isinstance(base, ast.Name) and base.id in ("set", "frozenset"):
-                    names.add(node.target.id)
-        return names
-
-    def _is_set_expr(self, node: ast.AST) -> bool:
-        if isinstance(node, (ast.Set, ast.SetComp)):
-            return True
-        if isinstance(node, ast.Call):
-            fname = dotted_name(node.func)
-            return fname in ("set", "frozenset")
-        return False
-
-    def _flag(self, sf: SourceFile, iter_node: ast.AST,
-              set_names: set[str]) -> Iterator[Violation]:
-        if self._is_set_expr(iter_node):
-            yield sf.violation(
-                self, iter_node,
-                "iterating a set: order is hash/insertion dependent; wrap "
-                "in sorted(...) to fix the order",
-            )
-        elif (isinstance(iter_node, ast.Name)
-              and iter_node.id in set_names):
-            yield sf.violation(
-                self, iter_node,
-                f"iterating set-typed name {iter_node.id!r}: order is "
-                f"hash/insertion dependent; wrap in sorted(...)",
-            )
+        for node, detail in iter_set_order_hits(sf.tree):
+            if detail == "set iteration":
+                yield sf.violation(
+                    self, node,
+                    "iterating a set: order is hash/insertion dependent; "
+                    "wrap in sorted(...) to fix the order",
+                )
+            else:
+                yield sf.violation(
+                    self, node,
+                    f"iterating set-typed name {node.id!r}: order is "
+                    f"hash/insertion dependent; wrap in sorted(...)",
+                )

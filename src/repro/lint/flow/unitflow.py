@@ -1,0 +1,210 @@
+"""Interprocedural unit inference (UNIT1xx).
+
+The local UNIT rules check arithmetic inside one expression.  These
+rules lift the same suffix-derived unit lattice to function boundaries:
+
+* a function's **parameter units** come from its parameter names
+  (``latency_s``, ``hbm_bytes``);
+* its **return unit** is inferred from its return statements — local
+  unit expressions first, then transitively through ``return f(...)``
+  delegation, falling back to the callee's own name suffix;
+* call sites check argument units against the callee's parameter units
+  (UNIT101), arithmetic that mixes a call result with a known-united
+  operand checks the callee's inferred return unit (UNIT102), and a
+  function whose name promises one unit but whose returns infer another
+  is flagged at its definition (UNIT103).
+
+Inference is conservative: a unit is only compared when both sides are
+known, delegation cycles resolve to "unknown", and functions with
+conflicting return units contribute nothing rather than guessing.  The
+rules run where the lattice is dense enough to be signal rather than
+noise — calls whose caller or callee lives in ``repro.perfmodel`` or
+``repro.hardware``, the roofline arithmetic the suffix convention was
+built for.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.core import LintProject, ProjectRule, Violation, register_rule
+from repro.lint.flow.engine import program_for
+from repro.lint.flow.graph import Program
+
+__all__ = ["UnitFlow", "unit_flow", "ArgUnitRule", "MixUnitRule",
+           "ReturnUnitRule", "SCOPE_PREFIXES"]
+
+#: module prefixes where the suffix-unit convention is load-bearing
+SCOPE_PREFIXES = ("repro.perfmodel", "repro.hardware")
+
+
+def _in_scope(fq: str) -> bool:
+    return any(fq == p or fq.startswith(p + ".") for p in SCOPE_PREFIXES)
+
+
+class UnitFlow:
+    """Interprocedural return-unit inference over a :class:`Program`."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self._memo: dict[str, str | None] = {}
+
+    def inferred_return_unit(self, fq: str) -> str | None:
+        """Unit of ``fq``'s returns, through ``return f(...)`` delegation.
+
+        ``None`` when nothing is known *or* the returns conflict — a
+        conservative lattice top that silences downstream checks.
+        """
+        return self._infer(fq, frozenset())
+
+    def effective_return_unit(self, fq: str) -> str | None:
+        """Inferred return unit, else the promise in the name suffix."""
+        unit = self.inferred_return_unit(fq)
+        if unit is not None:
+            return unit
+        fn = self.program.functions.get(fq)
+        return fn.name_unit if fn is not None else None
+
+    def _infer(self, fq: str, stack: frozenset[str]) -> str | None:
+        if fq in self._memo:
+            return self._memo[fq]
+        if fq in stack:
+            return None  # recursion: unknowable without a fixpoint
+        fn = self.program.functions.get(fq)
+        if fn is None:
+            return None
+        units = set(fn.return_units)
+        fs = self.program.files.get(self.program.function_files[fq])
+        for rc in fn.return_calls:
+            callee = self.program.resolve_call(rc.callee, fn, fs)
+            if callee is None:
+                continue  # unknown callee adds no evidence
+            unit = self._infer(callee, stack | {fq})
+            if unit is None:
+                unit = self.program.functions[callee].name_unit
+            if unit is not None:
+                units.add(unit)
+        out = units.pop() if len(units) == 1 else None
+        self._memo[fq] = out
+        return out
+
+
+def unit_flow(program: Program) -> UnitFlow:
+    cached = getattr(program, "_unit_flow", None)
+    if cached is None:
+        cached = UnitFlow(program)
+        program._unit_flow = cached
+    return cached
+
+
+def _violation(rule, project: LintProject, rel: str, line: int,
+               end_line: int, message: str) -> Violation:
+    sf = project.file(rel)
+    return Violation(rule=rule.id, severity=rule.severity, path=rel,
+                     line=line, col=0, end_line=end_line,
+                     snippet=sf.snippet(line) if sf else "",
+                     message=message)
+
+
+@register_rule
+class ArgUnitRule(ProjectRule):
+    id = "UNIT101"
+    name = "arg-unit-mismatch"
+    severity = "error"
+    description = (
+        "a call passes an argument whose inferred unit contradicts the "
+        "unit the callee's parameter name declares (checked across "
+        "module boundaries via the call graph)"
+    )
+
+    def check_project(self, project: LintProject) -> Iterator[Violation]:
+        program = program_for(project)
+        for caller in sorted(program.edges):
+            rel = program.function_files[caller]
+            for e in program.edges[caller]:
+                callee_fn = program.functions[e.callee]
+                if not (_in_scope(caller) or _in_scope(e.callee)):
+                    continue
+                pairs = []
+                for idx, unit in e.site.arg_units:
+                    if idx < len(callee_fn.params):
+                        pairs.append((callee_fn.params[idx], unit))
+                for name, unit in e.site.kwarg_units:
+                    pairs.append((name, unit))
+                for pname, unit in pairs:
+                    declared = callee_fn.param_units.get(pname)
+                    if declared is None or declared == unit:
+                        continue
+                    yield _violation(
+                        self, project, rel, e.site.line, e.site.end_line,
+                        f"argument '{pname}' of {e.callee} declares unit "
+                        f"'{declared}' but the value passed here infers "
+                        f"to '{unit}' — convert at the call site or "
+                        f"rename the parameter")
+
+
+@register_rule
+class MixUnitRule(ProjectRule):
+    id = "UNIT102"
+    name = "return-unit-mix"
+    severity = "error"
+    description = (
+        "arithmetic mixes a call's result with a value of a different "
+        "unit; the call's unit is inferred interprocedurally from the "
+        "callee's return statements and name suffix"
+    )
+
+    def check_project(self, project: LintProject) -> Iterator[Violation]:
+        program = program_for(project)
+        flow = unit_flow(program)
+        for fq in sorted(program.functions):
+            fn = program.functions[fq]
+            if not fn.mixes:
+                continue
+            rel = program.function_files[fq]
+            fs = program.files.get(rel)
+            for mix in fn.mixes:
+                callee = program.resolve_call(mix.callee, fn, fs)
+                if callee is None:
+                    continue
+                if not (_in_scope(fq) or _in_scope(callee)):
+                    continue
+                unit = flow.effective_return_unit(callee)
+                if unit is None or unit == mix.other_unit:
+                    continue
+                yield _violation(
+                    self, project, rel, mix.line, mix.end_line,
+                    f"result of {callee} carries unit '{unit}' "
+                    f"(inferred from its returns) but is combined with "
+                    f"a '{mix.other_unit}' value — same-unit operands "
+                    f"only for +/-/comparison")
+
+
+@register_rule
+class ReturnUnitRule(ProjectRule):
+    id = "UNIT103"
+    name = "return-unit-vs-name"
+    severity = "error"
+    description = (
+        "a function's name suffix promises one unit but its return "
+        "statements (followed through delegation) infer another"
+    )
+
+    def check_project(self, project: LintProject) -> Iterator[Violation]:
+        program = program_for(project)
+        flow = unit_flow(program)
+        for fq in sorted(program.functions):
+            if not _in_scope(fq):
+                continue
+            fn = program.functions[fq]
+            if fn.name_unit is None:
+                continue
+            inferred = flow.inferred_return_unit(fq)
+            if inferred is None or inferred == fn.name_unit:
+                continue
+            rel = program.function_files[fq]
+            yield _violation(
+                self, project, rel, fn.line, fn.line,
+                f"{fq} is named as '{fn.name_unit}' but its returns "
+                f"infer to '{inferred}' — rename the function or fix "
+                f"the returned expression")

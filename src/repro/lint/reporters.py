@@ -56,6 +56,7 @@ def render_json(violations: Iterable[Violation],
                 "severity": v.severity,
                 "path": v.path,
                 "line": v.line,
+                "end_line": v.end_line,
                 "col": v.col,
                 "message": v.message,
                 "key": v.key(),

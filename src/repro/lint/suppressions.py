@@ -1,0 +1,90 @@
+"""Stale-suppression lint (SUP001).
+
+An inline ``# simlint: disable=<id>`` is a reviewed exception: it asserts
+the rule *would* fire on that line and has been judged acceptable.  Once
+the offending code is fixed or moved, the directive outlives its reason
+and silently pre-suppresses future, unrelated findings on the line.
+SUP001 closes the loop: it runs after every other selected rule, compares
+the directives in each file against the suppressions that were actually
+*used* this run (see :class:`~repro.lint.core.SuppressionTracker`), and
+flags the ones that silenced nothing — including directives naming rule
+ids that no longer exist.
+
+A directive is only judged against rules that actually ran: under
+``repro lint --rules DET`` a ``disable=UNIT001`` comment is out of
+scope, not stale.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.core import (
+    LintProject,
+    Rule,
+    SuppressionTracker,
+    Violation,
+    register_rule,
+)
+
+__all__ = ["UnusedSuppressionRule"]
+
+
+@register_rule
+class UnusedSuppressionRule(Rule):
+    id = "SUP001"
+    name = "stale-suppression"
+    severity = "warning"
+    description = (
+        "a `# simlint: disable=...` directive whose rule no longer fires "
+        "on that line (or names an unknown rule) — delete the directive"
+    )
+    runs_last = True
+
+    def run(self, project: LintProject, tracker=None) -> Iterator[Violation]:
+        # never runs in the main pass; run_lint drives run_post instead
+        return iter(())
+
+    def run_post(self, project: LintProject, tracker: SuppressionTracker,
+                 ran_rules: list[Rule]) -> Iterator[Violation]:
+        ran = {r.id: r for r in ran_rules}
+        for sf in project.files:
+            for line, rule_ids in sorted(sf.line_suppressions.items()):
+                for rid in sorted(rule_ids):
+                    v = self._judge(sf, rid, line, ran, tracker,
+                                    file_level=False)
+                    if v is not None and not sf.suppressed(
+                            self.id, v.line, v.end_line):
+                        yield v
+            for rid in sorted(sf.file_suppressions):
+                line = sf.file_suppression_lines.get(rid, 1)
+                v = self._judge(sf, rid, line, ran, tracker, file_level=True)
+                if v is not None and not sf.suppressed(
+                        self.id, v.line, v.end_line):
+                    yield v
+
+    def _judge(self, sf, rid: str, line: int, ran: dict[str, Rule],
+               tracker: SuppressionTracker,
+               file_level: bool) -> Violation | None:
+        kind = "disable-file" if file_level else "disable"
+        if rid not in ran:
+            # unknown ids are always stale (typo or retired rule) — but
+            # only when the full catalog ran, so a --rules subset never
+            # misjudges an out-of-scope directive
+            from repro.lint.core import all_rules
+            if rid not in {r.id for r in all_rules()}:
+                return sf.violation(
+                    self, line,
+                    f"`# simlint: {kind}={rid}` names an unknown rule "
+                    f"({rid!r} is not in the catalog) — delete or fix "
+                    f"the directive")
+            return None
+        used = (tracker.file_used(sf.rel, rid) if file_level
+                else tracker.line_used(sf.rel, rid, line))
+        if used:
+            return None
+        return sf.violation(
+            self, line,
+            f"stale `# simlint: {kind}={rid}`: {rid} no longer fires "
+            f"{'in this file' if file_level else 'on this line'} — "
+            f"delete the directive")

@@ -24,8 +24,8 @@ from typing import Iterator
 
 from repro.lint.core import Rule, SourceFile, Violation, register_rule
 
-__all__ = ["infer_unit", "UnitEnv", "MixedUnitsRule", "ReturnUnitRule",
-           "AmbiguousNameRule"]
+__all__ = ["infer_unit", "name_unit", "UnitEnv", "MixedUnitsRule",
+           "ReturnUnitRule", "AmbiguousNameRule"]
 
 #: suffix → unit, longest suffix matched first.  ``_gbps`` means GB/s
 #: (gigaBYTES) throughout this codebase — see HardwareSpec's docstrings.
@@ -74,6 +74,13 @@ _JOIN_CALLS = frozenset({
 })
 
 _UNIT_SCOPE = ("src/repro/perfmodel/", "src/repro/hardware/")
+
+
+def name_unit(name: str, declared: dict[str, str] | None = None) -> str | None:
+    """Public wrapper over the suffix grammar: the unit a bare name
+    carries (``kv_bytes`` → ``bytes``), or None.  The interprocedural
+    flow analysis uses this to lift units onto function signatures."""
+    return _name_unit(name, declared or {})
 
 
 def _name_unit(name: str, declared: dict[str, str]) -> str | None:

@@ -69,20 +69,27 @@ class TestSuppressions:
 
 
 class TestRuleRegistry:
-    def test_all_four_families_registered(self):
+    def test_all_families_registered(self):
         ids = {r.id for r in all_rules()}
         for family in ("DET001", "DET002", "DET003", "UNIT001", "UNIT002",
                        "UNIT003", "PAR001", "PAR002", "REG001", "REG002",
-                       "REG003", "REG004"):
+                       "REG003", "REG004", "DET101", "DET102", "DET103",
+                       "UNIT101", "UNIT102", "UNIT103", "PAR101", "PAR102",
+                       "SUP001"):
             assert family in ids
 
     def test_select_by_prefix(self):
         ids = {r.id for r in select_rules("DET")}
+        assert ids == {"DET001", "DET002", "DET003",
+                       "DET101", "DET102", "DET103"}
+
+    def test_select_local_det_only(self):
+        ids = {r.id for r in select_rules("DET001,DET002,DET003")}
         assert ids == {"DET001", "DET002", "DET003"}
 
     def test_select_mixed_spec(self):
         ids = {r.id for r in select_rules("UNIT001,PAR")}
-        assert ids == {"UNIT001", "PAR001", "PAR002"}
+        assert ids == {"UNIT001", "PAR001", "PAR002", "PAR101", "PAR102"}
 
     def test_select_none_selects_all(self):
         assert select_rules(None) == all_rules()
@@ -162,8 +169,8 @@ class TestReporters:
         assert doc["summary"]["by_rule"] == {"DET001": 1}
         assert doc["summary"]["by_severity"] == {"error": 1}
         (v,) = doc["violations"]
-        assert set(v) == {"rule", "severity", "path", "line", "col",
-                          "message", "key", "new"}
+        assert set(v) == {"rule", "severity", "path", "line", "end_line",
+                          "col", "message", "key", "new"}
         assert v["new"] is False
 
     def test_json_without_baseline_omits_new_flag(self):

@@ -1,0 +1,103 @@
+"""repro.lint.reporters: JSON schema round-trip, empty output, and
+deterministic ordering of repeated runs."""
+
+import json
+import pathlib
+import textwrap
+
+from repro.lint.core import LintProject, Violation, run_lint
+from repro.lint.reporters import (
+    JSON_SCHEMA_VERSION,
+    render_json,
+    render_rule_catalog,
+    render_text,
+)
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+
+def _violations():
+    return [
+        Violation("DET001", "error", "a.py", 3, 1, "wall read",
+                  snippet="t = time.time()", end_line=3),
+        Violation("UNIT001", "warning", "b.py", 7, 0, "unit mix",
+                  snippet="x_s + y_bytes", end_line=8),
+    ]
+
+
+class TestJsonRoundTrip:
+    def test_fields_survive_serialization(self):
+        vs = _violations()
+        doc = json.loads(render_json(vs))
+        assert doc["version"] == JSON_SCHEMA_VERSION
+        for v, out in zip(vs, doc["violations"]):
+            assert out["rule"] == v.rule
+            assert out["severity"] == v.severity
+            assert out["path"] == v.path
+            assert out["line"] == v.line
+            assert out["end_line"] == v.end_line
+            assert out["col"] == v.col
+            assert out["message"] == v.message
+            assert out["key"] == v.key()
+
+    def test_summary_counts_match(self):
+        doc = json.loads(render_json(_violations()))
+        assert doc["summary"] == {
+            "total": 2,
+            "by_rule": {"DET001": 1, "UNIT001": 1},
+            "by_severity": {"error": 1, "warning": 1},
+        }
+
+    def test_new_flag_tracks_baseline_diff(self):
+        vs = _violations()
+        doc = json.loads(render_json(vs, new_keys={vs[1].key()}))
+        assert [v["new"] for v in doc["violations"]] == [False, True]
+
+
+class TestEmptyOutput:
+    def test_empty_json(self):
+        doc = json.loads(render_json([]))
+        assert doc["violations"] == []
+        assert doc["summary"] == {"total": 0, "by_rule": {},
+                                  "by_severity": {}}
+
+    def test_empty_text(self):
+        assert render_text([]) == "simlint: clean — 0 violations"
+
+
+class TestDeterministicOrdering:
+    def _project(self, tmp_path):
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "b.py").write_text(textwrap.dedent("""
+            import time
+            import random
+            t = time.time()
+            r = random.random()
+        """).lstrip("\n"))
+        (pkg / "a.py").write_text("import time\nu = time.monotonic()\n")
+        return tmp_path
+
+    def test_repeated_runs_render_identically(self, tmp_path):
+        root = self._project(tmp_path)
+        runs = [run_lint(root, project=LintProject(root)) for _ in range(3)]
+        assert runs[0] == runs[1] == runs[2]
+        assert len({render_json(vs) for vs in runs}) == 1
+        assert len({render_text(vs) for vs in runs}) == 1
+
+    def test_violations_sorted_by_location(self, tmp_path):
+        root = self._project(tmp_path)
+        vs = run_lint(root, project=LintProject(root))
+        keys = [(v.path, v.line, v.col, v.rule) for v in vs]
+        assert keys == sorted(keys)
+        assert [v.path for v in vs if v.rule.startswith("DET")][0] \
+            == "src/repro/a.py"
+
+
+class TestCatalog:
+    def test_catalog_is_a_markdown_table(self):
+        out = render_rule_catalog()
+        head, sep, *rows = out.splitlines()
+        assert head.startswith("| id |")
+        assert set(sep) <= {"|", "-"}
+        assert all(r.startswith("| ") for r in rows)

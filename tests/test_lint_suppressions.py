@@ -1,0 +1,117 @@
+"""Stale-suppression rule (SUP001) and span-aware directives."""
+
+import pathlib
+import textwrap
+
+from repro.lint.core import LintProject, get_rule, lint_source, run_lint
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+
+def make_project(tmp_path, files: dict[str, str]) -> LintProject:
+    for rel, text in files.items():
+        p = tmp_path / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(textwrap.dedent(text).lstrip("\n"))
+    return LintProject(tmp_path)
+
+
+def _sup_run(tmp_path, files, rule_ids=("DET001", "SUP001")):
+    project = make_project(tmp_path, files)
+    return run_lint(tmp_path, rules=[get_rule(r) for r in rule_ids],
+                    project=project)
+
+
+class TestMultiLineDirectives:
+    def test_directive_on_closing_line_of_wrapped_call(self):
+        # the statement spans two lines; the directive sits on the second
+        src = ("import time\n"
+               "t = time.time(\n"
+               ")  # simlint: disable=DET001\n")
+        assert lint_source(src, get_rule("DET001")) == []
+
+    def test_directive_on_first_line_still_works(self):
+        src = ("import time\n"
+               "t = time.time(  # simlint: disable=DET001\n"
+               ")\n")
+        assert lint_source(src, get_rule("DET001")) == []
+
+    def test_directive_outside_the_span_does_not_suppress(self):
+        src = ("import time\n"
+               "t = time.time()\n"
+               "u = 1  # simlint: disable=DET001\n")
+        assert [v.rule for v in lint_source(src, get_rule("DET001"))] \
+            == ["DET001"]
+
+
+class TestStaleSuppression:
+    def test_used_directive_is_not_flagged(self, tmp_path):
+        vs = _sup_run(tmp_path, {
+            "src/repro/a.py": """
+                import time
+                t = time.time()  # simlint: disable=DET001
+            """})
+        assert vs == []
+
+    def test_stale_directive_is_flagged(self, tmp_path):
+        vs = _sup_run(tmp_path, {
+            "src/repro/a.py": """
+                x = 1  # simlint: disable=DET001
+            """})
+        assert [v.rule for v in vs] == ["SUP001"]
+        assert "stale" in vs[0].message and "DET001" in vs[0].message
+
+    def test_used_directive_on_multiline_statement(self, tmp_path):
+        # the suppressed violation spans lines 2-3; the directive on the
+        # closing line counts as used, not stale
+        vs = _sup_run(tmp_path, {
+            "src/repro/a.py": """
+                import time
+                t = time.time(
+                )  # simlint: disable=DET001
+            """})
+        assert vs == []
+
+    def test_unknown_rule_id_is_flagged(self, tmp_path):
+        vs = _sup_run(tmp_path, {
+            "src/repro/a.py": """
+                x = 1  # simlint: disable=ZZZ999
+            """})
+        assert [v.rule for v in vs] == ["SUP001"]
+        assert "unknown rule" in vs[0].message
+
+    def test_out_of_scope_directive_not_judged_in_subset_run(self, tmp_path):
+        # UNIT001 did not run: its directive is out of scope, not stale
+        vs = _sup_run(tmp_path, {
+            "src/repro/a.py": """
+                x = 1  # simlint: disable=UNIT001
+            """})
+        assert vs == []
+
+    def test_stale_file_level_directive(self, tmp_path):
+        vs = _sup_run(tmp_path, {
+            "src/repro/a.py": """
+                # simlint: disable-file=DET001
+                x = 1
+            """})
+        assert [v.rule for v in vs] == ["SUP001"]
+        assert "disable-file" in vs[0].message
+
+    def test_used_file_level_directive(self, tmp_path):
+        vs = _sup_run(tmp_path, {
+            "src/repro/a.py": """
+                # simlint: disable-file=DET001
+                import time
+                t = time.time()
+            """})
+        assert vs == []
+
+    def test_sup001_can_itself_be_suppressed(self, tmp_path):
+        vs = _sup_run(tmp_path, {
+            "src/repro/a.py": """
+                x = 1  # simlint: disable=DET001, SUP001
+            """})
+        assert vs == []
+
+    def test_repo_has_no_stale_suppressions(self):
+        assert run_lint(REPO, rules=[get_rule("SUP001")]) == []
